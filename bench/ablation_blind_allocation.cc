@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Ablation: efficiency-blind vs efficiency-aware bandwidth allocation.
+ *
+ * The paper's LIBRA assigns dimension bandwidth assuming every
+ * communicator group can exploit it; §VI-A then observes that GPT-3 on
+ * the 4D-4K network "cannot leverage all Dim 2 BW resources LIBRA
+ * assigned, due to the mismatching TP size, thereby yielding
+ * performance close to the baseline" — while still winning 4.58x on
+ * perf-per-cost.
+ *
+ * This bench reproduces exactly that: the *blind* optimizer (partial-
+ * span efficiency disabled, as in the paper) designs the network, and
+ * an efficiency-aware evaluator measures it (our ASTRA-sim stand-in).
+ * The efficiency-aware optimizer — this repo's default — is shown as
+ * the ablation's second arm: it anticipates the penalty and recovers
+ * most of the speedup.
+ */
+
+#include "bench_util.hh"
+#include "core/optimizer.hh"
+#include "topology/zoo.hh"
+#include "workload/zoo.hh"
+
+namespace libra {
+namespace {
+
+void
+run()
+{
+    bench::banner("Ablation", "efficiency-blind vs efficiency-aware "
+                              "allocation (GPT-3, 4D-4K)");
+
+    Network net = topo::fourD4K();
+    CostModel cm = CostModel::defaultModel();
+    Workload w = wl::gpt3(net.npus());
+
+    // The ground-truth evaluator always models the physics.
+    TrainingEstimator evaluator(net);
+
+    Table t;
+    t.header({"BW/NPU", "Optimizer", "Speedup (measured)",
+              "ppc x (measured)", "BW config"});
+
+    for (double bw : {250.0, 500.0, 1000.0}) {
+        BwConfig equal = net.equalBw(bw);
+        Seconds tEq = evaluator.estimate(w, equal);
+        Dollars cEq = cm.networkCost(net, equal);
+
+        for (bool blind : {true, false}) {
+            EstimatorOptions opt;
+            opt.modelPartialDimEfficiency = !blind;
+            OptimizerConfig cfg;
+            cfg.objective = OptimizationObjective::PerfOpt;
+            cfg.totalBw = bw;
+            cfg.estimator = opt;
+            cfg.search = bench::benchSearch();
+            BwOptimizer optimizer(net, cm);
+            OptimizationResult r = optimizer.optimize({{w, 1.0}}, cfg);
+
+            Seconds tReal = evaluator.estimate(w, r.bw);
+            double ppc = (tEq * cEq) / (tReal * r.cost);
+            t.row({Table::num(bw, 0),
+                   blind ? "blind (paper)" : "aware (ours)",
+                   Table::num(tEq / tReal, 2), Table::num(ppc, 2),
+                   bwConfigToString(r.bw, 0)});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "\nClaim check (paper §VI-A): the blind allocation "
+                 "yields GPT-3+4D speedup close to 1x yet a multi-x "
+                 "perf-per-cost win (paper: 4.58x); modeling the "
+                 "partial-span efficiency recovers extra speedup.\n";
+}
+
+} // namespace
+} // namespace libra
+
+int
+main()
+{
+    libra::setInformEnabled(false);
+    libra::run();
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Ablation: training-loop scheduling (paper Fig. 5). Compares the
+ * No-Overlap loop with the TP-DP-Overlap loop across the Table II
+ * workloads, and shows that LIBRA's optimized allocation shifts when
+ * the loop changes (DP communication hidden behind TP compute needs
+ * less outer-dimension bandwidth).
+ */
+
+#include "bench_util.hh"
+#include "core/optimizer.hh"
+#include "topology/zoo.hh"
+#include "workload/zoo.hh"
+
+namespace libra {
+namespace {
+
+void
+run()
+{
+    bench::banner("Ablation", "No-Overlap vs TP-DP-Overlap training "
+                              "loops (4D-4K @ 500 GB/s)");
+
+    Network net = topo::fourD4K();
+    const double budget = 500.0;
+
+    Table t;
+    t.header({"Workload", "NoOverlap/iter", "TpDpOverlap/iter",
+              "Hidden comm", "PerfOpt speedup (NoOv)",
+              "PerfOpt speedup (Ov)"});
+
+    for (const auto& w : wl::tableTwo(net.npus())) {
+        EstimatorOptions noOv;
+        EstimatorOptions ov;
+        ov.loop = TrainingLoop::TpDpOverlap;
+        TrainingEstimator estNo(net, noOv);
+        TrainingEstimator estOv(net, ov);
+        BwConfig equal = net.equalBw(budget);
+        Seconds tNo = estNo.estimate(w, equal);
+        Seconds tOv = estOv.estimate(w, equal);
+
+        auto speedup = [&](EstimatorOptions opt) {
+            BwOptimizer optzr(net, CostModel::defaultModel());
+            OptimizerConfig cfg;
+            cfg.totalBw = budget;
+            cfg.estimator = opt;
+            cfg.search = bench::benchSearch();
+            OptimizationResult r = optzr.optimize({{w, 1.0}}, cfg);
+            OptimizationResult base = optzr.baseline({{w, 1.0}}, cfg);
+            return base.weightedTime / r.weightedTime;
+        };
+
+        t.row({w.name, secondsToString(tNo), secondsToString(tOv),
+               Table::num((1.0 - tOv / tNo) * 100.0, 1) + "%",
+               Table::num(speedup(noOv), 2),
+               Table::num(speedup(ov), 2)});
+    }
+    t.print(std::cout);
+    std::cout << "\nOverlap hides part of the DP gradient sync behind "
+                 "compute; the optimizer's remaining headroom shrinks "
+                 "accordingly but stays >= 1x.\n";
+}
+
+} // namespace
+} // namespace libra
+
+int
+main()
+{
+    libra::setInformEnabled(false);
+    libra::run();
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction harness.
+ *
+ * Every bench binary prints the series the corresponding paper figure
+ * plots (or the table's rows), using the same normalizations the paper
+ * uses (speedup over EqualBW, perf-per-cost over EqualBW).
+ */
+
+#ifndef LIBRA_BENCH_BENCH_UTIL_HH
+#define LIBRA_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "core/framework.hh"
+#include "core/report.hh"
+
+namespace libra {
+namespace bench {
+
+/** BW-per-NPU sweep used across Figs. 13-16 (paper: 100-1,000 GB/s). */
+inline std::vector<double>
+bwSweep()
+{
+    return {100.0, 250.0, 500.0, 1000.0};
+}
+
+/** Search options sized for the harness (deterministic, fast). */
+inline MultistartOptions
+benchSearch()
+{
+    MultistartOptions opt;
+    opt.starts = 3;
+    return opt;
+}
+
+/** Print a standard figure banner. */
+inline void
+banner(const std::string& fig, const std::string& what)
+{
+    std::cout << "\n############################################\n"
+              << "# " << fig << ": " << what << "\n"
+              << "############################################\n";
+}
+
+/** Perf-per-cost of a design point relative to another. */
+inline double
+perfPerCostGain(const OptimizationResult& base,
+                const OptimizationResult& opt)
+{
+    double baseRecip = base.weightedTime * base.cost;
+    double optRecip = opt.weightedTime * opt.cost;
+    return optRecip > 0.0 ? baseRecip / optRecip : 0.0;
+}
+
+} // namespace bench
+} // namespace libra
+
+#endif // LIBRA_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the performance-critical kernels:
+ * objective evaluation (compiled and direct), projection, a full
+ * optimizer run, the chunk-timeline simulator, and TACOS synthesis.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/optimizer.hh"
+#include "runtime/tacos.hh"
+#include "sim/chunk_timeline.hh"
+#include "solver/qp.hh"
+#include "topology/zoo.hh"
+#include "workload/zoo.hh"
+
+namespace libra {
+namespace {
+
+void
+BM_EstimateDirect(benchmark::State& state)
+{
+    Network net = topo::fourD4K();
+    TrainingEstimator est(net);
+    Workload w = wl::msft1T(net.npus());
+    BwConfig bw = net.equalBw(300.0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(est.estimate(w, bw));
+}
+BENCHMARK(BM_EstimateDirect);
+
+void
+BM_EstimateCompiled(benchmark::State& state)
+{
+    Network net = topo::fourD4K();
+    TrainingEstimator est(net);
+    CompiledWorkload cw = est.compile(wl::msft1T(net.npus()));
+    BwConfig bw = net.equalBw(300.0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cw.estimate(bw));
+}
+BENCHMARK(BM_EstimateCompiled);
+
+void
+BM_Projection(benchmark::State& state)
+{
+    ConstraintSet cs(4);
+    cs.addTotalBw(1000.0);
+    cs.addLowerBounds(0.1);
+    cs.addUpperBound(3, 50.0);
+    Vec q{900.0, 200.0, -20.0, 80.0};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(projectOntoConstraints(cs, q));
+}
+BENCHMARK(BM_Projection);
+
+void
+BM_OptimizePerfOpt(benchmark::State& state)
+{
+    Network net = topo::fourD4K();
+    BwOptimizer opt(net, CostModel::defaultModel());
+    std::vector<TargetWorkload> targets{{wl::msft1T(net.npus()), 1.0}};
+    OptimizerConfig cfg;
+    cfg.totalBw = 500.0;
+    cfg.search.starts = 1;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(opt.optimize(targets, cfg));
+}
+BENCHMARK(BM_OptimizePerfOpt)->Unit(benchmark::kMillisecond);
+
+void
+BM_ChunkTimeline(benchmark::State& state)
+{
+    std::vector<DimSpan> spans{{0, 4}, {1, 8}, {2, 4}, {3, 32}};
+    ChunkTimeline tl(4, {400.0, 120.0, 50.0, 30.0});
+    CollectiveJob job;
+    job.type = CollectiveType::AllReduce;
+    job.size = 1e9;
+    job.spans = spans;
+    job.numChunks = static_cast<int>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tl.run({job}));
+}
+BENCHMARK(BM_ChunkTimeline)->Arg(8)->Arg(64)->Unit(
+    benchmark::kMicrosecond);
+
+void
+BM_TacosSynthesis(benchmark::State& state)
+{
+    Network net = topo::threeDTorus();
+    TacosSynthesizer tacos(net, net.equalBw(1000.0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            tacos.synthesizeAllReduce(1e9, static_cast<int>(
+                                               state.range(0))));
+}
+BENCHMARK(BM_TacosSynthesis)->Arg(1)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+
+} // namespace
+} // namespace libra

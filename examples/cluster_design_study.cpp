@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A realistic design study: size the fabric of a 1,024-NPU training
+ * cluster that must serve a *family* of workloads (an LLM, a
+ * recommender, and a vision model) under engineering constraints:
+ *
+ *  - 600 GB/s total network bandwidth per NPU,
+ *  - the scale-out (Pod) dimension capped at 50 GB/s (NIC limit),
+ *  - scale-up dimensions must be monotonically non-increasing outward
+ *    (pin/SerDes budget shrinks with distance).
+ *
+ * Compares PerfOptBW and PerfPerCostOptBW, prints the winning design
+ * with its full dollar breakdown.
+ */
+
+#include <iostream>
+
+#include "core/optimizer.hh"
+#include "core/report.hh"
+#include "topology/zoo.hh"
+#include "workload/zoo.hh"
+
+int
+main()
+{
+    using namespace libra;
+
+    Network net = Network::parse("FC(8)_RI(16)_SW(8)"); // 3D-1K.
+    CostModel cm = CostModel::defaultModel();
+    TrainingEstimator est(net);
+    BwOptimizer opt(net, cm);
+    const double budget = 600.0;
+
+    // The workload family with EqualBW-normalized importance.
+    std::vector<TargetWorkload> family{
+        {wl::gpt3(net.npus()), 1.0},
+        {wl::dlrm(net.npus()), 1.0},
+        {wl::resnet50(net.npus()), 1.0},
+    };
+    family = normalizeWeights(est, family, budget);
+
+    OptimizerConfig cfg;
+    cfg.totalBw = budget;
+    cfg.constraints = {"B3 <= 50", "B1 >= B2 >= B3"};
+
+    std::cout << "Designing " << net.name() << " (" << net.npus()
+              << " NPUs) for {GPT-3, DLRM, ResNet-50}\n"
+              << "Constraints: total = 600 GB/s, B3 <= 50, "
+                 "B1 >= B2 >= B3\n\n";
+
+    OptimizationResult equal = opt.baseline(family, cfg);
+    std::cout << "EqualBW baseline : " << bwConfigToString(equal.bw)
+              << ", cost " << dollarsToString(equal.cost) << "\n\n";
+
+    for (auto objective : {OptimizationObjective::PerfOpt,
+                           OptimizationObjective::PerfPerCostOpt}) {
+        cfg.objective = objective;
+        OptimizationResult r = opt.optimize(family, cfg);
+        std::cout << objectiveName(objective) << ":\n"
+                  << "  BW config : " << bwConfigToString(r.bw) << "\n"
+                  << "  cost      : " << dollarsToString(r.cost) << "\n"
+                  << "  speedup vs EqualBW (weighted): "
+                  << equal.weightedTime / r.weightedTime << "x\n";
+        for (std::size_t i = 0; i < family.size(); ++i) {
+            std::cout << "    " << family[i].workload.name << ": "
+                      << secondsToString(r.perWorkloadTime[i])
+                      << "/iter (EqualBW "
+                      << secondsToString(equal.perWorkloadTime[i])
+                      << ")\n";
+        }
+
+        std::cout << "  dollar breakdown:\n";
+        for (const auto& b : cm.breakdown(net, r.bw)) {
+            std::cout << "    dim " << b.dim + 1 << " ("
+                      << physicalLevelName(b.level)
+                      << "): links " << dollarsToString(b.linkCost)
+                      << ", switches " << dollarsToString(b.switchCost)
+                      << ", NICs " << dollarsToString(b.nicCost) << "\n";
+        }
+        std::cout << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Executable version of the paper's Fig. 8: a multi-rail All-Reduce on
+ * a 3x2 network, carrying real data. Prints every NPU's buffer after
+ * each Reduce-Scatter / All-Gather stage, then shows the same
+ * collective as a pipelined chunk timeline (Fig. 9 style).
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "sim/chunk_timeline.hh"
+#include "sim/collective_sim.hh"
+#include "topology/network.hh"
+
+namespace {
+
+using namespace libra;
+
+void
+printState(const CollectiveSim& sim, const Network& net,
+           const std::string& title)
+{
+    std::cout << "\n" << title << "\n";
+    for (long id = 0; id < net.npus(); ++id) {
+        auto [lo, hi] = sim.activeRange(id);
+        std::cout << "  NPU " << id + 1 << ": [";
+        const auto& d = sim.data(id);
+        for (std::size_t i = 0; i < d.size(); ++i) {
+            if (i)
+                std::cout << ' ';
+            if (i >= lo && i < hi)
+                std::cout << std::setw(3) << d[i];
+            else
+                std::cout << "  ."; // Stale outside the active range.
+        }
+        std::cout << " ]\n";
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace libra;
+
+    // Fig. 8(a): 6 NPUs in a 3x2 arrangement, 6 values each.
+    Network net = Network::parse("RI(3)_RI(2)");
+    CollectiveSim sim(net, {10.0, 10.0});
+    const double vals[6][6] = {
+        {1, 2, 3, -6, -4, -2},  {4, 5, 6, -5, -3, -1},
+        {1, 3, 5, -2, -3, -5},  {2, 4, 6, -1, -4, -6},
+        {6, 3, 2, 4, 2, 6},     {5, 4, 1, 1, 5, 3},
+    };
+    sim.init(6,
+             [&vals](long npu, std::size_t i) { return vals[npu][i]; });
+
+    std::cout << "Multi-rail All-Reduce on " << net.name() << " ("
+              << net.npus() << " NPUs), following paper Fig. 8\n";
+    printState(sim, net, "(a) initial placement");
+
+    sim.runReduceScatter();
+    printState(sim, net,
+               "(b-c) after Reduce-Scatter on Dim 1 then Dim 2 "
+               "(each NPU owns one reduced element)");
+
+    sim.runAllGather();
+    printState(sim, net,
+               "(d-e) after All-Gather on Dim 2 then Dim 1 "
+               "(every NPU holds the full reduced vector)");
+
+    std::cout << "\nVerified: "
+              << (sim.verifyAllReduce() ? "every NPU holds the exact "
+                                          "elementwise sum"
+                                        : "MISMATCH!")
+              << "\nSequential stage time: "
+              << sim.elapsed() * 1e3 << " ms\n";
+
+    // The same collective, pipelined chunk-by-chunk (Fig. 9 view).
+    std::cout << "\nPipelined chunk view (4 chunks, digits = RS, "
+                 "letters = AG):\n";
+    ChunkTimeline tl(2, {10.0, 10.0});
+    CollectiveJob job;
+    job.type = CollectiveType::AllReduce;
+    job.size = 6 * kFp32Bytes;
+    job.spans = {{0, 3}, {1, 2}};
+    job.numChunks = 4;
+    TimelineResult r = tl.run({job});
+    std::cout << r.render(2, 64);
+    return 0;
+}

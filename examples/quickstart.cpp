@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Quickstart: optimize the bandwidth split of a 4D network for GPT-3
+ * training and compare against the EqualBW baseline.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "core/framework.hh"
+#include "core/report.hh"
+#include "workload/zoo.hh"
+
+int
+main()
+{
+    using namespace libra;
+
+    // 1. Describe the system: a 4,096-NPU 4D network (Fig. 2's
+    //    Chiplet / Package / Node / Pod hierarchy) with a total budget
+    //    of 500 GB/s of network bandwidth per NPU.
+    LibraInputs inputs;
+    inputs.networkShape = "RI(4)_FC(8)_RI(4)_SW(32)";
+    inputs.config.totalBw = 500.0;
+
+    // 2. Pick the target workload: GPT-3 with Table II's TP-16, the
+    //    rest of the machine running data parallelism.
+    inputs.targets.push_back({wl::gpt3(4096), 1.0});
+
+    // 3. Choose the objective. PerfOpt maximizes training speed;
+    //    PerfPerCostOpt balances speed against network dollars.
+    inputs.config.objective = OptimizationObjective::PerfOpt;
+
+    // 4. Optional design constraints in the LIBRA constraint language.
+    inputs.config.constraints.push_back("B4 <= 100");
+
+    // 5. Run.
+    LibraReport report = runLibra(inputs);
+
+    std::cout << "Network            : " << inputs.networkShape << "\n"
+              << "Workload           : GPT-3, "
+              << inputs.targets[0].workload.strategy.name() << "\n"
+              << "EqualBW            : "
+              << bwConfigToString(report.equalBw.bw) << " -> "
+              << secondsToString(report.equalBw.weightedTime)
+              << "/iter, " << dollarsToString(report.equalBw.cost)
+              << "\n"
+              << "LIBRA PerfOptBW    : "
+              << bwConfigToString(report.optimized.bw) << " -> "
+              << secondsToString(report.optimized.weightedTime)
+              << "/iter, " << dollarsToString(report.optimized.cost)
+              << "\n"
+              << "Speedup            : " << report.speedup << "x\n"
+              << "Perf-per-cost gain : " << report.perfPerCostGain
+              << "x\n";
+    return 0;
+}

@@ -1,0 +1,86 @@
+#include "collective/mapping.hh"
+
+#include "common/logging.hh"
+
+namespace libra {
+
+namespace {
+
+/** Physically achievable BW share of a (sub, take) subset of one dim. */
+double
+spanEfficiency(const NetworkDim& dim, long sub, long take)
+{
+    if (take == dim.size)
+        return 1.0;
+    switch (dim.type) {
+      case UnitTopology::FullyConnected:
+        // g-1 of the n-1 equal per-peer links are usable.
+        return static_cast<double>(take - 1) /
+               static_cast<double>(dim.size - 1);
+      case UnitTopology::Ring:
+        // A stride-`sub` subset of g members occupies g*sub of the n
+        // ring positions; hops through non-members dilute bandwidth.
+        return static_cast<double>(take * sub) /
+               static_cast<double>(dim.size);
+      case UnitTopology::Switch:
+        // Non-blocking crossbar: any subset gets full uplink BW.
+        return 1.0;
+    }
+    panic("unknown unit topology");
+}
+
+} // namespace
+
+std::vector<DimSpan>
+mapGroupToDims(const Network& net, long inner_stride, long group_size,
+               bool model_efficiency)
+{
+    std::vector<DimSpan> spans;
+    if (group_size <= 1)
+        return spans;
+    if (inner_stride < 1)
+        fatal("inner stride must be >= 1, got ", inner_stride);
+    if (inner_stride * group_size > net.npus()) {
+        fatal("group of ", group_size, " with stride ", inner_stride,
+              " does not fit in ", net.npus(), " NPUs");
+    }
+
+    long stride = inner_stride;
+    long remaining = group_size;
+    for (std::size_t i = 0; i < net.numDims() && remaining > 1; ++i) {
+        long p = net.prefixProduct(i);
+        long pNext = p * net.dim(i).size;
+        if (stride >= pNext)
+            continue; // Dimension fully inside the inner stride.
+        if (stride % p != 0) {
+            fatal("group stride ", inner_stride,
+                  " is misaligned with dimension ", i + 1, " of ",
+                  net.name());
+        }
+        long sub = stride / p; // Stride expressed in dim-i hops.
+        long avail = net.dim(i).size / sub;
+        if (net.dim(i).size % sub != 0) {
+            fatal("group stride ", inner_stride,
+                  " does not divide dimension ", i + 1, " of ", net.name());
+        }
+        long take = std::min<long>(avail, remaining);
+        if (avail % take != 0 || remaining % take != 0) {
+            fatal("group of ", group_size, " (stride ", inner_stride,
+                  ") does not tile dimension ", i + 1, " of ", net.name(),
+                  ": ", take, " of ", avail, " slots");
+        }
+        double efficiency =
+            model_efficiency ? spanEfficiency(net.dim(i), sub, take)
+                             : 1.0;
+        spans.push_back({i, static_cast<int>(take), efficiency});
+        remaining /= take;
+        stride *= take;
+    }
+    if (remaining > 1) {
+        fatal("group of ", group_size, " with stride ", inner_stride,
+              " exceeds network ", net.name());
+    }
+    return spans;
+}
+
+} // namespace libra

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Mapping of communicator groups onto network dimensions.
+ *
+ * A parallelization strategy defines groups of NPUs that communicate
+ * (the TP group, the DP group, or all NPUs). With rank-order placement —
+ * NPU ids laid out mixed-radix with dim 1 fastest-varying — a group of
+ * @c groupSize members whose ranks are strided by @c innerStride occupies
+ * a *span* of network dimensions, each either fully or partially. For
+ * example TP-16 on RI(4)_FC(8)_RI(4)_SW(32) occupies all of dim 1 and
+ * half of dim 2 — the "mismatching TP size" situation the paper calls out
+ * for GPT-3 on the 4D-4K network.
+ */
+
+#ifndef LIBRA_COLLECTIVE_MAPPING_HH
+#define LIBRA_COLLECTIVE_MAPPING_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "topology/network.hh"
+
+namespace libra {
+
+/** Portion of one network dimension used by a communicator group. */
+struct DimSpan
+{
+    std::size_t dim = 0;  ///< Network dimension index (0-based).
+    int groupSize = 1;    ///< Members of the group along this dimension.
+
+    /**
+     * Fraction of the per-NPU dimension bandwidth the group can
+     * physically exploit. 1.0 for whole dimensions and any Switch
+     * subset (non-blocking crossbar). For partial spans:
+     *  - FullyConnected(n): a g-subset uses g-1 of the n-1 per-peer
+     *    links, so (g-1)/(n-1);
+     *  - Ring(n): a stride-s subset of g members dilutes the ring,
+     *    g*s/n.
+     * This is the physical effect behind the paper's GPT-3-on-4D-4K
+     * observation: "the training process cannot leverage all Dim 2 BW
+     * resources LIBRA assigned, due to the mismatching TP size".
+     */
+    double efficiency = 1.0;
+
+    bool operator==(const DimSpan&) const = default;
+};
+
+/**
+ * Compute the dimension spans of a communicator group.
+ *
+ * @param net         The network.
+ * @param inner_stride Rank stride between consecutive group members
+ *                    (1 for TP; the TP size for DP groups above TP).
+ * @param group_size   Number of NPUs in the group.
+ * @param model_efficiency When false, partial spans report
+ *                    efficiency 1.0 — the idealized model the paper's
+ *                    (efficiency-blind) optimizer uses.
+ * @return Spans in ascending dimension order; empty when group_size == 1.
+ * @throws FatalError when the group cannot be laid out on whole
+ *         power-of-dimension boundaries (sizes must divide).
+ */
+std::vector<DimSpan> mapGroupToDims(const Network& net, long inner_stride,
+                                    long group_size,
+                                    bool model_efficiency = true);
+
+} // namespace libra
+
+#endif // LIBRA_COLLECTIVE_MAPPING_HH

@@ -1,0 +1,51 @@
+#include "common/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace libra {
+
+namespace {
+
+std::atomic<bool> informEnabled{true};
+
+} // namespace
+
+void
+setInformEnabled(bool enabled)
+{
+    informEnabled.store(enabled);
+}
+
+namespace detail {
+
+void
+fatalImpl(const std::string& msg)
+{
+    throw FatalError("fatal: " + msg);
+}
+
+void
+panicImpl(const std::string& msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+informImpl(const std::string& msg)
+{
+    if (informEnabled.load())
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+warnImpl(const std::string& msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace libra

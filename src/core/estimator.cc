@@ -1,0 +1,252 @@
+#include "core/estimator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace libra {
+
+TrainingEstimator::TrainingEstimator(Network net, EstimatorOptions options)
+    : net_(std::move(net)), options_(options)
+{}
+
+std::vector<DimSpan>
+TrainingEstimator::spansFor(const Parallelization& strategy,
+                            CommScope scope) const
+{
+    bool eff = options_.modelPartialDimEfficiency;
+    switch (scope) {
+      case CommScope::Tp:
+        return mapGroupToDims(net_, 1, strategy.tp, eff);
+      case CommScope::Pp:
+        return mapGroupToDims(net_, strategy.tp, strategy.pp, eff);
+      case CommScope::Dp:
+        return mapGroupToDims(net_, strategy.tp * strategy.pp,
+                              strategy.dp, eff);
+      case CommScope::All:
+        return mapGroupToDims(net_, 1, net_.npus(), eff);
+    }
+    panic("unknown comm scope");
+}
+
+Seconds
+TrainingEstimator::commTime(const CommOp& op,
+                            const Parallelization& strategy,
+                            const BwConfig& bw) const
+{
+    auto spans = spansFor(strategy, op.scope);
+    if (spans.empty())
+        return 0.0;
+    return timingOf(op.type, op.size, spans, bw).time;
+}
+
+CollectiveTiming
+TrainingEstimator::timingOf(CollectiveType type, Bytes size,
+                            const std::vector<DimSpan>& spans,
+                            const BwConfig& bw) const
+{
+    if (options_.commTimeFn) {
+        return options_.commTimeFn(type, size, spans, bw,
+                                   options_.inNetworkCollectives);
+    }
+    return multiRailTime(type, size, spans, bw,
+                         options_.inNetworkCollectives);
+}
+
+Seconds
+TrainingEstimator::commListTime(const std::vector<CommOp>& ops,
+                                const Parallelization& strategy,
+                                const BwConfig& bw,
+                                EstimateDetail* detail) const
+{
+    Seconds total = 0.0;
+    for (const auto& op : ops) {
+        auto spans = spansFor(strategy, op.scope);
+        if (spans.empty())
+            continue;
+        auto timing = timingOf(op.type, op.size, spans, bw);
+        total += timing.time;
+        if (detail) {
+            for (std::size_t s = 0; s < spans.size(); ++s) {
+                detail->dimBusy[spans[s].dim] += timing.timePerDim[s];
+                detail->dimTraffic[spans[s].dim] +=
+                    timing.trafficPerDim[s];
+            }
+        }
+    }
+    return total;
+}
+
+Seconds
+TrainingEstimator::estimate(const Workload& w, const BwConfig& bw) const
+{
+    if (bw.size() != net_.numDims())
+        panic("bw rank ", bw.size(), " != network dims ", net_.numDims());
+    if (w.strategy.npus() != net_.npus()) {
+        fatal("workload ", w.name, " uses ", w.strategy.npus(),
+              " NPUs but network ", net_.name(), " has ", net_.npus());
+    }
+
+    Seconds total = 0.0;
+    for (const auto& layer : w.layers) {
+        Seconds fwdComm =
+            commListTime(layer.fwdComm, w.strategy, bw, nullptr);
+        Seconds igComm =
+            commListTime(layer.igComm, w.strategy, bw, nullptr);
+        Seconds wgComm =
+            commListTime(layer.wgComm, w.strategy, bw, nullptr);
+
+        total += layer.fwdCompute + fwdComm;
+        switch (options_.loop) {
+          case TrainingLoop::NoOverlap:
+            total += layer.igCompute + igComm + layer.wgCompute + wgComm;
+            break;
+          case TrainingLoop::TpDpOverlap:
+            total += layer.igCompute +
+                     std::max(igComm, layer.wgCompute + wgComm);
+            break;
+        }
+    }
+    return total;
+}
+
+Seconds
+CompiledWorkload::opsTime(const std::vector<Op>& ops, const BwConfig& bw)
+{
+    Seconds total = 0.0;
+    for (const auto& op : ops) {
+        Seconds worst = 0.0;
+        for (const auto& [dim, traffic] : op) {
+            Seconds t = transferTime(traffic, bw[dim]);
+            if (t > worst)
+                worst = t;
+        }
+        total += worst;
+    }
+    return total;
+}
+
+Seconds
+CompiledWorkload::estimate(const BwConfig& bw) const
+{
+    Seconds total = 0.0;
+    for (const auto& layer : layers_) {
+        total += layer.fwdCompute + opsTime(layer.fwd, bw);
+        switch (loop_) {
+          case TrainingLoop::NoOverlap:
+            total += layer.igCompute + opsTime(layer.ig, bw) +
+                     layer.wgCompute + opsTime(layer.wg, bw);
+            break;
+          case TrainingLoop::TpDpOverlap:
+            total += layer.igCompute +
+                     std::max(opsTime(layer.ig, bw),
+                              layer.wgCompute + opsTime(layer.wg, bw));
+            break;
+        }
+    }
+    return total;
+}
+
+CompiledWorkload
+TrainingEstimator::compile(const Workload& w) const
+{
+    if (options_.commTimeFn) {
+        fatal("cannot compile a workload under a custom collective "
+              "timing model");
+    }
+    if (w.strategy.npus() != net_.npus()) {
+        fatal("workload ", w.name, " uses ", w.strategy.npus(),
+              " NPUs but network ", net_.name(), " has ", net_.npus());
+    }
+
+    auto compileOps = [&](const std::vector<CommOp>& ops) {
+        std::vector<CompiledWorkload::Op> out;
+        for (const auto& op : ops) {
+            auto spans = spansFor(w.strategy, op.scope);
+            if (spans.empty())
+                continue;
+            CollectiveTiming timing =
+                multiRailTime(op.type, op.size, spans,
+                              BwConfig(net_.numDims(), 1.0),
+                              options_.inNetworkCollectives);
+            CompiledWorkload::Op compiled;
+            for (std::size_t s = 0; s < spans.size(); ++s) {
+                // Fold the partial-span efficiency into the traffic so
+                // evaluation stays a plain traffic/BW division.
+                compiled.emplace_back(spans[s].dim,
+                                      timing.trafficPerDim[s] /
+                                          spans[s].efficiency);
+            }
+            out.push_back(std::move(compiled));
+        }
+        return out;
+    };
+
+    CompiledWorkload cw;
+    cw.loop_ = options_.loop;
+    for (const auto& layer : w.layers) {
+        CompiledWorkload::CompiledLayer cl;
+        cl.fwdCompute = layer.fwdCompute;
+        cl.igCompute = layer.igCompute;
+        cl.wgCompute = layer.wgCompute;
+        cl.fwd = compileOps(layer.fwdComm);
+        cl.ig = compileOps(layer.igComm);
+        cl.wg = compileOps(layer.wgComm);
+        cw.layers_.push_back(std::move(cl));
+    }
+    return cw;
+}
+
+EstimateDetail
+TrainingEstimator::detail(const Workload& w, const BwConfig& bw) const
+{
+    EstimateDetail d;
+    d.dimBusy.assign(net_.numDims(), 0.0);
+    d.dimTraffic.assign(net_.numDims(), 0.0);
+
+    for (const auto& layer : w.layers) {
+        Seconds fwdComm = commListTime(layer.fwdComm, w.strategy, bw, &d);
+        Seconds igComm = commListTime(layer.igComm, w.strategy, bw, &d);
+        Seconds wgComm = commListTime(layer.wgComm, w.strategy, bw, &d);
+
+        d.fwdCompute += layer.fwdCompute;
+        d.fwdComm += fwdComm;
+        d.igCompute += layer.igCompute;
+        d.igComm += igComm;
+        d.wgCompute += layer.wgCompute;
+        d.wgComm += wgComm;
+
+        d.total += layer.fwdCompute + fwdComm;
+        switch (options_.loop) {
+          case TrainingLoop::NoOverlap:
+            d.total += layer.igCompute + igComm + layer.wgCompute + wgComm;
+            d.exposedComm += fwdComm + igComm + wgComm;
+            break;
+          case TrainingLoop::TpDpOverlap: {
+            Seconds bwdTail = std::max(igComm, layer.wgCompute + wgComm);
+            d.total += layer.igCompute + bwdTail;
+            d.exposedComm += fwdComm + bwdTail -
+                             std::min(bwdTail, layer.wgCompute);
+            break;
+          }
+        }
+    }
+    d.computeTotal = d.fwdCompute + d.igCompute + d.wgCompute;
+
+    // Fig. 10 metric: bytes actually moved over the byte-capacity the
+    // whole fabric offers while communication is in flight.
+    double sumBw = 0.0;
+    for (double b : bw)
+        sumBw += b;
+    Bytes moved = 0.0;
+    for (Bytes t : d.dimTraffic)
+        moved += t;
+    Seconds commTime = d.fwdComm + d.igComm + d.wgComm;
+    if (commTime > 0.0 && sumBw > 0.0) {
+        d.avgBwUtilization =
+            moved / (sumBw * kGiga * commTime);
+    }
+    return d;
+}
+
+} // namespace libra

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * End-to-end training-time estimation (paper §IV-C).
+ *
+ * The estimator turns a workload IR plus a bandwidth configuration into
+ * an end-to-end iteration time under a chosen training loop:
+ *
+ *  - NoOverlap (Fig. 5b): every compute and communication stage runs
+ *    exclusively; times add up.
+ *  - TpDpOverlap (Fig. 5c): in the backward pass, TP communication
+ *    overlaps DP compute + DP communication:
+ *      t_bwd(layer) = TP_comp + max(TP_comm, DP_comp + DP_comm).
+ *
+ * All communication times are functions of the per-dimension bandwidth
+ * vector only — the property LIBRA's optimizer exploits.
+ */
+
+#ifndef LIBRA_CORE_ESTIMATOR_HH
+#define LIBRA_CORE_ESTIMATOR_HH
+
+#include <functional>
+#include <vector>
+
+#include "collective/mapping.hh"
+#include "collective/multi_rail.hh"
+#include "topology/network.hh"
+#include "workload/workload.hh"
+
+namespace libra {
+
+/** Compute/communication scheduling policy (paper Fig. 5). */
+enum class TrainingLoop { NoOverlap, TpDpOverlap };
+
+/**
+ * Pluggable collective-time model. The default is the analytical
+ * multi-rail bottleneck model; runtime optimizers (e.g. Themis) install
+ * their own timing here.
+ */
+using CommTimeFn = std::function<CollectiveTiming(
+    CollectiveType, Bytes, const std::vector<DimSpan>&, const BwConfig&,
+    bool in_network)>;
+
+/** Full timing breakdown of one training iteration. */
+struct EstimateDetail
+{
+    Seconds total = 0.0;        ///< End-to-end iteration time.
+    Seconds computeTotal = 0.0; ///< All compute across phases.
+    Seconds exposedComm = 0.0;  ///< Communication on the critical path.
+
+    Seconds fwdCompute = 0.0;
+    Seconds fwdComm = 0.0;
+    Seconds igCompute = 0.0;    ///< TP backward compute.
+    Seconds igComm = 0.0;       ///< TP backward communication.
+    Seconds wgCompute = 0.0;    ///< DP backward compute.
+    Seconds wgComm = 0.0;       ///< DP gradient-sync communication.
+
+    /** Per-network-dimension busy seconds summed over all collectives. */
+    std::vector<Seconds> dimBusy;
+
+    /** Per-network-dimension bytes moved (per NPU). */
+    std::vector<Bytes> dimTraffic;
+
+    /**
+     * Fraction of total network byte-capacity used while communication
+     * is in flight: sum(traffic) / (sum(B) * comm time). The Fig. 10
+     * "average network BW utilization" metric.
+     */
+    double avgBwUtilization = 0.0;
+};
+
+/** Estimator options. */
+struct EstimatorOptions
+{
+    TrainingLoop loop = TrainingLoop::NoOverlap;
+    bool inNetworkCollectives = false; ///< Switch-offloaded All-Reduce.
+    CommTimeFn commTimeFn;             ///< Empty = analytical model.
+
+    /**
+     * Model the achievable-BW penalty of communicator groups that span
+     * a dimension only partially (see DimSpan::efficiency). Disable to
+     * reproduce the paper's efficiency-blind optimizer behaviour.
+     */
+    bool modelPartialDimEfficiency = true;
+};
+
+/**
+ * Precompiled evaluation form of one workload on one network.
+ *
+ * The optimizer evaluates the training-time objective tens of thousands
+ * of times; compiling resolves every collective to its per-dimension
+ * traffic once, so an evaluation is a handful of divisions and max()
+ * operations per layer. Produces bit-identical results to
+ * TrainingEstimator::estimate() for the default analytical model.
+ */
+class CompiledWorkload
+{
+  public:
+    /** Iteration time under @p bw (GB/s per dimension). */
+    Seconds estimate(const BwConfig& bw) const;
+
+  private:
+    friend class TrainingEstimator;
+
+    /** One collective resolved to (dimension, bytes) pairs. */
+    using Op = std::vector<std::pair<std::size_t, Bytes>>;
+
+    struct CompiledLayer
+    {
+        Seconds fwdCompute = 0.0;
+        Seconds igCompute = 0.0;
+        Seconds wgCompute = 0.0;
+        std::vector<Op> fwd, ig, wg;
+    };
+
+    static Seconds opsTime(const std::vector<Op>& ops, const BwConfig& bw);
+
+    TrainingLoop loop_ = TrainingLoop::NoOverlap;
+    std::vector<CompiledLayer> layers_;
+};
+
+/** Estimates training time for workloads on one network. */
+class TrainingEstimator
+{
+  public:
+    TrainingEstimator(Network net, EstimatorOptions options = {});
+
+    const Network& network() const { return net_; }
+    const EstimatorOptions& options() const { return options_; }
+
+    /** Dimension spans of a comm scope under @p strategy. */
+    std::vector<DimSpan> spansFor(const Parallelization& strategy,
+                                  CommScope scope) const;
+
+    /** Time of one collective op under @p bw. */
+    Seconds commTime(const CommOp& op, const Parallelization& strategy,
+                     const BwConfig& bw) const;
+
+    /** End-to-end iteration time. */
+    Seconds estimate(const Workload& w, const BwConfig& bw) const;
+
+    /**
+     * Precompile @p w for fast repeated evaluation. Only valid for the
+     * built-in analytical model (no custom commTimeFn).
+     */
+    CompiledWorkload compile(const Workload& w) const;
+
+    /** Full breakdown (slower; for reporting). */
+    EstimateDetail detail(const Workload& w, const BwConfig& bw) const;
+
+  private:
+    /** Timing of one collective via the configured model. */
+    CollectiveTiming timingOf(CollectiveType type, Bytes size,
+                              const std::vector<DimSpan>& spans,
+                              const BwConfig& bw) const;
+
+    Seconds commListTime(const std::vector<CommOp>& ops,
+                         const Parallelization& strategy,
+                         const BwConfig& bw,
+                         EstimateDetail* detail) const;
+
+    Network net_;
+    EstimatorOptions options_;
+};
+
+} // namespace libra
+
+#endif // LIBRA_CORE_ESTIMATOR_HH

@@ -1,0 +1,36 @@
+#include "core/framework.hh"
+
+#include "common/logging.hh"
+
+namespace libra {
+
+LibraReport
+runLibra(const LibraInputs& inputs)
+{
+    Network net = Network::parse(inputs.networkShape);
+    BwOptimizer optimizer(net, inputs.costModel);
+
+    std::vector<TargetWorkload> targets = inputs.targets;
+    if (inputs.normalizeTargetWeights) {
+        TrainingEstimator estimator(net, inputs.config.estimator);
+        targets = normalizeWeights(estimator, std::move(targets),
+                                   inputs.config.totalBw);
+    }
+
+    LibraReport report;
+    report.equalBw = optimizer.baseline(targets, inputs.config);
+    report.optimized = optimizer.optimize(targets, inputs.config);
+
+    if (report.optimized.weightedTime > 0.0) {
+        report.speedup =
+            report.equalBw.weightedTime / report.optimized.weightedTime;
+    }
+    double optRecip =
+        report.optimized.weightedTime * report.optimized.cost;
+    double eqRecip = report.equalBw.weightedTime * report.equalBw.cost;
+    if (optRecip > 0.0)
+        report.perfPerCostGain = eqRecip / optRecip;
+    return report;
+}
+
+} // namespace libra

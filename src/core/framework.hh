@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The LIBRA framework facade (paper Fig. 3).
+ *
+ * Bundles the full input set — network shape, target workloads, cost
+ * model, training loop, objective, and design constraints — and produces
+ * the optimized design point together with the EqualBW baseline and the
+ * headline comparison metrics (speedup and perf-per-cost gain).
+ */
+
+#ifndef LIBRA_CORE_FRAMEWORK_HH
+#define LIBRA_CORE_FRAMEWORK_HH
+
+#include <string>
+#include <vector>
+
+#include "core/optimizer.hh"
+
+namespace libra {
+
+/** Everything LIBRA needs for one design study (the Fig. 3 obrounds). */
+struct LibraInputs
+{
+    std::string networkShape;             ///< e.g. "RI(4)_FC(8)_SW(32)".
+    std::vector<TargetWorkload> targets;  ///< Workloads + weights.
+    CostModel costModel = CostModel::defaultModel();
+    OptimizerConfig config;
+    bool normalizeTargetWeights = false;  ///< 1/T_EqualBW weighting.
+};
+
+/** Optimized point, baseline, and derived comparison metrics. */
+struct LibraReport
+{
+    OptimizationResult optimized;
+    OptimizationResult equalBw;
+
+    /** EqualBW time / optimized time (>1 means LIBRA is faster). */
+    double speedup = 0.0;
+
+    /**
+     * Perf-per-cost gain over EqualBW:
+     * (1/(t*c))_optimized / (1/(t*c))_equalBW.
+     */
+    double perfPerCostGain = 0.0;
+};
+
+/** Run a full LIBRA design study. */
+LibraReport runLibra(const LibraInputs& inputs);
+
+} // namespace libra
+
+#endif // LIBRA_CORE_FRAMEWORK_HH

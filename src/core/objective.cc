@@ -1,0 +1,88 @@
+#include "core/objective.hh"
+
+#include <functional>
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace libra {
+
+std::string
+objectiveName(OptimizationObjective o)
+{
+    switch (o) {
+      case OptimizationObjective::PerfOpt:
+        return "PerfOptBW";
+      case OptimizationObjective::PerfPerCostOpt:
+        return "PerfPerCostOptBW";
+    }
+    panic("unknown objective");
+}
+
+Seconds
+weightedTime(const TrainingEstimator& estimator,
+             const std::vector<TargetWorkload>& targets,
+             const BwConfig& bw)
+{
+    Seconds t = 0.0;
+    for (const auto& target : targets)
+        t += target.weight * estimator.estimate(target.workload, bw);
+    return t;
+}
+
+ScalarObjective
+makeObjective(OptimizationObjective objective,
+              const TrainingEstimator& estimator,
+              const CostModel& cost_model,
+              const std::vector<TargetWorkload>& targets)
+{
+    // Precompiled time evaluator: the solver calls the objective tens of
+    // thousands of times, so resolve every collective's per-dimension
+    // traffic once up front. Custom collective-timing models cannot be
+    // precompiled and fall back to the direct estimator.
+    std::function<Seconds(const Vec&)> time;
+    if (estimator.options().commTimeFn) {
+        time = [&estimator, &targets](const Vec& bw) {
+            return weightedTime(estimator, targets, bw);
+        };
+    } else {
+        auto compiled = std::make_shared<
+            std::vector<std::pair<CompiledWorkload, double>>>();
+        for (const auto& target : targets) {
+            compiled->emplace_back(estimator.compile(target.workload),
+                                   target.weight);
+        }
+        time = [compiled](const Vec& bw) {
+            Seconds t = 0.0;
+            for (const auto& [cw, weight] : *compiled)
+                t += weight * cw.estimate(bw);
+            return t;
+        };
+    }
+
+    switch (objective) {
+      case OptimizationObjective::PerfOpt:
+        return time;
+      case OptimizationObjective::PerfPerCostOpt:
+        return [time, &estimator, &cost_model](const Vec& bw) {
+            Dollars c = cost_model.networkCost(estimator.network(), bw);
+            return time(bw) * c;
+        };
+    }
+    panic("unknown objective");
+}
+
+std::vector<TargetWorkload>
+normalizeWeights(const TrainingEstimator& estimator,
+                 std::vector<TargetWorkload> targets, double total_bw)
+{
+    BwConfig equal = estimator.network().equalBw(total_bw);
+    for (auto& target : targets) {
+        Seconds t = estimator.estimate(target.workload, equal);
+        if (t > 0.0)
+            target.weight = 1.0 / t;
+    }
+    return targets;
+}
+
+} // namespace libra

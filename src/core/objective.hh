@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Optimization objectives (paper §IV-F).
+ *
+ * PerfOptBW minimizes the (weighted) end-to-end training time;
+ * PerfPerCostOptBW minimizes time x network dollar cost — the reciprocal
+ * of perf-per-cost. Multi-workload targets use a weighted sum; the
+ * conventional weighting normalizes each workload by its EqualBW time so
+ * no single large model dominates the ensemble (§VI-B).
+ */
+
+#ifndef LIBRA_CORE_OBJECTIVE_HH
+#define LIBRA_CORE_OBJECTIVE_HH
+
+#include <vector>
+
+#include "core/estimator.hh"
+#include "cost/cost_model.hh"
+#include "solver/subgradient.hh"
+
+namespace libra {
+
+/** Which quantity the optimizer minimizes. */
+enum class OptimizationObjective
+{
+    PerfOpt,        ///< Minimize weighted training time.
+    PerfPerCostOpt, ///< Minimize weighted training time x network cost.
+};
+
+/** Human-readable objective name. */
+std::string objectiveName(OptimizationObjective o);
+
+/** One target workload with its ensemble weight. */
+struct TargetWorkload
+{
+    Workload workload;
+    double weight = 1.0;
+};
+
+/** Weighted sum of per-workload iteration times at @p bw. */
+Seconds weightedTime(const TrainingEstimator& estimator,
+                     const std::vector<TargetWorkload>& targets,
+                     const BwConfig& bw);
+
+/**
+ * Build the scalar objective f(B) minimized by the solver.
+ * The estimator and targets must outlive the returned callable.
+ */
+ScalarObjective makeObjective(OptimizationObjective objective,
+                              const TrainingEstimator& estimator,
+                              const CostModel& cost_model,
+                              const std::vector<TargetWorkload>& targets);
+
+/**
+ * Importance weights that normalize each workload by its EqualBW time
+ * at @p total_bw, so every ensemble member counts equally.
+ */
+std::vector<TargetWorkload>
+normalizeWeights(const TrainingEstimator& estimator,
+                 std::vector<TargetWorkload> targets, double total_bw);
+
+} // namespace libra
+
+#endif // LIBRA_CORE_OBJECTIVE_HH

@@ -1,0 +1,111 @@
+#include "core/optimizer.hh"
+
+#include "common/logging.hh"
+#include "solver/qp.hh"
+#include "solver/water_fill.hh"
+
+namespace libra {
+
+BwOptimizer::BwOptimizer(Network net, CostModel cost_model)
+    : net_(std::move(net)), costModel_(std::move(cost_model))
+{}
+
+ConstraintSet
+BwOptimizer::buildConstraints(const OptimizerConfig& config) const
+{
+    ConstraintSet cs(net_.numDims());
+    // Both schemes allocate the full per-NPU budget across dimensions
+    // (the paper's problem statement: distribute a given BW resource).
+    // PerfPerCost differs in *where* the bandwidth goes, not how much is
+    // bought — which is why its speedup can drop below 1 while its
+    // perf-per-cost rises. relaxTotalBw turns the budget into a ceiling
+    // for dollar-capped (iso-cost) studies.
+    Relation rel = config.relaxTotalBw ? Relation::Le : Relation::Eq;
+    cs.addTotalBw(config.totalBw, rel);
+    cs.addLowerBounds(config.minDimBw);
+    for (const auto& text : config.constraints)
+        cs.addParsed(text);
+    if (config.budgetCap > 0.0) {
+        // Dollar cap is linear in B: sum_i rate_i * Bi * npus <= cap.
+        Vec coeffs(net_.numDims());
+        for (std::size_t i = 0; i < net_.numDims(); ++i) {
+            coeffs[i] = costModel_.dollarPerGBps(net_.dim(i)) *
+                        static_cast<double>(net_.npus());
+        }
+        cs.add(coeffs, Relation::Le, config.budgetCap, "dollar-cap");
+    }
+    return cs;
+}
+
+OptimizationResult
+BwOptimizer::evaluate(const BwConfig& bw,
+                      const std::vector<TargetWorkload>& targets,
+                      const OptimizerConfig& config) const
+{
+    TrainingEstimator estimator(net_, config.estimator);
+    OptimizationResult r;
+    r.bw = bw;
+    r.cost = costModel_.networkCost(net_, bw);
+    r.weightedTime = weightedTime(estimator, targets, bw);
+    for (const auto& target : targets)
+        r.perWorkloadTime.push_back(estimator.estimate(target.workload,
+                                                       bw));
+    auto f = makeObjective(config.objective, estimator, costModel_,
+                           targets);
+    r.objectiveValue = f(bw);
+    return r;
+}
+
+OptimizationResult
+BwOptimizer::baseline(const std::vector<TargetWorkload>& targets,
+                      const OptimizerConfig& config) const
+{
+    return evaluate(net_.equalBw(config.totalBw), targets, config);
+}
+
+OptimizationResult
+BwOptimizer::optimize(const std::vector<TargetWorkload>& targets,
+                      const OptimizerConfig& config) const
+{
+    if (targets.empty())
+        fatal("optimizer needs at least one target workload");
+
+    TrainingEstimator estimator(net_, config.estimator);
+    auto f = makeObjective(config.objective, estimator, costModel_,
+                           targets);
+    ConstraintSet cs = buildConstraints(config);
+
+    MultistartOptions search = config.search;
+    // The pure-performance objective is convex, so subgradient leads;
+    // the perf-per-cost product is not, so rely on the global searches.
+    search.useSubgradient = true;
+
+    // Warm start: size each dimension proportionally to the busy time
+    // it accrues under EqualBW — the single-collective closed form,
+    // which is near-optimal for collective-dominated workloads.
+    Vec hint = net_.equalBw(config.totalBw);
+    Vec busy(net_.numDims(), 0.0);
+    for (const auto& target : targets) {
+        EstimateDetail d = estimator.detail(target.workload, hint);
+        for (std::size_t i = 0; i < busy.size(); ++i)
+            busy[i] += target.weight * d.dimBusy[i];
+    }
+    double totalBusy = 0.0;
+    for (double b : busy)
+        totalBusy += b;
+    if (totalBusy > 0.0) {
+        hint = proportionalAllocation(busy, config.totalBw,
+                                      config.minDimBw);
+    }
+    SearchResult best = multistartMinimize(f, cs, hint, search);
+
+    // The EqualBW point is always a feasible candidate; never report a
+    // design worse than the straw-person.
+    Vec equal = net_.equalBw(config.totalBw);
+    if (cs.feasible(equal, 1e-9) && f(equal) < best.value)
+        best.x = equal;
+
+    return evaluate(best.x, targets, config);
+}
+
+} // namespace libra

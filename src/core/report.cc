@@ -1,0 +1,70 @@
+#include "core/report.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace libra {
+
+std::string
+bwConfigToString(const BwConfig& bw, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << "[ ";
+    for (std::size_t i = 0; i < bw.size(); ++i) {
+        if (i)
+            oss << ", ";
+        oss << bw[i];
+    }
+    oss << " ] GB/s";
+    return oss.str();
+}
+
+namespace {
+
+std::string
+scaled(double v, const char* const* suffixes, int count, double step,
+       int precision)
+{
+    int idx = 0;
+    while (idx + 1 < count && std::abs(v) >= step) {
+        v /= step;
+        ++idx;
+    }
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v << ' '
+        << suffixes[idx];
+    return oss.str();
+}
+
+} // namespace
+
+std::string
+bytesToString(Bytes b)
+{
+    static const char* suffixes[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+    return scaled(b, suffixes, 6, 1000.0, 2);
+}
+
+std::string
+dollarsToString(Dollars d)
+{
+    static const char* suffixes[] = {"", "K", "M", "B"};
+    std::string s = scaled(d, suffixes, 4, 1000.0, 2);
+    return "$" + s;
+}
+
+std::string
+secondsToString(Seconds s)
+{
+    if (std::abs(s) >= 1.0) {
+        std::ostringstream oss;
+        oss << std::fixed << std::setprecision(3) << s << " s";
+        return oss.str();
+    }
+    static const char* suffixes[] = {"ns", "us", "ms"};
+    double v = s * 1e9;
+    return scaled(v, suffixes, 3, 1000.0, 3);
+}
+
+} // namespace libra

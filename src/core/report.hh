@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Formatting helpers shared by the benchmark harness and examples.
+ */
+
+#ifndef LIBRA_CORE_REPORT_HH
+#define LIBRA_CORE_REPORT_HH
+
+#include <string>
+
+#include "common/units.hh"
+#include "topology/network.hh"
+
+namespace libra {
+
+/** "[ 750.0, 187.5, 43.8, 18.7 ] GB/s" style rendering. */
+std::string bwConfigToString(const BwConfig& bw, int precision = 1);
+
+/** Human-readable byte size ("3.4 GB"). */
+std::string bytesToString(Bytes b);
+
+/** Human-readable dollar amount ("$15.2M"). */
+std::string dollarsToString(Dollars d);
+
+/** Human-readable duration ("12.3 ms"). */
+std::string secondsToString(Seconds s);
+
+} // namespace libra
+
+#endif // LIBRA_CORE_REPORT_HH

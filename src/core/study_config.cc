@@ -1,0 +1,238 @@
+#include "core/study_config.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "workload/parser.hh"
+#include "workload/zoo.hh"
+
+namespace libra {
+
+namespace {
+
+std::string
+lowered(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+PhysicalLevel
+parseLevel(const std::string& token, int line)
+{
+    std::string t = lowered(token);
+    if (t == "chiplet")
+        return PhysicalLevel::Chiplet;
+    if (t == "package")
+        return PhysicalLevel::Package;
+    if (t == "node")
+        return PhysicalLevel::Node;
+    if (t == "pod")
+        return PhysicalLevel::Pod;
+    fatal("study line ", line, ": unknown physical level '", token, "'");
+}
+
+double
+parseNumber(const std::string& token, int line, const char* what)
+{
+    try {
+        std::size_t used = 0;
+        double v = std::stod(token, &used);
+        if (used != token.size())
+            throw std::invalid_argument(token);
+        return v;
+    } catch (const std::exception&) {
+        fatal("study line ", line, ": bad ", what, " '", token, "'");
+    }
+}
+
+} // namespace
+
+Workload
+zooWorkloadByName(const std::string& name, long npus)
+{
+    std::string n = lowered(name);
+    if (n == "turing-nlg" || n == "turingnlg" || n == "tnlg")
+        return wl::turingNlg(npus);
+    if (n == "gpt3" || n == "gpt-3")
+        return wl::gpt3(npus);
+    if (n == "msft1t" || n == "msft-1t")
+        return wl::msft1T(npus);
+    if (n == "dlrm")
+        return wl::dlrm(npus);
+    if (n == "resnet50" || n == "resnet-50")
+        return wl::resnet50(npus);
+    fatal("unknown zoo workload '", name,
+          "' (expected turing-nlg, gpt3, msft1t, dlrm, or resnet50)");
+}
+
+LibraInputs
+parseStudyConfig(std::istream& in)
+{
+    LibraInputs inputs;
+    // Workloads are resolved after the network is known (zoo builders
+    // need the NPU count), so stash directives first.
+    struct PendingWorkload
+    {
+        bool fromFile = false;
+        std::string nameOrPath;
+        double weight = 1.0;
+        int line = 0;
+    };
+    std::vector<PendingWorkload> pending;
+    bool sawNetwork = false;
+
+    std::string rawLine;
+    int lineNo = 0;
+    while (std::getline(in, rawLine)) {
+        ++lineNo;
+        auto hash = rawLine.find('#');
+        if (hash != std::string::npos)
+            rawLine.erase(hash);
+        std::istringstream line(rawLine);
+        std::string keyword;
+        if (!(line >> keyword))
+            continue;
+
+        auto wantToken = [&](const char* what) {
+            std::string t;
+            if (!(line >> t))
+                fatal("study line ", lineNo, ": expected ", what);
+            return t;
+        };
+
+        if (keyword == "NETWORK") {
+            inputs.networkShape = wantToken("network shape");
+            sawNetwork = true;
+        } else if (keyword == "TOTAL_BW") {
+            inputs.config.totalBw = parseNumber(
+                wantToken("total BW"), lineNo, "total BW");
+        } else if (keyword == "OBJECTIVE") {
+            std::string obj = wantToken("objective");
+            if (obj == "PERF")
+                inputs.config.objective = OptimizationObjective::PerfOpt;
+            else if (obj == "PERF_PER_COST")
+                inputs.config.objective =
+                    OptimizationObjective::PerfPerCostOpt;
+            else
+                fatal("study line ", lineNo, ": unknown objective '",
+                      obj, "' (PERF or PERF_PER_COST)");
+        } else if (keyword == "LOOP") {
+            std::string loop = wantToken("loop");
+            if (loop == "NO_OVERLAP")
+                inputs.config.estimator.loop = TrainingLoop::NoOverlap;
+            else if (loop == "TP_DP_OVERLAP")
+                inputs.config.estimator.loop =
+                    TrainingLoop::TpDpOverlap;
+            else
+                fatal("study line ", lineNo, ": unknown loop '", loop,
+                      "' (NO_OVERLAP or TP_DP_OVERLAP)");
+        } else if (keyword == "CONSTRAINT") {
+            std::string rest;
+            std::getline(line, rest);
+            if (rest.find_first_not_of(" \t") == std::string::npos)
+                fatal("study line ", lineNo, ": empty constraint");
+            inputs.config.constraints.push_back(rest);
+        } else if (keyword == "WORKLOAD") {
+            PendingWorkload p;
+            p.nameOrPath = wantToken("workload name");
+            p.line = lineNo;
+            std::string extra;
+            if (line >> extra) {
+                if (extra != "WEIGHT")
+                    fatal("study line ", lineNo,
+                          ": expected WEIGHT, got '", extra, "'");
+                p.weight = parseNumber(wantToken("weight"), lineNo,
+                                       "weight");
+            }
+            pending.push_back(std::move(p));
+        } else if (keyword == "WORKLOAD_FILE") {
+            PendingWorkload p;
+            p.fromFile = true;
+            p.nameOrPath = wantToken("workload file path");
+            p.line = lineNo;
+            std::string extra;
+            if (line >> extra) {
+                if (extra != "WEIGHT")
+                    fatal("study line ", lineNo,
+                          ": expected WEIGHT, got '", extra, "'");
+                p.weight = parseNumber(wantToken("weight"), lineNo,
+                                       "weight");
+            }
+            pending.push_back(std::move(p));
+        } else if (keyword == "NORMALIZE_WEIGHTS") {
+            inputs.normalizeTargetWeights = true;
+        } else if (keyword == "IN_NETWORK") {
+            inputs.config.estimator.inNetworkCollectives = true;
+        } else if (keyword == "DOLLAR_CAP") {
+            inputs.config.budgetCap = parseNumber(
+                wantToken("dollar cap"), lineNo, "dollar cap");
+            inputs.config.relaxTotalBw = true;
+        } else if (keyword == "SEED") {
+            inputs.config.search.seed = static_cast<std::uint64_t>(
+                parseNumber(wantToken("seed"), lineNo, "seed"));
+        } else if (keyword == "STARTS") {
+            inputs.config.search.starts = static_cast<int>(parseNumber(
+                wantToken("start count"), lineNo, "start count"));
+        } else if (keyword == "COST") {
+            PhysicalLevel level =
+                parseLevel(wantToken("physical level"), lineNo);
+            ComponentCost cost =
+                inputs.costModel.levelCost(level);
+            std::string key;
+            while (line >> key) {
+                double v = parseNumber(wantToken("cost value"), lineNo,
+                                       "cost value");
+                if (key == "LINK")
+                    cost.link = v;
+                else if (key == "SWITCH")
+                    cost.switch_ = v;
+                else if (key == "NIC")
+                    cost.nic = v;
+                else
+                    fatal("study line ", lineNo,
+                          ": unknown cost component '", key, "'");
+            }
+            inputs.costModel.setLevelCost(level, cost);
+        } else {
+            fatal("study line ", lineNo, ": unknown keyword '", keyword,
+                  "'");
+        }
+    }
+
+    if (!sawNetwork)
+        fatal("study config has no NETWORK line");
+    if (pending.empty())
+        fatal("study config has no WORKLOAD lines");
+
+    long npus = Network::parse(inputs.networkShape).npus();
+    for (const auto& p : pending) {
+        Workload w;
+        if (p.fromFile) {
+            std::ifstream file(p.nameOrPath);
+            if (!file)
+                fatal("study line ", p.line, ": cannot open workload "
+                      "file '", p.nameOrPath, "'");
+            w = parseWorkload(file);
+        } else {
+            w = zooWorkloadByName(p.nameOrPath, npus);
+        }
+        inputs.targets.push_back({std::move(w), p.weight});
+    }
+    return inputs;
+}
+
+LibraInputs
+parseStudyConfigString(const std::string& text)
+{
+    std::istringstream in(text);
+    return parseStudyConfig(in);
+}
+
+} // namespace libra

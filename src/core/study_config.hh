@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Design-study configuration parser: the whole Fig. 3 input set in one
+ * text file, for driving LIBRA without writing C++ (see tools/libra_cli).
+ *
+ *     # design study
+ *     NETWORK RI(4)_FC(8)_RI(4)_SW(32)
+ *     TOTAL_BW 500
+ *     OBJECTIVE PERF            # or PERF_PER_COST
+ *     LOOP NO_OVERLAP           # or TP_DP_OVERLAP
+ *     CONSTRAINT B4 <= 50
+ *     CONSTRAINT B1 >= B2
+ *     WORKLOAD gpt3             # zoo names; or WORKLOAD_FILE <path>
+ *     WORKLOAD msft1t WEIGHT 2.0
+ *     NORMALIZE_WEIGHTS         # 1/T_EqualBW importance weighting
+ *     IN_NETWORK                # switch-offloaded All-Reduce
+ *     DOLLAR_CAP 1.5e7          # optional; makes TOTAL_BW a ceiling
+ *     COST Pod LINK 7.8 SWITCH 18.0 NIC 31.6   # cost-model override
+ *
+ * Zoo names: turing-nlg, gpt3, msft1t, dlrm, resnet50 (each sized to
+ * the network's NPU count).
+ */
+
+#ifndef LIBRA_CORE_STUDY_CONFIG_HH
+#define LIBRA_CORE_STUDY_CONFIG_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "core/framework.hh"
+
+namespace libra {
+
+/**
+ * Parse a study file into ready-to-run LibraInputs.
+ * @throws FatalError with line numbers on malformed input.
+ */
+LibraInputs parseStudyConfig(std::istream& in);
+
+/** Convenience overload over a string. */
+LibraInputs parseStudyConfigString(const std::string& text);
+
+/** Resolve a zoo workload name ("gpt3", "msft1t", ...) at @p npus. */
+Workload zooWorkloadByName(const std::string& name, long npus);
+
+} // namespace libra
+
+#endif // LIBRA_CORE_STUDY_CONFIG_HH

@@ -1,0 +1,81 @@
+#include "cost/cost_model.hh"
+
+#include "common/logging.hh"
+
+namespace libra {
+
+CostModel
+CostModel::defaultModel()
+{
+    CostModel m;
+    m.setLevelCost(PhysicalLevel::Chiplet, {2.0, 0.0, 0.0});
+    m.setLevelCost(PhysicalLevel::Package, {4.0, 13.0, 0.0});
+    m.setLevelCost(PhysicalLevel::Node, {4.0, 13.0, 0.0});
+    m.setLevelCost(PhysicalLevel::Pod, {7.8, 18.0, 31.6});
+    return m;
+}
+
+void
+CostModel::setLevelCost(PhysicalLevel level, ComponentCost cost)
+{
+    levels_[level] = cost;
+}
+
+ComponentCost
+CostModel::levelCost(PhysicalLevel level) const
+{
+    auto it = levels_.find(level);
+    return it == levels_.end() ? ComponentCost{} : it->second;
+}
+
+double
+CostModel::dollarPerGBps(const NetworkDim& dim) const
+{
+    ComponentCost c = levelCost(dim.level);
+    double rate = c.link;
+    // Chiplets are always connected peer-to-peer (paper §IV-D), so a
+    // switch never appears at Chiplet level even for SW-notation dims.
+    // A hierarchy within the dimension (Fig. 4b) buys one layer of
+    // switch ports per level without adding parallel connectivity.
+    if (needsSwitch(dim.type) && dim.level != PhysicalLevel::Chiplet)
+        rate += c.switch_ * dim.switchLevels;
+    if (dim.level == PhysicalLevel::Pod)
+        rate += c.nic;
+    return rate;
+}
+
+Dollars
+CostModel::networkCost(const Network& net, const BwConfig& bw) const
+{
+    if (bw.size() != net.numDims()) {
+        panic("bw config rank ", bw.size(), " != network dims ",
+              net.numDims());
+    }
+    double perNpu = 0.0;
+    for (std::size_t i = 0; i < net.numDims(); ++i)
+        perNpu += dollarPerGBps(net.dim(i)) * bw[i];
+    return perNpu * static_cast<double>(net.npus());
+}
+
+std::vector<DimCostBreakdown>
+CostModel::breakdown(const Network& net, const BwConfig& bw) const
+{
+    std::vector<DimCostBreakdown> out;
+    double npus = static_cast<double>(net.npus());
+    for (std::size_t i = 0; i < net.numDims(); ++i) {
+        const NetworkDim& d = net.dim(i);
+        ComponentCost c = levelCost(d.level);
+        DimCostBreakdown b;
+        b.dim = i;
+        b.level = d.level;
+        b.linkCost = c.link * bw[i] * npus;
+        if (needsSwitch(d.type) && d.level != PhysicalLevel::Chiplet)
+            b.switchCost = c.switch_ * d.switchLevels * bw[i] * npus;
+        if (d.level == PhysicalLevel::Pod)
+            b.nicCost = c.nic * bw[i] * npus;
+        out.push_back(b);
+    }
+    return out;
+}
+
+} // namespace libra

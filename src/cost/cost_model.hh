@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Network dollar-cost model (paper §IV-D, Table I, Fig. 12).
+ *
+ * The user supplies $/GBps prices for links, switches, and NICs at each
+ * physical level; LIBRA prices a network as
+ *
+ *   cost = N_npus * sum_i  Bi * (link_i + switch_i*[dim i is SW]
+ *                                       + nic_i*[dim i is Pod])
+ *
+ * which matches the worked example of Fig. 12: a 3-NPU inter-Pod switch
+ * network at 10 GB/s costs 3*(7.8 + 18.0 + 31.6)*10 = $1,722. Inter-Chiplet
+ * dimensions are always peer-to-peer, so they never pay a switch price, and
+ * only the Pod (scale-out) dimension pays for NICs.
+ */
+
+#ifndef LIBRA_COST_COST_MODEL_HH
+#define LIBRA_COST_COST_MODEL_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "topology/network.hh"
+
+namespace libra {
+
+/** $/GBps prices of the components at one physical level. */
+struct ComponentCost
+{
+    double link = 0.0;    ///< Per-NPU link capacity price.
+    double switch_ = 0.0; ///< Switch port capacity price (SW dims only).
+    double nic = 0.0;     ///< NIC price (Pod level only).
+};
+
+/** Per-dimension cost breakdown for reporting. */
+struct DimCostBreakdown
+{
+    std::size_t dim = 0;
+    PhysicalLevel level = PhysicalLevel::Pod;
+    Dollars linkCost = 0.0;
+    Dollars switchCost = 0.0;
+    Dollars nicCost = 0.0;
+
+    Dollars total() const { return linkCost + switchCost + nicCost; }
+};
+
+/**
+ * User-configurable dollar-cost model keyed by physical level.
+ */
+class CostModel
+{
+  public:
+    /** All-zero model; set prices via setLevelCost(). */
+    CostModel() = default;
+
+    /**
+     * The paper's default model: the lowest value of each Table I entry.
+     *   Chiplet {2.0, -, -}, Package {4.0, 13.0, -},
+     *   Node {4.0, 13.0, -}, Pod {7.8, 18.0, 31.6}.
+     */
+    static CostModel defaultModel();
+
+    /** Override the component prices at one level. */
+    void setLevelCost(PhysicalLevel level, ComponentCost cost);
+
+    /** Component prices at one level (zeros if never set). */
+    ComponentCost levelCost(PhysicalLevel level) const;
+
+    /**
+     * Effective $/GBps per NPU for one network dimension, including the
+     * switch term when the dimension is switch-based (never at Chiplet
+     * level, where connectivity is always peer-to-peer) and the NIC term
+     * at Pod level.
+     */
+    double dollarPerGBps(const NetworkDim& dim) const;
+
+    /** Total network cost for @p net under bandwidth config @p bw. */
+    Dollars networkCost(const Network& net, const BwConfig& bw) const;
+
+    /** Per-dimension component breakdown of networkCost(). */
+    std::vector<DimCostBreakdown>
+    breakdown(const Network& net, const BwConfig& bw) const;
+
+  private:
+    std::map<PhysicalLevel, ComponentCost> levels_;
+};
+
+} // namespace libra
+
+#endif // LIBRA_COST_COST_MODEL_HH

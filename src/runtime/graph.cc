@@ -1,0 +1,103 @@
+#include "runtime/graph.hh"
+
+#include "common/logging.hh"
+
+namespace libra {
+
+TopologyGraph::TopologyGraph(const Network& net, const BwConfig& bw)
+{
+    if (bw.size() != net.numDims())
+        panic("bw rank ", bw.size(), " != dims ", net.numDims());
+    numNodes_ = net.npus();
+    out_.resize(static_cast<std::size_t>(numNodes_));
+    for (std::size_t d = 0; d < net.numDims(); ++d)
+        expandDim(net, d, bw[d]);
+}
+
+void
+TopologyGraph::expandDim(const Network& net, std::size_t d, GBps bw)
+{
+    const long stride = net.prefixProduct(d);
+    const int g = net.dim(d).size;
+    const UnitTopology type = net.dim(d).type;
+
+    // Shared uplink/downlink ids for switch dims, per (npu, dim).
+    std::vector<long> egressId(static_cast<std::size_t>(numNodes_), -1);
+    std::vector<long> ingressId(static_cast<std::size_t>(numNodes_), -1);
+
+    auto addLink = [&](long src, long dst, GBps link_bw) {
+        GraphLink link;
+        link.src = src;
+        link.dst = dst;
+        link.dim = d;
+        link.bw = link_bw;
+        if (type == UnitTopology::Switch) {
+            auto s = static_cast<std::size_t>(src);
+            auto t = static_cast<std::size_t>(dst);
+            if (egressId[s] < 0)
+                egressId[s] = nextSharedGroup_++;
+            if (ingressId[t] < 0)
+                ingressId[t] = nextSharedGroup_++;
+            link.egressGroup = egressId[s];
+            link.ingressGroup = ingressId[t];
+        }
+        out_[static_cast<std::size_t>(src)].push_back(links_.size());
+        links_.push_back(link);
+    };
+
+    std::vector<bool> seen(static_cast<std::size_t>(numNodes_), false);
+    for (long id = 0; id < numNodes_; ++id) {
+        if (seen[static_cast<std::size_t>(id)])
+            continue;
+        auto coords = net.coordsOf(id);
+        long base = id - coords[d] * stride;
+        std::vector<long> group;
+        for (int j = 0; j < g; ++j) {
+            long member = base + j * stride;
+            group.push_back(member);
+            seen[static_cast<std::size_t>(member)] = true;
+        }
+        switch (type) {
+          case UnitTopology::Ring:
+            for (int j = 0; j < g; ++j) {
+                long next = group[static_cast<std::size_t>((j + 1) % g)];
+                long cur = group[static_cast<std::size_t>(j)];
+                if (g == 2) {
+                    // A 2-ring degenerates to one full-BW wire pair.
+                    addLink(cur, next, bw);
+                } else {
+                    addLink(cur, next, bw / 2.0);
+                    addLink(next, cur, bw / 2.0);
+                }
+            }
+            break;
+          case UnitTopology::FullyConnected:
+            for (int a = 0; a < g; ++a)
+                for (int b = 0; b < g; ++b) {
+                    if (a == b)
+                        continue;
+                    addLink(group[static_cast<std::size_t>(a)],
+                            group[static_cast<std::size_t>(b)],
+                            bw / static_cast<double>(g - 1));
+                }
+            break;
+          case UnitTopology::Switch:
+            for (int a = 0; a < g; ++a)
+                for (int b = 0; b < g; ++b) {
+                    if (a == b)
+                        continue;
+                    addLink(group[static_cast<std::size_t>(a)],
+                            group[static_cast<std::size_t>(b)], bw);
+                }
+            break;
+        }
+    }
+}
+
+const std::vector<std::size_t>&
+TopologyGraph::outLinks(long npu) const
+{
+    return out_.at(static_cast<std::size_t>(npu));
+}
+
+} // namespace libra

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * NPU-level link graph of a multi-dimensional network.
+ *
+ * Expands each dimension's unit topology into directed point-to-point
+ * links for link-level algorithms (the TACOS synthesizer):
+ *
+ *  - Ring: two directed neighbour links per NPU, each at B/2.
+ *  - FullyConnected: links to all group peers, each at B/(g-1).
+ *  - Switch: modeled as a non-blocking crossbar — any-to-any links at
+ *    the full dimension bandwidth B, but each NPU can drive only one
+ *    send and one receive at a time through its uplink (enforced via
+ *    the shared egress/ingress id carried on the link).
+ */
+
+#ifndef LIBRA_RUNTIME_GRAPH_HH
+#define LIBRA_RUNTIME_GRAPH_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hh"
+#include "topology/network.hh"
+
+namespace libra {
+
+/** One directed link of the expanded graph. */
+struct GraphLink
+{
+    long src = 0;
+    long dst = 0;
+    std::size_t dim = 0;
+    GBps bw = 0.0;
+    /**
+     * Shared-resource ids, or -1 when the link is a dedicated wire.
+     * Switch links share their NPU's single uplink/downlink.
+     */
+    long egressGroup = -1;
+    long ingressGroup = -1;
+};
+
+/** Expanded directed-link view of a network. */
+class TopologyGraph
+{
+  public:
+    TopologyGraph(const Network& net, const BwConfig& bw);
+
+    long numNodes() const { return numNodes_; }
+    const std::vector<GraphLink>& links() const { return links_; }
+
+    /** Indices into links() leaving @p npu. */
+    const std::vector<std::size_t>& outLinks(long npu) const;
+
+    /** Number of shared egress/ingress resources allocated. */
+    long numSharedGroups() const { return nextSharedGroup_; }
+
+  private:
+    void expandDim(const Network& net, std::size_t d, GBps bw);
+
+    long numNodes_ = 0;
+    long nextSharedGroup_ = 0;
+    std::vector<GraphLink> links_;
+    std::vector<std::vector<std::size_t>> out_;
+};
+
+} // namespace libra
+
+#endif // LIBRA_RUNTIME_GRAPH_HH

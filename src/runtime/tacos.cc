@@ -1,0 +1,239 @@
+#include "runtime/tacos.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.hh"
+
+namespace libra {
+
+TacosSynthesizer::TacosSynthesizer(const Network& net, const BwConfig& bw,
+                                   Seconds link_latency)
+    : net_(net), graph_(net, bw), latency_(link_latency)
+{}
+
+TacosResult
+TacosSynthesizer::synthesizeAllGather(Bytes chunk_bytes,
+                                      int chunks_per_npu) const
+{
+    const long n = graph_.numNodes();
+    const long numChunks = n * chunks_per_npu;
+    const auto& links = graph_.links();
+
+    // Ownership and in-flight state.
+    std::vector<std::vector<char>> owned(
+        static_cast<std::size_t>(n),
+        std::vector<char>(static_cast<std::size_t>(numChunks), 0));
+    std::vector<std::vector<char>> inflight = owned;
+    std::vector<long> ownerCount(static_cast<std::size_t>(numChunks), 0);
+    long remaining = numChunks * n; // Chunk-at-node pairs still missing.
+
+    for (long npu = 0; npu < n; ++npu) {
+        for (int c = 0; c < chunks_per_npu; ++c) {
+            long chunk = npu * chunks_per_npu + c;
+            owned[static_cast<std::size_t>(npu)]
+                 [static_cast<std::size_t>(chunk)] = 1;
+            ownerCount[static_cast<std::size_t>(chunk)] = 1;
+            --remaining;
+        }
+    }
+
+    std::vector<Seconds> linkFree(links.size(), 0.0);
+    std::vector<Seconds> sharedFree(
+        static_cast<std::size_t>(graph_.numSharedGroups()), 0.0);
+
+    // Fast-region precomputation. A link of dimension d should only
+    // carry chunks that genuinely need to cross d: once one copy exists
+    // anywhere in the sub-network reachable from the destination via
+    // *strictly faster* dimensions, those wires spread it locally at a
+    // fraction of the cost and another d-crossing is pure waste. The
+    // region of (node, d) is therefore every node whose coordinates
+    // match on all dimensions that are not faster than d. This is what
+    // keeps greedy synthesis efficient on skewed (LIBRA-optimized)
+    // allocations, where slow wires must be reserved for irreducible
+    // crossing traffic.
+    const std::size_t numDims = net_.numDims();
+    std::vector<GBps> dimLinkBw(numDims, 0.0);
+    for (const auto& link : links)
+        dimLinkBw[link.dim] = std::max(dimLinkBw[link.dim], link.bw);
+
+    // region[d][node] = nodes reachable from node via dims faster than d
+    // (excluding the node itself).
+    std::vector<std::vector<std::vector<long>>> region(
+        numDims, std::vector<std::vector<long>>(
+                     static_cast<std::size_t>(n)));
+    for (std::size_t d = 0; d < numDims; ++d) {
+        std::vector<bool> faster(numDims, false);
+        for (std::size_t d2 = 0; d2 < numDims; ++d2)
+            faster[d2] = dimLinkBw[d2] > dimLinkBw[d] * 1.001;
+        for (long node = 0; node < n; ++node) {
+            auto base = net_.coordsOf(node);
+            for (long other = 0; other < n; ++other) {
+                if (other == node)
+                    continue;
+                auto coords = net_.coordsOf(other);
+                bool inRegion = true;
+                for (std::size_t d2 = 0; d2 < numDims; ++d2) {
+                    if (!faster[d2] && coords[d2] != base[d2]) {
+                        inRegion = false;
+                        break;
+                    }
+                }
+                if (inRegion)
+                    region[d][static_cast<std::size_t>(node)].push_back(
+                        other);
+            }
+        }
+    }
+
+    // Links indexed by shared ingress group, to re-arm blocked senders.
+    std::vector<std::vector<std::size_t>> byIngress(
+        static_cast<std::size_t>(graph_.numSharedGroups()));
+    for (std::size_t li = 0; li < links.size(); ++li) {
+        if (links[li].ingressGroup >= 0)
+            byIngress[static_cast<std::size_t>(links[li].ingressGroup)]
+                .push_back(li);
+    }
+
+    struct Completion
+    {
+        Seconds when;
+        std::size_t link;
+        long chunk;
+        bool operator>(const Completion& o) const { return when > o.when; }
+    };
+    std::priority_queue<Completion, std::vector<Completion>,
+                        std::greater<Completion>>
+        events;
+
+    TacosResult result;
+    result.dimBusy.assign(net_.numDims(), 0.0);
+
+    auto tryLink = [&](std::size_t li, Seconds now) {
+        const GraphLink& link = links[li];
+        if (linkFree[li] > now)
+            return;
+        if (link.egressGroup >= 0 &&
+            sharedFree[static_cast<std::size_t>(link.egressGroup)] > now)
+            return;
+        if (link.ingressGroup >= 0 &&
+            sharedFree[static_cast<std::size_t>(link.ingressGroup)] > now)
+            return;
+
+        // Pick the rarest chunk src can give dst (lowest id on ties),
+        // skipping chunks the dst's faster neighbourhood already covers.
+        const auto& srcOwn = owned[static_cast<std::size_t>(link.src)];
+        const auto& dstOwn = owned[static_cast<std::size_t>(link.dst)];
+        const auto& dstFly = inflight[static_cast<std::size_t>(link.dst)];
+        const auto& fastRegion =
+            region[link.dim][static_cast<std::size_t>(link.dst)];
+        auto coveredNearby = [&](std::size_t ci) {
+            for (long node : fastRegion) {
+                auto ni = static_cast<std::size_t>(node);
+                if (owned[ni][ci] || inflight[ni][ci])
+                    return true;
+            }
+            return false;
+        };
+        long best = -1;
+        long bestCount = 0;
+        for (long c = 0; c < numChunks; ++c) {
+            auto ci = static_cast<std::size_t>(c);
+            if (!srcOwn[ci] || dstOwn[ci] || dstFly[ci])
+                continue;
+            if (coveredNearby(ci))
+                continue;
+            if (best < 0 || ownerCount[ci] < bestCount) {
+                best = c;
+                bestCount = ownerCount[ci];
+            }
+        }
+        if (best < 0)
+            return;
+
+        Seconds dur = transferTime(chunk_bytes, link.bw) + latency_;
+        Seconds end = now + dur;
+        linkFree[li] = end;
+        if (link.egressGroup >= 0)
+            sharedFree[static_cast<std::size_t>(link.egressGroup)] = end;
+        if (link.ingressGroup >= 0)
+            sharedFree[static_cast<std::size_t>(link.ingressGroup)] = end;
+        inflight[static_cast<std::size_t>(link.dst)]
+                [static_cast<std::size_t>(best)] = 1;
+        result.dimBusy[link.dim] += dur;
+        ++result.transfers;
+        events.push({end, li, best});
+    };
+
+    // Seed: try every link at time zero.
+    for (std::size_t li = 0; li < links.size(); ++li)
+        tryLink(li, 0.0);
+
+    Seconds lastSweep = -1.0;
+    while (remaining > 0) {
+        if (events.empty()) {
+            // Event-driven re-arming is a heuristic subset; sweep all
+            // links once before concluding the synthesis is stuck.
+            Seconds now = std::max(result.time, 0.0);
+            if (now > lastSweep) {
+                lastSweep = now;
+                for (std::size_t li = 0; li < links.size(); ++li)
+                    tryLink(li, now);
+                if (!events.empty())
+                    continue;
+            }
+            panic("TACOS synthesis stalled with ", remaining,
+                  " deliveries left — disconnected topology?");
+        }
+        Completion ev = events.top();
+        events.pop();
+        const GraphLink& link = links[ev.link];
+        auto dst = static_cast<std::size_t>(link.dst);
+        auto ci = static_cast<std::size_t>(ev.chunk);
+        inflight[dst][ci] = 0;
+        if (!owned[dst][ci]) {
+            owned[dst][ci] = 1;
+            ++ownerCount[ci];
+            --remaining;
+        }
+        result.time = std::max(result.time, ev.when);
+        if (remaining == 0)
+            break;
+
+        // Re-arm: the freed wire, everything the receiver can now send,
+        // and any sender that was blocked on the shared ports involved.
+        tryLink(ev.link, ev.when);
+        for (std::size_t li : graph_.outLinks(link.dst))
+            tryLink(li, ev.when);
+        for (std::size_t li : graph_.outLinks(link.src))
+            tryLink(li, ev.when);
+        if (link.ingressGroup >= 0) {
+            for (std::size_t li :
+                 byIngress[static_cast<std::size_t>(link.ingressGroup)])
+                tryLink(li, ev.when);
+        }
+    }
+    return result;
+}
+
+TacosResult
+TacosSynthesizer::synthesizeAllReduce(Bytes total_bytes,
+                                      int num_chunks) const
+{
+    const double n = static_cast<double>(graph_.numNodes());
+    // One All-Reduce chunk Reduce-Scatters down to total/chunks/n per
+    // NPU; the gather of those shards is exactly an All-Gather with
+    // num_chunks chunks per NPU. RS is the AG time-mirror.
+    Bytes shard = total_bytes / static_cast<double>(num_chunks) / n;
+    TacosResult ag = synthesizeAllGather(shard, num_chunks);
+
+    TacosResult ar;
+    ar.time = 2.0 * ag.time;
+    ar.transfers = 2 * ag.transfers;
+    ar.dimBusy.reserve(ag.dimBusy.size());
+    for (Seconds b : ag.dimBusy)
+        ar.dimBusy.push_back(2.0 * b);
+    return ar;
+}
+
+} // namespace libra

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * TACOS-style topology-aware collective synthesizer [63] (paper §VI-D).
+ *
+ * TACOS synthesizes a collective algorithm for an arbitrary topology by
+ * expanding it in time: whenever a link is free and its source holds a
+ * chunk its destination still needs, a transfer is scheduled — choosing
+ * the globally rarest chunk first (ties to the lowest id) so coverage
+ * grows evenly. Synthesis runs on the NPU-level link graph, so it
+ * exploits every wire of every dimension concurrently instead of the
+ * staged multi-rail schedule.
+ *
+ * All-Gather is synthesized directly; Reduce-Scatter is its time-mirror
+ * (identical schedule with reversed edges), and All-Reduce is RS + AG.
+ */
+
+#ifndef LIBRA_RUNTIME_TACOS_HH
+#define LIBRA_RUNTIME_TACOS_HH
+
+#include <vector>
+
+#include "common/units.hh"
+#include "runtime/graph.hh"
+#include "topology/network.hh"
+
+namespace libra {
+
+/** Result of one synthesis run. */
+struct TacosResult
+{
+    Seconds time = 0.0;    ///< Completion time of the collective.
+    long transfers = 0;    ///< Point-to-point transfers scheduled.
+    std::vector<Seconds> dimBusy; ///< Link-busy seconds per dimension.
+};
+
+/** Time-expanded greedy collective synthesizer. */
+class TacosSynthesizer
+{
+  public:
+    /**
+     * @param net          Network to synthesize over.
+     * @param bw           Per-dimension bandwidth (GB/s per NPU).
+     * @param link_latency Fixed per-transfer latency (seconds).
+     */
+    TacosSynthesizer(const Network& net, const BwConfig& bw,
+                     Seconds link_latency = 0.0);
+
+    /**
+     * Synthesize an All-Gather where every NPU starts with
+     * @p chunks_per_npu chunks of @p chunk_bytes and finishes holding
+     * all chunks of all NPUs.
+     */
+    TacosResult synthesizeAllGather(Bytes chunk_bytes,
+                                    int chunks_per_npu) const;
+
+    /**
+     * All-Reduce of @p total_bytes split into @p num_chunks chunks:
+     * Reduce-Scatter (the AG time-mirror) followed by All-Gather, on
+     * per-chunk payloads of total/num_chunks/npus.
+     */
+    TacosResult synthesizeAllReduce(Bytes total_bytes,
+                                    int num_chunks) const;
+
+  private:
+    Network net_;
+    TopologyGraph graph_;
+    Seconds latency_;
+};
+
+} // namespace libra
+
+#endif // LIBRA_RUNTIME_TACOS_HH

@@ -1,0 +1,307 @@
+#include "sim/chunk_timeline.hh"
+
+#include <algorithm>
+#include <deque>
+#include <iomanip>
+#include <memory>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace libra {
+
+namespace {
+
+/** Phase a chunk is in. */
+enum class Phase { ReduceScatter, AllGatherMirror, AllGather, AllToAll,
+                   Done };
+
+/** Mutable per-chunk state while flowing through the pipeline. */
+struct ChunkState
+{
+    int job = 0;
+    int chunk = 0;
+    Phase phase = Phase::ReduceScatter;
+    double fraction = 1.0;       ///< Payload share left after reductions.
+    double gatherProduct = 1.0;  ///< Product of groups not yet gathered.
+    std::vector<std::size_t> remaining; ///< Span indices not yet visited.
+    /** Visited RS stages (span index, duration) for the AG mirror. */
+    std::vector<std::pair<std::size_t, Seconds>> rsStages;
+    std::size_t a2aNext = 0; ///< Next span index for All-to-All.
+};
+
+} // namespace
+
+ChunkTimeline::ChunkTimeline(std::size_t num_dims, BwConfig bw)
+    : numDims_(num_dims), bw_(std::move(bw))
+{
+    if (bw_.size() != numDims_)
+        panic("bw rank ", bw_.size(), " != dims ", numDims_);
+}
+
+TimelineResult
+ChunkTimeline::run(const std::vector<CollectiveJob>& jobs) const
+{
+    EventQueue eq;
+    TimelineResult result;
+    result.dimBusy.assign(numDims_, 0.0);
+
+    struct PendingOp
+    {
+        ChunkState* chunk;
+        std::size_t spanIdx;
+        Seconds duration;
+        bool allGather;
+    };
+
+    std::vector<std::unique_ptr<ChunkState>> chunks;
+    std::vector<std::deque<PendingOp>> waiting(numDims_);
+    std::vector<bool> busy(numDims_, false);
+    // Estimated drain time of each dimension's queue, for greedy choice.
+    std::vector<Seconds> queueEnd(numDims_, 0.0);
+
+    auto chunkBytes = [&jobs](const ChunkState& c) {
+        return jobs[c.job].size /
+               static_cast<double>(jobs[c.job].numChunks);
+    };
+
+    /**
+     * Bytes this chunk moves over span @p s in its *next* stage.
+     *  RS       : share * fraction * (g-1)/g  (fraction = 1/q_visited)
+     *  AG alone : share * (g-1) / gatherProduct
+     *  A2A      : share * (g-1)/g             (order-independent)
+     */
+    auto stageDuration = [&](const ChunkState& c, std::size_t s) {
+        const CollectiveJob& job = jobs[c.job];
+        double g = static_cast<double>(job.spans[s].groupSize);
+        Bytes moved = 0.0;
+        switch (c.phase) {
+          case Phase::ReduceScatter:
+            moved = chunkBytes(c) * c.fraction * (g - 1.0) / g;
+            break;
+          case Phase::AllGather:
+            moved = chunkBytes(c) * (g - 1.0) / c.gatherProduct;
+            break;
+          case Phase::AllToAll:
+            if (job.type == CollectiveType::PointToPoint)
+                moved = chunkBytes(c); // One full hop per chunk.
+            else
+                moved = chunkBytes(c) * (g - 1.0) / g;
+            break;
+          default:
+            panic("stageDuration in phase without volume rule");
+        }
+        return transferTime(moved, bw_[job.spans[s].dim] *
+                                       job.spans[s].efficiency);
+    };
+
+    std::function<void(ChunkState*)> advance;
+    std::function<void(std::size_t)> startNext;
+
+    auto enqueue = [&](ChunkState* c, std::size_t spanIdx,
+                       Seconds duration, bool ag) {
+        std::size_t dim = jobs[c->job].spans[spanIdx].dim;
+        waiting[dim].push_back({c, spanIdx, duration, ag});
+        queueEnd[dim] =
+            std::max(queueEnd[dim], toSeconds(eq.now())) + duration;
+        if (!busy[dim])
+            startNext(dim);
+    };
+
+    startNext = [&](std::size_t dim) {
+        if (waiting[dim].empty()) {
+            busy[dim] = false;
+            return;
+        }
+        busy[dim] = true;
+        PendingOp op = waiting[dim].front();
+        waiting[dim].pop_front();
+        Seconds start = toSeconds(eq.now());
+        Seconds end = start + op.duration;
+        result.records.push_back({op.chunk->job, op.chunk->chunk, dim,
+                                  op.allGather, start, end});
+        result.dimBusy[dim] += op.duration;
+        eq.schedule(toTicks(end), [&, dim, op]() {
+            startNext(dim);
+            advance(op.chunk);
+        });
+    };
+
+    /** Pick the next span index position within c->remaining. */
+    auto pickNext = [&](ChunkState* c) -> std::size_t {
+        const CollectiveJob& job = jobs[c->job];
+        if (job.policy != SchedulePolicy::Greedy || c->remaining.size() < 2)
+            return 0;
+        std::size_t pick = 0;
+        Seconds bestEnd = 0.0;
+        for (std::size_t i = 0; i < c->remaining.size(); ++i) {
+            std::size_t s = c->remaining[i];
+            std::size_t dim = job.spans[s].dim;
+            Seconds dur = stageDuration(*c, s);
+            Seconds end =
+                std::max(queueEnd[dim], toSeconds(eq.now())) + dur;
+            if (i == 0 || end < bestEnd) {
+                bestEnd = end;
+                pick = i;
+            }
+        }
+        return pick;
+    };
+
+    advance = [&](ChunkState* c) {
+        const CollectiveJob& job = jobs[c->job];
+        switch (c->phase) {
+          case Phase::ReduceScatter: {
+            if (!c->remaining.empty()) {
+                std::size_t pick = pickNext(c);
+                std::size_t s = c->remaining[pick];
+                c->remaining.erase(c->remaining.begin() +
+                                   static_cast<long>(pick));
+                Seconds dur = stageDuration(*c, s);
+                c->rsStages.emplace_back(s, dur);
+                c->fraction /=
+                    static_cast<double>(job.spans[s].groupSize);
+                enqueue(c, s, dur, false);
+                return;
+            }
+            if (job.type == CollectiveType::AllReduce) {
+                c->phase = Phase::AllGatherMirror;
+                advance(c);
+                return;
+            }
+            c->phase = Phase::Done;
+            return;
+          }
+          case Phase::AllGatherMirror: {
+            if (!c->rsStages.empty()) {
+                auto [s, dur] = c->rsStages.back();
+                c->rsStages.pop_back();
+                enqueue(c, s, dur, true);
+                return;
+            }
+            c->phase = Phase::Done;
+            return;
+          }
+          case Phase::AllGather: {
+            if (!c->remaining.empty()) {
+                std::size_t pick = pickNext(c);
+                std::size_t s = c->remaining[pick];
+                c->remaining.erase(c->remaining.begin() +
+                                   static_cast<long>(pick));
+                Seconds dur = stageDuration(*c, s);
+                c->gatherProduct /=
+                    static_cast<double>(job.spans[s].groupSize);
+                enqueue(c, s, dur, true);
+                return;
+            }
+            c->phase = Phase::Done;
+            return;
+          }
+          case Phase::AllToAll: {
+            // Point-to-point hops cross only the first spanned dim.
+            std::size_t stage_limit =
+                job.type == CollectiveType::PointToPoint
+                    ? 1
+                    : job.spans.size();
+            if (c->a2aNext < stage_limit) {
+                std::size_t s = c->a2aNext++;
+                enqueue(c, s, stageDuration(*c, s), false);
+                return;
+            }
+            c->phase = Phase::Done;
+            return;
+          }
+          case Phase::Done:
+            return;
+        }
+    };
+
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        const CollectiveJob& job = jobs[j];
+        if (job.spans.empty())
+            continue;
+        if (job.numChunks < 1)
+            fatal("job ", j, " has ", job.numChunks, " chunks");
+        for (int ch = 0; ch < job.numChunks; ++ch) {
+            auto state = std::make_unique<ChunkState>();
+            state->job = static_cast<int>(j);
+            state->chunk = ch;
+            for (std::size_t s = 0; s < job.spans.size(); ++s) {
+                state->remaining.push_back(s);
+                state->gatherProduct *=
+                    static_cast<double>(job.spans[s].groupSize);
+            }
+            switch (job.type) {
+              case CollectiveType::AllReduce:
+              case CollectiveType::ReduceScatter:
+                state->phase = Phase::ReduceScatter;
+                break;
+              case CollectiveType::AllGather:
+                state->phase = Phase::AllGather;
+                // Canonical standalone AG visits dims descending.
+                std::reverse(state->remaining.begin(),
+                             state->remaining.end());
+                break;
+              case CollectiveType::AllToAll:
+              case CollectiveType::PointToPoint:
+                state->phase = Phase::AllToAll;
+                break;
+            }
+            ChunkState* raw = state.get();
+            chunks.push_back(std::move(state));
+            eq.schedule(toTicks(job.releaseTime),
+                        [&, raw]() { advance(raw); });
+        }
+    }
+
+    eq.run();
+
+    for (const auto& rec : result.records)
+        result.makespan = std::max(result.makespan, rec.end);
+
+    double sumBw = 0.0;
+    double weighted = 0.0;
+    for (std::size_t d = 0; d < numDims_; ++d) {
+        sumBw += bw_[d];
+        weighted += result.dimBusy[d] * bw_[d];
+    }
+    if (result.makespan > 0.0 && sumBw > 0.0)
+        result.avgBwUtilization = weighted / (result.makespan * sumBw);
+    return result;
+}
+
+Seconds
+ChunkTimeline::collectiveTime(const CollectiveJob& job) const
+{
+    TimelineResult r = run({job});
+    return r.makespan - job.releaseTime;
+}
+
+std::string
+TimelineResult::render(std::size_t num_dims, int width) const
+{
+    if (makespan <= 0.0)
+        return "(empty timeline)\n";
+    std::vector<std::string> rows(num_dims, std::string(width, '.'));
+    for (const auto& rec : records) {
+        int from = static_cast<int>(rec.start / makespan * width);
+        int to = static_cast<int>(rec.end / makespan * width);
+        from = std::clamp(from, 0, width - 1);
+        to = std::clamp(to, from + 1, width);
+        char mark = rec.allGather
+                        ? static_cast<char>('A' + rec.chunk % 26)
+                        : static_cast<char>('1' + rec.chunk % 9);
+        for (int x = from; x < to; ++x)
+            rows[rec.dim][x] = mark;
+    }
+    std::ostringstream oss;
+    for (std::size_t d = 0; d < num_dims; ++d) {
+        double busyPct =
+            d < dimBusy.size() ? dimBusy[d] / makespan * 100.0 : 0.0;
+        oss << "Dim" << d + 1 << " |" << rows[d] << "| " << std::fixed
+            << std::setprecision(1) << busyPct << "% busy\n";
+    }
+    return oss.str();
+}
+
+} // namespace libra

@@ -1,0 +1,254 @@
+#include "sim/collective_sim.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace libra {
+
+CollectiveSim::CollectiveSim(Network net, BwConfig bw,
+                             Seconds link_latency, double elem_bytes)
+    : net_(std::move(net)), bw_(std::move(bw)), latency_(link_latency),
+      elemBytes_(elem_bytes)
+{
+    if (bw_.size() != net_.numDims())
+        panic("bw rank ", bw_.size(), " != dims ", net_.numDims());
+}
+
+void
+CollectiveSim::init(std::size_t elems,
+                    const std::function<double(long, std::size_t)>& init)
+{
+    long n = net_.npus();
+    if (elems == 0 || elems % static_cast<std::size_t>(n) != 0) {
+        fatal("element count ", elems, " must be a positive multiple of ",
+              n, " NPUs");
+    }
+    elems_ = elems;
+    npus_.assign(static_cast<std::size_t>(n), {});
+    reference_.assign(elems, 0.0);
+    for (long id = 0; id < n; ++id) {
+        NpuState& s = npus_[static_cast<std::size_t>(id)];
+        s.data.resize(elems);
+        s.lo = 0;
+        s.hi = elems;
+        for (std::size_t i = 0; i < elems; ++i) {
+            s.data[i] = init(id, i);
+            reference_[i] += s.data[i];
+        }
+    }
+    stages_.clear();
+    elapsed_ = 0.0;
+}
+
+std::vector<std::vector<long>>
+CollectiveSim::groupsOfDim(std::size_t d) const
+{
+    const long stride = net_.prefixProduct(d);
+    const int g = net_.dim(d).size;
+    std::vector<std::vector<long>> groups;
+    std::vector<bool> seen(static_cast<std::size_t>(net_.npus()), false);
+    for (long id = 0; id < net_.npus(); ++id) {
+        if (seen[static_cast<std::size_t>(id)])
+            continue;
+        std::vector<long> group;
+        auto coords = net_.coordsOf(id);
+        long base = id - coords[d] * stride;
+        for (int j = 0; j < g; ++j) {
+            long member = base + j * stride;
+            group.push_back(member);
+            seen[static_cast<std::size_t>(member)] = true;
+        }
+        groups.push_back(std::move(group));
+    }
+    return groups;
+}
+
+int
+CollectiveSim::stepsOf(std::size_t d, int g) const
+{
+    switch (canonicalAlgorithm(net_.dim(d).type)) {
+      case DimAlgorithm::Ring:
+        return g - 1;
+      case DimAlgorithm::Direct:
+        return 1;
+      case DimAlgorithm::HalvingDoubling:
+        return static_cast<int>(std::ceil(std::log2(g)));
+    }
+    panic("unknown algorithm");
+}
+
+void
+CollectiveSim::rsStage(std::size_t d)
+{
+    const int g = net_.dim(d).size;
+    Bytes bytesPerNpu = 0.0;
+    for (const auto& group : groupsOfDim(d)) {
+        const NpuState& first = npus_[static_cast<std::size_t>(group[0])];
+        const std::size_t lo = first.lo;
+        const std::size_t len = first.hi - first.lo;
+        if (len % static_cast<std::size_t>(g) != 0) {
+            fatal("active range ", len, " not divisible by group ", g,
+                  " in dim ", d + 1);
+        }
+        const std::size_t part = len / static_cast<std::size_t>(g);
+
+        // Reduce part j across the group; member j keeps it.
+        std::vector<double> sums(len, 0.0);
+        for (long member : group) {
+            const NpuState& s = npus_[static_cast<std::size_t>(member)];
+            if (s.lo != lo || s.hi != lo + len)
+                panic("group members disagree on active range in dim ",
+                      d + 1);
+            for (std::size_t i = 0; i < len; ++i)
+                sums[i] += s.data[lo + i];
+        }
+        for (std::size_t j = 0; j < group.size(); ++j) {
+            NpuState& s = npus_[static_cast<std::size_t>(group[j])];
+            s.lo = lo + j * part;
+            s.hi = s.lo + part;
+            for (std::size_t i = s.lo; i < s.hi; ++i)
+                s.data[i] = sums[i - lo];
+        }
+        bytesPerNpu = static_cast<double>(part) * elemBytes_ *
+                      static_cast<double>(g - 1);
+    }
+    int steps = stepsOf(d, g);
+    Seconds t = transferTime(bytesPerNpu, bw_[d]) + steps * latency_;
+    stages_.push_back({d, false, t, bytesPerNpu, steps});
+    elapsed_ += t;
+}
+
+void
+CollectiveSim::agStage(std::size_t d)
+{
+    const int g = net_.dim(d).size;
+    Bytes bytesPerNpu = 0.0;
+    for (const auto& group : groupsOfDim(d)) {
+        // Members own consecutive sub-parts of a common parent range.
+        std::size_t parentLo = npus_[static_cast<std::size_t>(
+                                         group[0])].lo;
+        std::size_t partLen = 0;
+        for (long member : group) {
+            const NpuState& s = npus_[static_cast<std::size_t>(member)];
+            parentLo = std::min(parentLo, s.lo);
+            partLen = s.hi - s.lo;
+        }
+        const std::size_t parentLen =
+            partLen * static_cast<std::size_t>(g);
+        if (parentLo + parentLen > elems_) {
+            fatal("All-Gather on dim ", d + 1, " without a matching "
+                  "Reduce-Scatter: group ranges are not sibling "
+                  "sub-parts");
+        }
+        // Members must own disjoint consecutive parts of the parent.
+        for (long member : group) {
+            const NpuState& s = npus_[static_cast<std::size_t>(member)];
+            if (s.hi - s.lo != partLen || (s.lo - parentLo) % partLen) {
+                fatal("All-Gather on dim ", d + 1, " with misaligned "
+                      "member ranges (run Reduce-Scatter first)");
+            }
+        }
+
+        // Every member copies every sibling's owned part.
+        for (long member : group) {
+            NpuState& s = npus_[static_cast<std::size_t>(member)];
+            for (long sibling : group) {
+                if (sibling == member)
+                    continue;
+                const NpuState& src =
+                    npus_[static_cast<std::size_t>(sibling)];
+                for (std::size_t i = src.lo; i < src.hi; ++i)
+                    s.data[i] = src.data[i];
+            }
+            s.lo = parentLo;
+            s.hi = parentLo + parentLen;
+        }
+        bytesPerNpu = static_cast<double>(partLen) * elemBytes_ *
+                      static_cast<double>(g - 1);
+    }
+    int steps = stepsOf(d, g);
+    Seconds t = transferTime(bytesPerNpu, bw_[d]) + steps * latency_;
+    stages_.push_back({d, true, t, bytesPerNpu, steps});
+    elapsed_ += t;
+}
+
+Seconds
+CollectiveSim::runReduceScatter()
+{
+    if (npus_.empty())
+        fatal("CollectiveSim::init must be called first");
+    Seconds before = elapsed_;
+    for (std::size_t d = 0; d < net_.numDims(); ++d)
+        rsStage(d);
+    return elapsed_ - before;
+}
+
+Seconds
+CollectiveSim::runAllGather()
+{
+    if (npus_.empty())
+        fatal("CollectiveSim::init must be called first");
+    Seconds before = elapsed_;
+    for (std::size_t d = net_.numDims(); d-- > 0;)
+        agStage(d);
+    return elapsed_ - before;
+}
+
+Seconds
+CollectiveSim::runAllReduce()
+{
+    Seconds t = runReduceScatter();
+    return t + runAllGather();
+}
+
+const std::vector<double>&
+CollectiveSim::data(long npu) const
+{
+    return npus_.at(static_cast<std::size_t>(npu)).data;
+}
+
+std::pair<std::size_t, std::size_t>
+CollectiveSim::activeRange(long npu) const
+{
+    const NpuState& s = npus_.at(static_cast<std::size_t>(npu));
+    return {s.lo, s.hi};
+}
+
+bool
+CollectiveSim::verifyAllReduce(double tol) const
+{
+    for (const auto& s : npus_) {
+        if (s.lo != 0 || s.hi != elems_)
+            return false;
+        for (std::size_t i = 0; i < elems_; ++i) {
+            if (std::abs(s.data[i] - reference_[i]) > tol)
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+CollectiveSim::verifyReduceScatter(double tol) const
+{
+    // Each NPU's active range must hold the global sums, and ranges of
+    // all NPUs must tile [0, elems) exactly npus/elems-per-npu times.
+    std::vector<int> coverage(elems_, 0);
+    for (const auto& s : npus_) {
+        if (s.hi <= s.lo)
+            return false;
+        for (std::size_t i = s.lo; i < s.hi; ++i) {
+            if (std::abs(s.data[i] - reference_[i]) > tol)
+                return false;
+            ++coverage[i];
+        }
+    }
+    for (int c : coverage) {
+        if (c != coverage[0])
+            return false;
+    }
+    return true;
+}
+
+} // namespace libra

@@ -1,0 +1,56 @@
+#include "sim/event_queue.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace libra {
+
+Tick
+toTicks(Seconds s)
+{
+    return static_cast<Tick>(std::llround(s * kTicksPerSecond));
+}
+
+Seconds
+toSeconds(Tick t)
+{
+    return static_cast<Seconds>(t) / kTicksPerSecond;
+}
+
+void
+EventQueue::schedule(Tick when, std::function<void()> callback)
+{
+    if (when < now_)
+        panic("scheduling event at ", when, " before now ", now_);
+    queue_.push({when, nextSeq_++, std::move(callback)});
+}
+
+void
+EventQueue::scheduleAfter(Tick delay, std::function<void()> callback)
+{
+    schedule(now_ + delay, std::move(callback));
+}
+
+bool
+EventQueue::step()
+{
+    if (queue_.empty())
+        return false;
+    // priority_queue::top() is const; the callback is moved out after the
+    // copy below, so take it by value.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when;
+    ev.callback();
+    return true;
+}
+
+void
+EventQueue::run()
+{
+    while (step()) {
+    }
+}
+
+} // namespace libra

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tick-based discrete-event engine.
+ *
+ * Ticks are integer picoseconds so event ordering is exact and runs are
+ * bit-reproducible; ties break by insertion order (FIFO), the convention
+ * simulators like gem5 and ASTRA-sim follow.
+ */
+
+#ifndef LIBRA_SIM_EVENT_QUEUE_HH
+#define LIBRA_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace libra {
+
+/** Simulation time in picoseconds. */
+using Tick = std::uint64_t;
+
+constexpr double kTicksPerSecond = 1e12;
+
+/** Seconds -> ticks (rounded). */
+Tick toTicks(Seconds s);
+
+/** Ticks -> seconds. */
+Seconds toSeconds(Tick t);
+
+/** A chronological queue of callbacks. */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p callback at absolute time @p when (>= now()).
+     * @throws FatalError when scheduling into the past.
+     */
+    void schedule(Tick when, std::function<void()> callback);
+
+    /** Schedule @p delay after now(). */
+    void scheduleAfter(Tick delay, std::function<void()> callback);
+
+    bool empty() const { return queue_.empty(); }
+
+    /** Pop and run the next event; returns false when empty. */
+    bool step();
+
+    /** Run until the queue drains. */
+    void run();
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::function<void()> callback;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Event& a, const Event& b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+} // namespace libra
+
+#endif // LIBRA_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Feasible-point search via cyclic alternating projections.
+ *
+ * Each linear constraint admits a closed-form Euclidean projection
+ * (hyperplane for equalities, half-space for inequalities); cycling those
+ * projections converges to a point of the intersection whenever the
+ * polyhedron is non-empty (von Neumann / Bregman). The QP solver uses the
+ * result as its phase-1 starting point.
+ */
+
+#ifndef LIBRA_SOLVER_FEASIBLE_HH
+#define LIBRA_SOLVER_FEASIBLE_HH
+
+#include "solver/constraint_set.hh"
+#include "solver/matrix.hh"
+
+namespace libra {
+
+/**
+ * Find a point satisfying @p constraints, starting near @p hint.
+ *
+ * @param constraints Polyhedron to land in.
+ * @param hint        Starting point (any vector of the right width).
+ * @param tol         Target max violation.
+ * @param max_sweeps  Cyclic projection sweeps before giving up.
+ * @return Point with maxViolation <= tol when the set is non-empty;
+ *         otherwise the best point found (callers must re-check).
+ */
+Vec findFeasiblePoint(const ConstraintSet& constraints, const Vec& hint,
+                      double tol = 1e-10, int max_sweeps = 20000);
+
+} // namespace libra
+
+#endif // LIBRA_SOLVER_FEASIBLE_HH

@@ -1,0 +1,212 @@
+#include "solver/matrix.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace libra {
+
+double
+dot(const Vec& a, const Vec& b)
+{
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        s += a[i] * b[i];
+    return s;
+}
+
+double
+norm(const Vec& a)
+{
+    return std::sqrt(dot(a, a));
+}
+
+double
+normInf(const Vec& a)
+{
+    double m = 0.0;
+    for (double x : a)
+        m = std::max(m, std::abs(x));
+    return m;
+}
+
+Vec
+axpy(const Vec& a, double s, const Vec& b)
+{
+    Vec r(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        r[i] = a[i] + s * b[i];
+    return r;
+}
+
+Vec
+sub(const Vec& a, const Vec& b)
+{
+    Vec r(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        r[i] = a[i] - b[i];
+    return r;
+}
+
+Vec
+scale(double s, const Vec& a)
+{
+    Vec r(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        r[i] = s * a[i];
+    return r;
+}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+{}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m.at(i, i) = 1.0;
+    return m;
+}
+
+void
+Matrix::appendRow(const Vec& row)
+{
+    if (rows_ == 0 && cols_ == 0)
+        cols_ = row.size();
+    if (row.size() != cols_)
+        panic("appendRow width ", row.size(), " != ", cols_);
+    data_.insert(data_.end(), row.begin(), row.end());
+    ++rows_;
+}
+
+Vec
+Matrix::mul(const Vec& x) const
+{
+    Vec r(rows_, 0.0);
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t j = 0; j < cols_; ++j)
+            r[i] += at(i, j) * x[j];
+    return r;
+}
+
+Vec
+Matrix::mulTransposed(const Vec& x) const
+{
+    Vec r(cols_, 0.0);
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t j = 0; j < cols_; ++j)
+            r[j] += at(i, j) * x[i];
+    return r;
+}
+
+Matrix
+Matrix::mul(const Matrix& other) const
+{
+    Matrix r(rows_, other.cols_);
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t k = 0; k < cols_; ++k) {
+            double aik = at(i, k);
+            if (aik == 0.0)
+                continue;
+            for (std::size_t j = 0; j < other.cols_; ++j)
+                r.at(i, j) += aik * other.at(k, j);
+        }
+    return r;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix r(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t j = 0; j < cols_; ++j)
+            r.at(j, i) = at(i, j);
+    return r;
+}
+
+Vec
+Matrix::solve(const Vec& b, bool* ok) const
+{
+    if (rows_ != cols_)
+        panic("solve on non-square matrix ", rows_, "x", cols_);
+    const std::size_t n = rows_;
+    Matrix a = *this;
+    Vec x = b;
+    std::vector<std::size_t> perm(n);
+    for (std::size_t i = 0; i < n; ++i)
+        perm[i] = i;
+
+    bool singular = false;
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivot.
+        std::size_t pivot = col;
+        double best = std::abs(a.at(col, col));
+        for (std::size_t r = col + 1; r < n; ++r) {
+            double v = std::abs(a.at(r, col));
+            if (v > best) {
+                best = v;
+                pivot = r;
+            }
+        }
+        if (best < 1e-300) {
+            singular = true;
+            break;
+        }
+        if (pivot != col) {
+            for (std::size_t j = 0; j < n; ++j)
+                std::swap(a.at(col, j), a.at(pivot, j));
+            std::swap(x[col], x[pivot]);
+        }
+        for (std::size_t r = col + 1; r < n; ++r) {
+            double f = a.at(r, col) / a.at(col, col);
+            if (f == 0.0)
+                continue;
+            for (std::size_t j = col; j < n; ++j)
+                a.at(r, j) -= f * a.at(col, j);
+            x[r] -= f * x[col];
+        }
+    }
+    if (singular) {
+        if (ok)
+            *ok = false;
+        return Vec(n, 0.0);
+    }
+    for (std::size_t ri = n; ri-- > 0;) {
+        double s = x[ri];
+        for (std::size_t j = ri + 1; j < n; ++j)
+            s -= a.at(ri, j) * x[j];
+        x[ri] = s / a.at(ri, ri);
+    }
+    if (ok)
+        *ok = true;
+    return x;
+}
+
+Vec
+Matrix::solveLeastSquares(const Vec& b, double ridge) const
+{
+    Matrix at = transposed();
+    Matrix ata = at.mul(*this);
+    // Scale the ridge with the matrix magnitude for numerical robustness.
+    double diagMax = 0.0;
+    for (std::size_t i = 0; i < ata.rows(); ++i)
+        diagMax = std::max(diagMax, std::abs(ata.at(i, i)));
+    double eps = ridge * std::max(1.0, diagMax);
+    for (std::size_t i = 0; i < ata.rows(); ++i)
+        ata.at(i, i) += eps;
+    Vec atb = at.mul(b);
+    bool ok = false;
+    Vec x = ata.solve(atb, &ok);
+    if (!ok) {
+        // Extremely degenerate; fall back to a heavier ridge.
+        for (std::size_t i = 0; i < ata.rows(); ++i)
+            ata.at(i, i) += 1e-6 * std::max(1.0, diagMax);
+        x = ata.solve(atb, &ok);
+    }
+    return x;
+}
+
+} // namespace libra

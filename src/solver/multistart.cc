@@ -1,0 +1,66 @@
+#include "solver/multistart.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.hh"
+#include "solver/nelder_mead.hh"
+#include "solver/pattern_search.hh"
+#include "solver/qp.hh"
+
+namespace libra {
+
+SearchResult
+multistartMinimize(const ScalarObjective& f,
+                   const ConstraintSet& constraints, const Vec& hint,
+                   MultistartOptions options)
+{
+    Rng rng(options.seed);
+    const std::size_t n = constraints.numVars();
+    double total = 0.0;
+    for (double v : hint)
+        total += std::abs(v);
+    if (total <= 0.0)
+        total = 1.0;
+
+    std::vector<Vec> starts;
+    starts.push_back(projectOntoConstraints(constraints, hint));
+    for (int s = 0; s < options.starts; ++s) {
+        Vec p = rng.simplexPoint(n, total);
+        starts.push_back(projectOntoConstraints(constraints, p));
+    }
+
+    SearchResult best;
+    best.value = std::numeric_limits<double>::infinity();
+    for (const auto& x0 : starts) {
+        Vec x = x0;
+        if (options.useSubgradient) {
+            SearchResult sg = projectedSubgradient(f, constraints, x);
+            x = sg.x;
+        }
+        SearchResult ps = patternSearch(f, constraints, x);
+        x = ps.x;
+        if (options.useNelderMead) {
+            SearchResult nm = nelderMead(f, constraints, x);
+            if (nm.value < ps.value)
+                x = nm.x;
+        }
+        double fx = f(x);
+        if (fx < best.value && constraints.feasible(x, 1e-5)) {
+            best.value = fx;
+            best.x = x;
+        }
+    }
+
+    // Final polish from the overall winner.
+    PatternSearchOptions polish;
+    polish.initialStep = 0.02;
+    SearchResult final = patternSearch(f, constraints, best.x, polish);
+    if (final.value < best.value) {
+        best.value = final.value;
+        best.x = final.x;
+    }
+    return best;
+}
+
+} // namespace libra

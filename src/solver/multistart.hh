@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Deterministic multistart driver combining the individual searches.
+ *
+ * PerfPerCostOptBW (time x dollars) is non-convex, so a single descent can
+ * land in a local minimum; the driver seeds pattern search + Nelder-Mead
+ * from several deterministic random feasible points (plus the caller's
+ * hint) and keeps the best feasible result.
+ */
+
+#ifndef LIBRA_SOLVER_MULTISTART_HH
+#define LIBRA_SOLVER_MULTISTART_HH
+
+#include "solver/constraint_set.hh"
+#include "solver/subgradient.hh"
+
+namespace libra {
+
+/** Options for the multistart driver. */
+struct MultistartOptions
+{
+    int starts = 8;              ///< Random starts besides the hint.
+    std::uint64_t seed = 0x11BAa;
+    bool useSubgradient = true;  ///< Run subgradient first (convex f).
+    bool useNelderMead = true;
+};
+
+/**
+ * Minimize @p f over @p constraints. @p hint provides both the first
+ * start and the magnitude scale for random starts.
+ */
+SearchResult multistartMinimize(const ScalarObjective& f,
+                                const ConstraintSet& constraints,
+                                const Vec& hint,
+                                MultistartOptions options = {});
+
+} // namespace libra
+
+#endif // LIBRA_SOLVER_MULTISTART_HH

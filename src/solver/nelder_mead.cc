@@ -1,0 +1,114 @@
+#include "solver/nelder_mead.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "solver/qp.hh"
+
+namespace libra {
+
+SearchResult
+nelderMead(const ScalarObjective& f, const ConstraintSet& constraints,
+           const Vec& x0, NelderMeadOptions options)
+{
+    const std::size_t n = x0.size();
+
+    auto penalized = [&](const Vec& x) {
+        double v = constraints.maxViolation(x);
+        // Guard against negative bandwidths reaching the raw objective.
+        Vec clipped = x;
+        for (auto& c : clipped)
+            c = std::max(c, 1e-9);
+        return f(clipped) + options.penaltyWeight * v * v;
+    };
+
+    double base = 1.0;
+    for (double v : x0)
+        base = std::max(base, std::abs(v));
+    double edge = options.initialScale * base;
+
+    // Initial simplex: x0 plus one offset vertex per coordinate.
+    std::vector<Vec> simplex;
+    simplex.push_back(x0);
+    for (std::size_t i = 0; i < n; ++i) {
+        Vec v = x0;
+        v[i] += edge;
+        simplex.push_back(v);
+    }
+    std::vector<double> values;
+    values.reserve(simplex.size());
+    for (const auto& v : simplex)
+        values.push_back(penalized(v));
+
+    auto order = [&]() {
+        std::vector<std::size_t> idx(simplex.size());
+        std::iota(idx.begin(), idx.end(), 0);
+        std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+            return values[a] < values[b];
+        });
+        std::vector<Vec> s2;
+        std::vector<double> v2;
+        for (auto i : idx) {
+            s2.push_back(simplex[i]);
+            v2.push_back(values[i]);
+        }
+        simplex.swap(s2);
+        values.swap(v2);
+    };
+
+    int iter = 0;
+    for (; iter < options.maxIterations; ++iter) {
+        order();
+        if (values.back() - values.front() <=
+            options.tol * (std::abs(values.front()) + 1e-30))
+            break;
+
+        // Centroid of all but the worst vertex.
+        Vec centroid(n, 0.0);
+        for (std::size_t v = 0; v + 1 < simplex.size(); ++v)
+            for (std::size_t i = 0; i < n; ++i)
+                centroid[i] += simplex[v][i];
+        for (auto& c : centroid)
+            c /= static_cast<double>(simplex.size() - 1);
+
+        const Vec& worst = simplex.back();
+        Vec reflected = axpy(centroid, 1.0, sub(centroid, worst));
+        double fr = penalized(reflected);
+
+        if (fr < values.front()) {
+            Vec expanded = axpy(centroid, 2.0, sub(centroid, worst));
+            double fe = penalized(expanded);
+            if (fe < fr) {
+                simplex.back() = expanded;
+                values.back() = fe;
+            } else {
+                simplex.back() = reflected;
+                values.back() = fr;
+            }
+        } else if (fr < values[values.size() - 2]) {
+            simplex.back() = reflected;
+            values.back() = fr;
+        } else {
+            Vec contracted = axpy(centroid, 0.5, sub(worst, centroid));
+            double fc = penalized(contracted);
+            if (fc < values.back()) {
+                simplex.back() = contracted;
+                values.back() = fc;
+            } else {
+                // Shrink towards the best vertex.
+                for (std::size_t v = 1; v < simplex.size(); ++v) {
+                    simplex[v] = axpy(simplex.front(), 0.5,
+                                      sub(simplex[v], simplex.front()));
+                    values[v] = penalized(simplex[v]);
+                }
+            }
+        }
+    }
+    order();
+
+    Vec projected = projectOntoConstraints(constraints, simplex.front());
+    return SearchResult{projected, f(projected), iter};
+}
+
+} // namespace libra

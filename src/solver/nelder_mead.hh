@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Nelder-Mead simplex search with a quadratic constraint penalty.
+ *
+ * Complements compass search in the multistart driver: the reflective
+ * simplex moves escape narrow valleys of the PerfPerCost objective that
+ * axis-aligned polling cannot, while the penalty keeps iterates near the
+ * design polyhedron (the driver re-projects the result exactly).
+ */
+
+#ifndef LIBRA_SOLVER_NELDER_MEAD_HH
+#define LIBRA_SOLVER_NELDER_MEAD_HH
+
+#include "solver/constraint_set.hh"
+#include "solver/subgradient.hh"
+
+namespace libra {
+
+/** Options for the penalized Nelder-Mead loop. */
+struct NelderMeadOptions
+{
+    int maxIterations = 2000;
+    double initialScale = 0.15;  ///< Simplex edge relative to max(|x0|,1).
+    double tol = 1e-12;          ///< Simplex value-spread stop threshold.
+    double penaltyWeight = 1e6;  ///< Quadratic infeasibility penalty.
+};
+
+/**
+ * Minimize @p f near @p constraints from @p x0. The returned point is
+ * re-projected onto the constraints and guaranteed feasible.
+ */
+SearchResult nelderMead(const ScalarObjective& f,
+                        const ConstraintSet& constraints, const Vec& x0,
+                        NelderMeadOptions options = {});
+
+} // namespace libra
+
+#endif // LIBRA_SOLVER_NELDER_MEAD_HH

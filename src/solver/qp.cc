@@ -1,0 +1,169 @@
+#include "solver/qp.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+#include "solver/feasible.hh"
+
+namespace libra {
+
+QpSolver::QpSolver(Matrix q, Vec c, Matrix a_eq, Vec b_eq, Matrix g_le,
+                   Vec h_le, QpOptions options)
+    : q_(std::move(q)), c_(std::move(c)), aEq_(std::move(a_eq)),
+      bEq_(std::move(b_eq)), gLe_(std::move(g_le)), hLe_(std::move(h_le)),
+      options_(options)
+{}
+
+bool
+QpSolver::solveKkt(const Vec& x, const std::vector<std::size_t>& working,
+                   Vec* p, Vec* ineq_multipliers) const
+{
+    const std::size_t n = c_.size();
+    const std::size_t me = aEq_.rows();
+    const std::size_t mw = working.size();
+    const std::size_t dim = n + me + mw;
+
+    // KKT system:
+    //   [ Q   A'  Gw' ] [ p   ]   [ -(Qx + c) ]
+    //   [ A   0   0   ] [ lam ] = [ 0         ]
+    //   [ Gw  0   0   ] [ mu  ]   [ 0         ]
+    Matrix k(dim, dim);
+    Vec rhs(dim, 0.0);
+
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            k.at(i, j) = q_.at(i, j);
+    for (std::size_t r = 0; r < me; ++r)
+        for (std::size_t j = 0; j < n; ++j) {
+            k.at(n + r, j) = aEq_.at(r, j);
+            k.at(j, n + r) = aEq_.at(r, j);
+        }
+    for (std::size_t wi = 0; wi < mw; ++wi) {
+        std::size_t r = working[wi];
+        for (std::size_t j = 0; j < n; ++j) {
+            k.at(n + me + wi, j) = gLe_.at(r, j);
+            k.at(j, n + me + wi) = gLe_.at(r, j);
+        }
+    }
+
+    Vec qx = q_.mul(x);
+    for (std::size_t i = 0; i < n; ++i)
+        rhs[i] = -(qx[i] + c_[i]);
+
+    bool ok = false;
+    Vec z = k.solve(rhs, &ok);
+    if (!ok) {
+        // Degenerate working set (linearly dependent rows): regularized
+        // least squares still yields a usable step direction.
+        z = k.solveLeastSquares(rhs);
+    }
+
+    p->assign(z.begin(), z.begin() + static_cast<long>(n));
+    ineq_multipliers->assign(z.begin() + static_cast<long>(n + me),
+                             z.end());
+    return true;
+}
+
+QpResult
+QpSolver::solve(const Vec& x0) const
+{
+    const std::size_t n = c_.size();
+    const double tol = options_.tol;
+    Vec x = x0;
+
+    // Initialize the working set with inequality rows active at x0.
+    std::vector<std::size_t> working;
+    for (std::size_t r = 0; r < gLe_.rows(); ++r) {
+        Vec row(n);
+        for (std::size_t j = 0; j < n; ++j)
+            row[j] = gLe_.at(r, j);
+        if (std::abs(dot(row, x) - hLe_[r]) <= 1e-8)
+            working.push_back(r);
+    }
+
+    QpResult result;
+    for (int iter = 0; iter < options_.maxIterations; ++iter) {
+        result.iterations = iter + 1;
+        Vec p, mu;
+        solveKkt(x, working, &p, &mu);
+
+        if (normInf(p) <= tol) {
+            // Stationary on the working set; check dual feasibility.
+            double muMin = 0.0;
+            std::size_t drop = 0;
+            bool found = false;
+            for (std::size_t wi = 0; wi < mu.size(); ++wi) {
+                if (mu[wi] < muMin - tol) {
+                    muMin = mu[wi];
+                    drop = wi;
+                    found = true;
+                }
+            }
+            if (!found) {
+                result.converged = true;
+                break;
+            }
+            working.erase(working.begin() + static_cast<long>(drop));
+            continue;
+        }
+
+        // Line search to the nearest blocking inequality.
+        double alpha = 1.0;
+        std::size_t blocking = std::numeric_limits<std::size_t>::max();
+        for (std::size_t r = 0; r < gLe_.rows(); ++r) {
+            if (std::find(working.begin(), working.end(), r) !=
+                working.end())
+                continue;
+            Vec row(n);
+            for (std::size_t j = 0; j < n; ++j)
+                row[j] = gLe_.at(r, j);
+            double gp = dot(row, p);
+            if (gp > tol) {
+                double slack = hLe_[r] - dot(row, x);
+                double a = slack / gp;
+                if (a < alpha) {
+                    alpha = std::max(0.0, a);
+                    blocking = r;
+                }
+            }
+        }
+
+        x = axpy(x, alpha, p);
+        if (blocking != std::numeric_limits<std::size_t>::max())
+            working.push_back(blocking);
+    }
+
+    result.x = x;
+    Vec qx = q_.mul(x);
+    result.objective = 0.5 * dot(x, qx) + dot(c_, x);
+    return result;
+}
+
+Vec
+projectOntoConstraints(const ConstraintSet& constraints, const Vec& point)
+{
+    const std::size_t n = constraints.numVars();
+
+    // Phase 1: alternating projections reach a feasible neighbourhood.
+    Vec start = findFeasiblePoint(constraints, point);
+    if (!constraints.feasible(start, 1e-5)) {
+        fatal("constraint set is infeasible (residual ",
+              constraints.maxViolation(start), ")");
+    }
+
+    Matrix aEq, gLe;
+    Vec bEq, hLe;
+    constraints.canonical(&aEq, &bEq, &gLe, &hLe);
+
+    // Phase 2: exact projection: min 1/2||x||^2 - point'x.
+    QpSolver qp(Matrix::identity(n), scale(-1.0, point), aEq, bEq, gLe,
+                hLe);
+    QpResult res = qp.solve(start);
+    if (constraints.feasible(res.x, 1e-6))
+        return res.x;
+    return start;
+}
+
+} // namespace libra

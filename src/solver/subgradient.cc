@@ -1,0 +1,56 @@
+#include "solver/subgradient.hh"
+
+#include <cmath>
+
+#include "solver/qp.hh"
+
+namespace libra {
+
+Vec
+numericGradient(const ScalarObjective& f, const Vec& x, double rel_step)
+{
+    Vec g(x.size(), 0.0);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        double h = rel_step * std::max(std::abs(x[i]), 1e-3);
+        Vec xp = x;
+        Vec xm = x;
+        xp[i] += h;
+        xm[i] = std::max(xm[i] - h, 1e-12);
+        g[i] = (f(xp) - f(xm)) / (xp[i] - xm[i]);
+    }
+    return g;
+}
+
+SearchResult
+projectedSubgradient(const ScalarObjective& f,
+                     const ConstraintSet& constraints, const Vec& x0,
+                     SubgradientOptions options)
+{
+    Vec x = x0;
+    SearchResult best{x, f(x), 0};
+    double scaleBase = std::max(norm(x0), 1.0) * options.initialStep;
+    int sinceImprove = 0;
+
+    for (int k = 1; k <= options.maxIterations; ++k) {
+        best.iterations = k;
+        Vec g = numericGradient(f, x);
+        double gn = norm(g);
+        if (gn <= 0.0)
+            break;
+        double step = scaleBase / (std::sqrt(static_cast<double>(k)) * gn);
+        Vec candidate = axpy(x, -step, g);
+        x = projectOntoConstraints(constraints, candidate);
+        double fx = f(x);
+        if (fx < best.value - options.tol * std::abs(best.value)) {
+            best.value = fx;
+            best.x = x;
+            sinceImprove = 0;
+        } else {
+            if (++sinceImprove >= options.patience)
+                break;
+        }
+    }
+    return best;
+}
+
+} // namespace libra

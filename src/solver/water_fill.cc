@@ -1,0 +1,63 @@
+#include "solver/water_fill.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace libra {
+
+namespace {
+
+Vec
+shareAllocation(const Vec& weights, double total, double floor)
+{
+    if (total <= 0.0)
+        fatal("allocation total must be positive, got ", total);
+    double sum = 0.0;
+    for (double w : weights) {
+        if (w < 0.0)
+            fatal("allocation weights must be non-negative");
+        sum += w;
+    }
+    if (sum <= 0.0)
+        fatal("allocation needs at least one positive weight");
+
+    // Zero-weight entries take the floor; the rest shares what's left.
+    double reserved = 0.0;
+    for (double w : weights) {
+        if (w == 0.0)
+            reserved += floor;
+    }
+    if (reserved >= total)
+        fatal("floor ", floor, " leaves no budget for active dims");
+
+    Vec out(weights.size());
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        out[i] = weights[i] == 0.0
+                     ? floor
+                     : (total - reserved) * weights[i] / sum;
+    }
+    return out;
+}
+
+} // namespace
+
+Vec
+proportionalAllocation(const Vec& a, double total, double floor)
+{
+    return shareAllocation(a, total, floor);
+}
+
+Vec
+waterFillAllocation(const Vec& a, double total, double floor)
+{
+    Vec roots(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] < 0.0)
+            fatal("water-fill weights must be non-negative");
+        roots[i] = std::sqrt(a[i]);
+    }
+    return shareAllocation(roots, total, floor);
+}
+
+} // namespace libra

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Closed-form bandwidth allocation for single-bottleneck objectives.
+ *
+ * When the objective is a single max-of-ratios term —
+ * min max_i(a_i / B_i) s.t. sum B_i = T, B_i > 0 — the optimum
+ * equalizes every ratio: B_i = T * a_i / sum(a).
+ *
+ * For a *sum* of independent inverse terms — min sum_i(a_i / B_i) —
+ * the optimum is the square-root water-filling split
+ * B_i = T * sqrt(a_i) / sum(sqrt(a)).
+ *
+ * Both closed forms serve as ground truth for the iterative solvers in
+ * tests, and as high-quality warm starts for the optimizer.
+ */
+
+#ifndef LIBRA_SOLVER_WATER_FILL_HH
+#define LIBRA_SOLVER_WATER_FILL_HH
+
+#include "solver/matrix.hh"
+
+namespace libra {
+
+/**
+ * Allocation equalizing a_i / B_i under sum B = total.
+ * Entries with a_i == 0 receive @p floor (they still need a link).
+ *
+ * @throws FatalError when total is non-positive or all a_i are zero.
+ */
+Vec proportionalAllocation(const Vec& a, double total,
+                           double floor = 0.0);
+
+/**
+ * Allocation minimizing sum_i a_i / B_i under sum B = total
+ * (square-root water filling).
+ */
+Vec waterFillAllocation(const Vec& a, double total, double floor = 0.0);
+
+} // namespace libra
+
+#endif // LIBRA_SOLVER_WATER_FILL_HH

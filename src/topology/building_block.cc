@@ -1,0 +1,96 @@
+#include "topology/building_block.hh"
+
+#include "common/logging.hh"
+
+namespace libra {
+
+std::string
+unitTopologyToken(UnitTopology t)
+{
+    switch (t) {
+      case UnitTopology::Ring:
+        return "RI";
+      case UnitTopology::FullyConnected:
+        return "FC";
+      case UnitTopology::Switch:
+        return "SW";
+    }
+    panic("unknown unit topology");
+}
+
+std::string
+unitTopologyName(UnitTopology t)
+{
+    switch (t) {
+      case UnitTopology::Ring:
+        return "Ring";
+      case UnitTopology::FullyConnected:
+        return "FullyConnected";
+      case UnitTopology::Switch:
+        return "Switch";
+    }
+    panic("unknown unit topology");
+}
+
+UnitTopology
+parseUnitTopology(const std::string& token)
+{
+    if (token == "RI" || token == "ri")
+        return UnitTopology::Ring;
+    if (token == "FC" || token == "fc")
+        return UnitTopology::FullyConnected;
+    if (token == "SW" || token == "sw")
+        return UnitTopology::Switch;
+    fatal("unknown unit topology token '", token,
+          "' (expected RI, FC, or SW)");
+}
+
+DimAlgorithm
+canonicalAlgorithm(UnitTopology t)
+{
+    switch (t) {
+      case UnitTopology::Ring:
+        return DimAlgorithm::Ring;
+      case UnitTopology::FullyConnected:
+        return DimAlgorithm::Direct;
+      case UnitTopology::Switch:
+        return DimAlgorithm::HalvingDoubling;
+    }
+    panic("unknown unit topology");
+}
+
+std::string
+dimAlgorithmName(DimAlgorithm a)
+{
+    switch (a) {
+      case DimAlgorithm::Ring:
+        return "Ring";
+      case DimAlgorithm::Direct:
+        return "Direct";
+      case DimAlgorithm::HalvingDoubling:
+        return "HalvingDoubling";
+    }
+    panic("unknown dim algorithm");
+}
+
+int
+linksPerNpu(UnitTopology t, int size)
+{
+    switch (t) {
+      case UnitTopology::Ring:
+        return size > 2 ? 2 : (size - 1);
+      case UnitTopology::FullyConnected:
+        return size - 1;
+      case UnitTopology::Switch:
+        return 1; // Uplink to the switch.
+    }
+    panic("unknown unit topology");
+}
+
+bool
+needsSwitch(UnitTopology t)
+{
+    return t == UnitTopology::Switch;
+}
+
+} // namespace libra

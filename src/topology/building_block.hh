@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Unit network building blocks (paper Fig. 7).
+ *
+ * Each dimension of a multi-dimensional network instantiates one of three
+ * unit topologies — Ring (RI), FullyConnected (FC), or Switch (SW) — and
+ * runs that topology's contention-free collective algorithm (Ring, Direct,
+ * Halving-Doubling) within the dimension.
+ */
+
+#ifndef LIBRA_TOPOLOGY_BUILDING_BLOCK_HH
+#define LIBRA_TOPOLOGY_BUILDING_BLOCK_HH
+
+#include <string>
+
+namespace libra {
+
+/** Unit topology of one network dimension. */
+enum class UnitTopology { Ring, FullyConnected, Switch };
+
+/** Topology-aware collective algorithm run within one dimension. */
+enum class DimAlgorithm { Ring, Direct, HalvingDoubling };
+
+/** Two-letter token used in the network notation ("RI"/"FC"/"SW"). */
+std::string unitTopologyToken(UnitTopology t);
+
+/** Human-readable name ("Ring"/"FullyConnected"/"Switch"). */
+std::string unitTopologyName(UnitTopology t);
+
+/**
+ * Parse a notation token into a unit topology.
+ * @throws FatalError on unknown tokens.
+ */
+UnitTopology parseUnitTopology(const std::string& token);
+
+/** Canonical contention-free algorithm for a unit topology (Fig. 7b). */
+DimAlgorithm canonicalAlgorithm(UnitTopology t);
+
+/** Human-readable algorithm name. */
+std::string dimAlgorithmName(DimAlgorithm a);
+
+/**
+ * Number of point-to-point links each NPU owns inside one dimension of
+ * @p size NPUs (0 for Switch, where NPUs connect through the switch).
+ */
+int linksPerNpu(UnitTopology t, int size);
+
+/** True when the dimension needs a physical switch component. */
+bool needsSwitch(UnitTopology t);
+
+} // namespace libra
+
+#endif // LIBRA_TOPOLOGY_BUILDING_BLOCK_HH

@@ -1,0 +1,186 @@
+#include "topology/network.hh"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace libra {
+
+std::string
+physicalLevelName(PhysicalLevel level)
+{
+    switch (level) {
+      case PhysicalLevel::Chiplet:
+        return "Chiplet";
+      case PhysicalLevel::Package:
+        return "Package";
+      case PhysicalLevel::Node:
+        return "Node";
+      case PhysicalLevel::Pod:
+        return "Pod";
+    }
+    panic("unknown physical level");
+}
+
+Network::Network(std::vector<NetworkDim> dims) : dims_(std::move(dims))
+{
+    if (dims_.empty())
+        fatal("network must have at least one dimension");
+    for (const auto& d : dims_) {
+        if (d.size < 2)
+            fatal("network dimension size must be >= 2, got ", d.size);
+    }
+    assignLevels();
+}
+
+void
+Network::assignLevels()
+{
+    // Outside-in: Pod, Node, Package, then Chiplet for the rest (Fig. 2b).
+    const PhysicalLevel outer[3] = {PhysicalLevel::Pod, PhysicalLevel::Node,
+                                    PhysicalLevel::Package};
+    std::size_t n = dims_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t fromOuter = n - 1 - i;
+        dims_[i].level = fromOuter < 3 ? outer[fromOuter]
+                                       : PhysicalLevel::Chiplet;
+    }
+}
+
+Network
+Network::parse(const std::string& text)
+{
+    std::vector<NetworkDim> dims;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        // Token: two letters.
+        std::size_t tokStart = pos;
+        while (pos < text.size() &&
+               std::isalpha(static_cast<unsigned char>(text[pos])))
+            ++pos;
+        std::string token = text.substr(tokStart, pos - tokStart);
+        if (pos >= text.size() || text[pos] != '(')
+            fatal("network '", text, "': expected '(' after '", token, "'");
+        ++pos;
+        std::size_t numStart = pos;
+        while (pos < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[pos])))
+            ++pos;
+        if (numStart == pos)
+            fatal("network '", text, "': expected size after '(', dim ",
+                  dims.size() + 1);
+        int size = std::stoi(text.substr(numStart, pos - numStart));
+        int levels = 1;
+        if (pos < text.size() && text[pos] == ':') {
+            ++pos;
+            std::size_t lvlStart = pos;
+            while (pos < text.size() &&
+                   std::isdigit(static_cast<unsigned char>(text[pos])))
+                ++pos;
+            if (lvlStart == pos)
+                fatal("network '", text,
+                      "': expected hierarchy depth after ':'");
+            levels = std::stoi(text.substr(lvlStart, pos - lvlStart));
+            if (levels < 1)
+                fatal("network '", text, "': hierarchy depth must be "
+                      ">= 1");
+        }
+        if (pos >= text.size() || text[pos] != ')')
+            fatal("network '", text, "': expected ')'");
+        ++pos;
+        UnitTopology type = parseUnitTopology(token);
+        if (levels > 1 && type != UnitTopology::Switch) {
+            fatal("network '", text, "': hierarchy depth only applies "
+                  "to SW dimensions (Fig. 4)");
+        }
+        dims.push_back({type, size, PhysicalLevel::Pod, levels});
+        if (pos < text.size()) {
+            if (text[pos] != '_')
+                fatal("network '", text, "': expected '_' between dims");
+            ++pos;
+        }
+    }
+    if (dims.empty())
+        fatal("network '", text, "': no dimensions found");
+    return Network(std::move(dims));
+}
+
+std::string
+Network::name() const
+{
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        if (i)
+            oss << '_';
+        oss << unitTopologyToken(dims_[i].type) << '(' << dims_[i].size;
+        if (dims_[i].switchLevels > 1)
+            oss << ':' << dims_[i].switchLevels;
+        oss << ')';
+    }
+    return oss.str();
+}
+
+long
+Network::npus() const
+{
+    long n = 1;
+    for (const auto& d : dims_)
+        n *= d.size;
+    return n;
+}
+
+long
+Network::prefixProduct(std::size_t i) const
+{
+    long p = 1;
+    for (std::size_t k = 0; k < i && k < dims_.size(); ++k)
+        p *= dims_[k].size;
+    return p;
+}
+
+std::vector<int>
+Network::sizes() const
+{
+    std::vector<int> s;
+    s.reserve(dims_.size());
+    for (const auto& d : dims_)
+        s.push_back(d.size);
+    return s;
+}
+
+std::vector<int>
+Network::coordsOf(long npu) const
+{
+    if (npu < 0 || npu >= npus())
+        panic("npu id ", npu, " out of range (", npus(), " NPUs)");
+    std::vector<int> coords(dims_.size());
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        coords[i] = static_cast<int>(npu % dims_[i].size);
+        npu /= dims_[i].size;
+    }
+    return coords;
+}
+
+long
+Network::npuOf(const std::vector<int>& coords) const
+{
+    if (coords.size() != dims_.size())
+        panic("coordinate rank ", coords.size(), " != ", dims_.size());
+    long id = 0;
+    for (std::size_t i = dims_.size(); i-- > 0;) {
+        if (coords[i] < 0 || coords[i] >= dims_[i].size)
+            panic("coordinate ", coords[i], " out of range in dim ", i);
+        id = id * dims_[i].size + coords[i];
+    }
+    return id;
+}
+
+BwConfig
+Network::equalBw(double total) const
+{
+    return BwConfig(dims_.size(),
+                    total / static_cast<double>(dims_.size()));
+}
+
+} // namespace libra

@@ -1,0 +1,75 @@
+#include "topology/zoo.hh"
+
+namespace libra {
+namespace topo {
+
+Network
+fourD4K()
+{
+    return Network::parse("RI(4)_FC(8)_RI(4)_SW(32)");
+}
+
+Network
+threeD4K()
+{
+    return Network::parse("RI(16)_FC(8)_SW(32)");
+}
+
+Network
+twoD4K()
+{
+    return Network::parse("RI(128)_SW(32)");
+}
+
+Network
+threeD512()
+{
+    return Network::parse("SW(16)_SW(8)_SW(4)");
+}
+
+Network
+threeD1K()
+{
+    return Network::parse("FC(8)_RI(16)_SW(8)");
+}
+
+Network
+fourD2K()
+{
+    return Network::parse("RI(4)_SW(4)_SW(8)_SW(16)");
+}
+
+Network
+threeDTorus()
+{
+    return Network::parse("RI(4)_RI(4)_RI(4)");
+}
+
+std::vector<NamedNetwork>
+tableThree()
+{
+    return {
+        {"4D-4K", fourD4K()},     {"3D-4K", threeD4K()},
+        {"3D-512", threeD512()},  {"3D-1K", threeD1K()},
+        {"4D-2K", fourD2K()},     {"3D-Torus", threeDTorus()},
+    };
+}
+
+std::vector<NamedNetwork>
+realSystems()
+{
+    return {
+        {"Google TPUv4 (RI(4)_RI(2)_RI(2))",
+         Network::parse("RI(4)_RI(2)_RI(2)")},
+        {"Google TPUv2/v3 (RI(4)_RI(2))", Network::parse("RI(4)_RI(2)")},
+        {"NVIDIA DGX-2 / DGX-A100 (SW(3)_SW(2))",
+         Network::parse("SW(3)_SW(2)")},
+        {"Intel Habana HLS-1 / NVIDIA HGX-H100 (FC(4)_SW(2))",
+         Network::parse("FC(4)_SW(2)")},
+        {"Meta Zion / NVIDIA DGX-1 (RI(4)_SW(2))",
+         Network::parse("RI(4)_SW(2)")},
+    };
+}
+
+} // namespace topo
+} // namespace libra

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Topology zoo: the evaluation networks of Table III plus the real-system
+ * examples of Fig. 11, available by name.
+ */
+
+#ifndef LIBRA_TOPOLOGY_ZOO_HH
+#define LIBRA_TOPOLOGY_ZOO_HH
+
+#include <string>
+#include <vector>
+
+#include "topology/network.hh"
+
+namespace libra {
+namespace topo {
+
+/** 4D-4K: RI(4)_FC(8)_RI(4)_SW(32), 4,096 NPUs. */
+Network fourD4K();
+
+/** 3D-4K: RI(16)_FC(8)_SW(32) — the 4D-4K with its rings merged. */
+Network threeD4K();
+
+/** 2D-4K: RI(128)_SW(32) — the 3D-4K merged once more (Fig. 10). */
+Network twoD4K();
+
+/** 3D-512: SW(16)_SW(8)_SW(4). */
+Network threeD512();
+
+/** 3D-1K: FC(8)_RI(16)_SW(8). */
+Network threeD1K();
+
+/** 4D-2K: RI(4)_SW(4)_SW(8)_SW(16). */
+Network fourD2K();
+
+/** 3D-Torus: RI(4)_RI(4)_RI(4), 64 NPUs (TACOS case study). */
+Network threeDTorus();
+
+/** A named (label, network) pair for table-style listings. */
+struct NamedNetwork
+{
+    std::string label;
+    Network network;
+};
+
+/** All Table III evaluation topologies in paper order. */
+std::vector<NamedNetwork> tableThree();
+
+/** Fig. 11 real-system shapes (TPUv4, DGX, HLS-1, Zion, ...). */
+std::vector<NamedNetwork> realSystems();
+
+} // namespace topo
+} // namespace libra
+
+#endif // LIBRA_TOPOLOGY_ZOO_HH

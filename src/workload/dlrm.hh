@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Analytical DLRM workload builder [14].
+ *
+ * DLRM training combines:
+ *  - embedding-table lookups sharded across *all* NPUs, exchanged with an
+ *    All-to-All in the forward pass and another in the backward pass;
+ *  - bottom/top MLP stacks (the paper's Table II counts MLP layers only:
+ *    57M parameters) replicated data-parallel across all NPUs, with
+ *    per-layer gradient All-Reduce.
+ */
+
+#ifndef LIBRA_WORKLOAD_DLRM_HH
+#define LIBRA_WORKLOAD_DLRM_HH
+
+#include "workload/workload.hh"
+
+namespace libra {
+
+/** Hyper-parameters of a DLRM training job. */
+struct DlrmConfig
+{
+    std::string name = "DLRM";
+    double mlpParameters = 57e6; ///< MLP parameters (Table II).
+    int numMlpLayers = 8;        ///< Bottom (3) + top (5) MLP stacks.
+    double batchPerNpu = 512;    ///< Samples per NPU per iteration.
+    double numTables = 64;       ///< Embedding tables contributing to A2A.
+    double embeddingDim = 128;   ///< Embedding vector width.
+    long npus = 4096;            ///< System size (DP across all NPUs).
+    double effectiveTflops = 234.0;
+};
+
+/** Build the workload IR for @p config. */
+Workload buildDlrm(const DlrmConfig& config);
+
+} // namespace libra
+
+#endif // LIBRA_WORKLOAD_DLRM_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Text-format workload parser/serializer (the "Workload Parser" input
+ * stage of the paper's Fig. 3 architecture).
+ *
+ * The format is line-oriented, ASTRA-sim-inspired:
+ *
+ *     # comments and blank lines are ignored
+ *     WORKLOAD GPT-3
+ *     PARAMS 1.75e11
+ *     STRATEGY TP 16 PP 1 DP 256
+ *     LAYER decoder-0
+ *       FWD_COMPUTE 0.019
+ *       IG_COMPUTE 0.019
+ *       WG_COMPUTE 0.019
+ *       FWD_COMM ALLREDUCE TP 3.36e9
+ *       IG_COMM  ALLREDUCE TP 3.36e9
+ *       WG_COMM  REDUCESCATTER DP 2.26e8
+ *       WG_COMM  ALLGATHER DP 2.26e8
+ *     END
+ *
+ * Collective tokens: ALLREDUCE, REDUCESCATTER, ALLGATHER, ALLTOALL,
+ * P2P. Scope tokens: TP, PP, DP, ALL. Compute times are seconds;
+ * collective sizes are bytes.
+ */
+
+#ifndef LIBRA_WORKLOAD_PARSER_HH
+#define LIBRA_WORKLOAD_PARSER_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/workload.hh"
+
+namespace libra {
+
+/**
+ * Parse a workload from text.
+ * @throws FatalError with a line number on malformed input.
+ */
+Workload parseWorkload(std::istream& in);
+
+/** Convenience overload over a string. */
+Workload parseWorkloadString(const std::string& text);
+
+/** Serialize a workload to the same text format (round-trippable). */
+std::string serializeWorkload(const Workload& w);
+
+} // namespace libra
+
+#endif // LIBRA_WORKLOAD_PARSER_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Analytical ResNet-50 workload builder [62].
+ *
+ * Vision training is pure data parallelism (Table II: TP size 1). The
+ * builder approximates the ResNet-50 stage structure — four residual
+ * stages of increasing width plus stem and classifier — distributing the
+ * 25.6M parameters and ~4 GFLOPs/image forward cost across stages in
+ * realistic proportions, and issues a per-layer gradient All-Reduce over
+ * the DP group.
+ */
+
+#ifndef LIBRA_WORKLOAD_RESNET_HH
+#define LIBRA_WORKLOAD_RESNET_HH
+
+#include "workload/workload.hh"
+
+namespace libra {
+
+/** Hyper-parameters of a ResNet-50 training job. */
+struct ResnetConfig
+{
+    std::string name = "ResNet-50";
+    double parameters = 25.6e6;
+    double flopsPerImage = 4.1e9; ///< Forward FLOPs per image.
+    double batchPerNpu = 32;
+    long npus = 4096;             ///< DP across all NPUs.
+    double effectiveTflops = 234.0;
+};
+
+/** Build the workload IR for @p config. */
+Workload buildResnet(const ResnetConfig& config);
+
+} // namespace libra
+
+#endif // LIBRA_WORKLOAD_RESNET_HH

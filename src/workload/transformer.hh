@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Analytical transformer-LLM workload builder.
+ *
+ * Generates per-layer compute times and collective sizes for a decoder
+ * transformer trained with Megatron-style tensor parallelism [45] plus
+ * ZeRO-2 data parallelism [43]:
+ *
+ *  - Each transformer layer holds ~12 h^2 parameters (attention 4 h^2,
+ *    MLP 8 h^2).
+ *  - Megatron TP: 2 activation All-Reduces of b*s*h elements per layer in
+ *    the forward pass and 2 more in the backward pass (TP group).
+ *  - ZeRO-2 DP: per layer, a gradient Reduce-Scatter plus a parameter
+ *    All-Gather of params/tp elements (DP group).
+ *  - Compute: 2 FLOPs per parameter per token forward; backward is 2x
+ *    forward, split evenly between input-grad and weight-grad phases.
+ */
+
+#ifndef LIBRA_WORKLOAD_TRANSFORMER_HH
+#define LIBRA_WORKLOAD_TRANSFORMER_HH
+
+#include "workload/workload.hh"
+
+namespace libra {
+
+/** Hyper-parameters of a decoder-transformer training job. */
+struct TransformerConfig
+{
+    std::string name = "transformer";
+    int numLayers = 24;
+    double hidden = 1024;       ///< Model (hidden) dimension h.
+    double seqLen = 1024;       ///< Tokens per sequence s.
+    double batchPerGroup = 32;  ///< Sequences per DP replica group b.
+    Parallelization strategy;
+    double effectiveTflops = 234.0; ///< A100 at 75% efficacy (paper §V-B).
+
+    /**
+     * Microbatches per iteration when pipeline parallelism is used
+     * (strategy.pp > 1). The GPipe-style bubble inflates compute by
+     * 1 + (pp-1)/microbatches, and each stage boundary moves the whole
+     * batch's activations point-to-point, once forward and once
+     * backward (paper §IV-C's PP extension).
+     */
+    double microbatches = 8;
+
+    /** Approximate parameter count: layers * 12 h^2. */
+    double parameters() const { return numLayers * 12.0 * hidden * hidden; }
+};
+
+/**
+ * Build the workload IR for @p config.
+ * @throws FatalError when TP/DP sizes are invalid.
+ */
+Workload buildTransformer(const TransformerConfig& config);
+
+} // namespace libra
+
+#endif // LIBRA_WORKLOAD_TRANSFORMER_HH

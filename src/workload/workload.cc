@@ -1,0 +1,63 @@
+#include "workload/workload.hh"
+
+#include "common/logging.hh"
+
+namespace libra {
+
+std::string
+commScopeName(CommScope scope)
+{
+    switch (scope) {
+      case CommScope::Tp:
+        return "TP";
+      case CommScope::Pp:
+        return "PP";
+      case CommScope::Dp:
+        return "DP";
+      case CommScope::All:
+        return "ALL";
+    }
+    panic("unknown comm scope");
+}
+
+std::string
+Parallelization::name() const
+{
+    if (pp == 1) {
+        return "HP-(" + std::to_string(tp) + ", " + std::to_string(dp) +
+               ")";
+    }
+    return "HP-(" + std::to_string(tp) + ", " + std::to_string(pp) +
+           ", " + std::to_string(dp) + ")";
+}
+
+Seconds
+Workload::totalCompute() const
+{
+    Seconds t = 0.0;
+    for (const auto& l : layers)
+        t += l.fwdCompute + l.igCompute + l.wgCompute;
+    return t;
+}
+
+Bytes
+Workload::totalCommPayload() const
+{
+    Bytes b = 0.0;
+    for (const auto& l : layers)
+        for (const auto& op : allOps(l))
+            b += op.size;
+    return b;
+}
+
+std::vector<CommOp>
+Workload::allOps(const Layer& layer)
+{
+    std::vector<CommOp> ops;
+    ops.insert(ops.end(), layer.fwdComm.begin(), layer.fwdComm.end());
+    ops.insert(ops.end(), layer.igComm.begin(), layer.igComm.end());
+    ops.insert(ops.end(), layer.wgComm.begin(), layer.wgComm.end());
+    return ops;
+}
+
+} // namespace libra

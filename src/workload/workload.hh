@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Workload intermediate representation.
+ *
+ * A workload is a list of layers; each layer carries three phases in the
+ * style of the paper's training loop (Fig. 5): forward (compute + comm),
+ * input-gradient / TP backward (compute + comm), and weight-gradient / DP
+ * backward (compute + comm). Communication is a list of collectives with
+ * a *scope* — the communicator group they run over — resolved against a
+ * concrete network and parallelization at estimation time.
+ */
+
+#ifndef LIBRA_WORKLOAD_WORKLOAD_HH
+#define LIBRA_WORKLOAD_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+#include "collective/multi_rail.hh"
+#include "common/units.hh"
+
+namespace libra {
+
+/** Communicator group a collective runs over. */
+enum class CommScope
+{
+    Tp,  ///< The tensor-parallel group (innermost ranks).
+    Pp,  ///< The pipeline-parallel group (stride = TP size).
+    Dp,  ///< The data-parallel group (stride = TP*PP size).
+    All, ///< Every NPU in the system (e.g. DLRM embedding All-to-All).
+};
+
+/** Human-readable scope name. */
+std::string commScopeName(CommScope scope);
+
+/** One collective issued by a layer phase. */
+struct CommOp
+{
+    CollectiveType type = CollectiveType::AllReduce;
+    CommScope scope = CommScope::Dp;
+    Bytes size = 0.0;
+};
+
+/** One model layer with per-phase compute times and collectives. */
+struct Layer
+{
+    std::string name;
+
+    Seconds fwdCompute = 0.0; ///< Forward pass compute.
+    Seconds igCompute = 0.0;  ///< Input-gradient (TP backward) compute.
+    Seconds wgCompute = 0.0;  ///< Weight-gradient (DP backward) compute.
+
+    std::vector<CommOp> fwdComm; ///< Forward-pass collectives.
+    std::vector<CommOp> igComm;  ///< TP backward collectives.
+    std::vector<CommOp> wgComm;  ///< DP gradient-sync collectives.
+};
+
+/**
+ * Hybrid parallelization strategy HP-(tp, pp, dp): the model is sharded
+ * tp-way (consecutive ranks), cut into pp pipeline stages above that,
+ * and the dataset is split dp-way at the top. Plain HP-(tp, dp) is the
+ * pp == 1 special case.
+ */
+struct Parallelization
+{
+    long tp = 1;
+    long pp = 1;
+    long dp = 1;
+
+    Parallelization() = default;
+    Parallelization(long tp_size, long dp_size)
+        : tp(tp_size), dp(dp_size)
+    {}
+    Parallelization(long tp_size, long pp_size, long dp_size)
+        : tp(tp_size), pp(pp_size), dp(dp_size)
+    {}
+
+    long npus() const { return tp * pp * dp; }
+    std::string name() const;
+};
+
+/** A full training workload. */
+struct Workload
+{
+    std::string name;
+    double parameters = 0.0; ///< Total model parameter count.
+    Parallelization strategy;
+    std::vector<Layer> layers;
+
+    /** Sum of compute seconds over all layers and phases. */
+    Seconds totalCompute() const;
+
+    /** Sum of collective payload bytes over all layers and phases. */
+    Bytes totalCommPayload() const;
+
+    /** All comm ops of a layer across the three phases. */
+    static std::vector<CommOp> allOps(const Layer& layer);
+};
+
+} // namespace libra
+
+#endif // LIBRA_WORKLOAD_WORKLOAD_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Workload zoo: the five Table II evaluation workloads, parameterized by
+ * system size. TP sizes follow Table II (Turing-NLG 1, GPT-3 16,
+ * MSFT-1T 128, DLRM across all NPUs, ResNet-50 1); the remaining NPUs
+ * form the DP group.
+ */
+
+#ifndef LIBRA_WORKLOAD_ZOO_HH
+#define LIBRA_WORKLOAD_ZOO_HH
+
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace libra {
+namespace wl {
+
+/** Turing-NLG: 17B params, 78 layers, hidden 4256, TP-1. */
+Workload turingNlg(long npus);
+
+/** GPT-3: 175B params, 96 layers, hidden 12288, TP-16. */
+Workload gpt3(long npus);
+
+/**
+ * GPT-3 with an explicit HP-(tp, pp, dp) strategy — exercises the
+ * pipeline-parallel extension (paper §IV-C). Global batch is held at
+ * the TP-16/DP-256 default so strategies are comparable.
+ */
+Workload gpt3WithStrategy(long tp, long pp, long dp);
+
+/** MSFT-1T: 1T params, 128 layers, hidden 25600, TP-128. */
+Workload msft1T(long npus);
+
+/**
+ * MSFT-1T with an explicit HP-(tp, dp) strategy — the co-optimization
+ * study of Fig. 21 (assumes extended memory, e.g. CXL, so any TP works).
+ */
+Workload msft1TWithStrategy(long tp, long dp);
+
+/** DLRM: 57M MLP params, embedding All-to-All across all NPUs. */
+Workload dlrm(long npus);
+
+/** ResNet-50: 25.6M params, pure DP. */
+Workload resnet50(long npus);
+
+/** All Table II workloads in paper order. */
+std::vector<Workload> tableTwo(long npus);
+
+} // namespace wl
+} // namespace libra
+
+#endif // LIBRA_WORKLOAD_ZOO_HH

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests for the chunk-level pipeline simulator (Fig. 9).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/chunk_timeline.hh"
+
+namespace libra {
+namespace {
+
+CollectiveJob
+arJob(Bytes size, std::vector<DimSpan> spans, int chunks,
+      SchedulePolicy policy = SchedulePolicy::FixedAscending)
+{
+    CollectiveJob j;
+    j.type = CollectiveType::AllReduce;
+    j.size = size;
+    j.spans = std::move(spans);
+    j.numChunks = chunks;
+    j.policy = policy;
+    return j;
+}
+
+TEST(ChunkTimeline, SingleDimSingleChunkMatchesAnalytic)
+{
+    // AR on one dim of 4 at 10 GB/s: 2*1e9*(3/4)/10e9 = 0.15 s.
+    ChunkTimeline tl(1, {10.0});
+    Seconds t = tl.collectiveTime(arJob(1e9, {{0, 4}}, 1));
+    EXPECT_NEAR(t, 0.15, 1e-9);
+}
+
+TEST(ChunkTimeline, ManyChunksApproachAnalyticBottleneck)
+{
+    // With balanced BW the pipelined time approaches the analytical
+    // bottleneck time as chunk count grows.
+    std::vector<DimSpan> spans{{0, 4}, {1, 4}, {2, 4}};
+    auto traffic =
+        multiRailTraffic(CollectiveType::AllReduce, 1e9, spans);
+    BwConfig bw{traffic[0] / 1e9, traffic[1] / 1e9, traffic[2] / 1e9};
+    Seconds analytic =
+        multiRailTime(CollectiveType::AllReduce, 1e9, spans, bw).time;
+
+    ChunkTimeline tl(3, bw);
+    Seconds coarse = tl.collectiveTime(arJob(1e9, spans, 4));
+    Seconds fine = tl.collectiveTime(arJob(1e9, spans, 256));
+
+    EXPECT_GT(coarse, analytic);           // Pipeline fill overhead.
+    EXPECT_LT(fine, coarse);               // More chunks pipeline better.
+    EXPECT_NEAR(fine, analytic, 0.05 * analytic);
+}
+
+TEST(ChunkTimeline, UnderprovisionedDimBottlenecks)
+{
+    // Fig. 9(a): a starving dim 1 keeps other dims underutilized.
+    std::vector<DimSpan> spans{{0, 4}, {1, 4}, {2, 4}};
+    ChunkTimeline starved(3, {1.0, 100.0, 100.0});
+    TimelineResult r = starved.run({arJob(1e9, spans, 8)});
+    EXPECT_GT(r.dimBusy[0] / r.makespan, 0.95);
+    EXPECT_LT(r.dimBusy[1] / r.makespan, 0.2);
+    EXPECT_LT(r.dimBusy[2] / r.makespan, 0.2);
+}
+
+TEST(ChunkTimeline, BalancedBwMaximizesUtilization)
+{
+    std::vector<DimSpan> spans{{0, 4}, {1, 4}, {2, 4}};
+    auto traffic =
+        multiRailTraffic(CollectiveType::AllReduce, 1e9, spans);
+    BwConfig balanced{traffic[0] / 1e9, traffic[1] / 1e9,
+                      traffic[2] / 1e9};
+    ChunkTimeline tlBal(3, balanced);
+    ChunkTimeline tlEq(3, BwConfig(3, 1.0));
+    double utilBal =
+        tlBal.run({arJob(1e9, spans, 64)}).avgBwUtilization;
+    double utilEq = tlEq.run({arJob(1e9, spans, 64)}).avgBwUtilization;
+    EXPECT_GT(utilBal, utilEq);
+    EXPECT_GT(utilBal, 0.8);
+}
+
+TEST(ChunkTimeline, RecordCountsAreExact)
+{
+    std::vector<DimSpan> spans{{0, 4}, {1, 4}};
+    ChunkTimeline tl(2, {10.0, 10.0});
+    TimelineResult r = tl.run({arJob(1e9, spans, 8)});
+    // AR on 2 dims = 4 stages per chunk (2 RS + 2 AG).
+    EXPECT_EQ(r.records.size(), 8u * 4u);
+
+    int rsCount = 0, agCount = 0;
+    for (const auto& rec : r.records)
+        (rec.allGather ? agCount : rsCount)++;
+    EXPECT_EQ(rsCount, 16);
+    EXPECT_EQ(agCount, 16);
+}
+
+TEST(ChunkTimeline, DimSerializesOps)
+{
+    // Records on the same dimension must not overlap in time.
+    std::vector<DimSpan> spans{{0, 4}, {1, 4}};
+    ChunkTimeline tl(2, {7.0, 3.0});
+    TimelineResult r = tl.run({arJob(2e9, spans, 16)});
+    for (std::size_t a = 0; a < r.records.size(); ++a)
+        for (std::size_t b = a + 1; b < r.records.size(); ++b) {
+            if (r.records[a].dim != r.records[b].dim)
+                continue;
+            bool disjoint = r.records[a].end <= r.records[b].start + 1e-12
+                            || r.records[b].end <=
+                                   r.records[a].start + 1e-12;
+            EXPECT_TRUE(disjoint);
+        }
+}
+
+TEST(ChunkTimeline, ConservesVolumePerDim)
+{
+    // Busy time * BW per dim equals the analytical traffic.
+    std::vector<DimSpan> spans{{0, 4}, {1, 8}};
+    BwConfig bw{13.0, 7.0};
+    ChunkTimeline tl(2, bw);
+    TimelineResult r = tl.run({arJob(3e9, spans, 32)});
+    auto traffic =
+        multiRailTraffic(CollectiveType::AllReduce, 3e9, spans);
+    EXPECT_NEAR(r.dimBusy[0] * bw[0] * 1e9, traffic[0], traffic[0] * 1e-9);
+    EXPECT_NEAR(r.dimBusy[1] * bw[1] * 1e9, traffic[1], traffic[1] * 1e-9);
+}
+
+TEST(ChunkTimeline, StandaloneAllGatherVolumes)
+{
+    // AG alone: dim-i traffic m(g_i-1)/q_i with ascending prefixes.
+    std::vector<DimSpan> spans{{0, 4}, {1, 8}};
+    BwConfig bw{10.0, 10.0};
+    ChunkTimeline tl(2, bw);
+    CollectiveJob j;
+    j.type = CollectiveType::AllGather;
+    j.size = 1e9;
+    j.spans = spans;
+    j.numChunks = 16;
+    TimelineResult r = tl.run({j});
+    auto traffic =
+        multiRailTraffic(CollectiveType::AllGather, 1e9, spans);
+    EXPECT_NEAR(r.dimBusy[0] * bw[0] * 1e9, traffic[0],
+                traffic[0] * 1e-9);
+    EXPECT_NEAR(r.dimBusy[1] * bw[1] * 1e9, traffic[1],
+                traffic[1] * 1e-9);
+}
+
+TEST(ChunkTimeline, AllToAllVolumes)
+{
+    std::vector<DimSpan> spans{{0, 4}, {1, 8}};
+    BwConfig bw{10.0, 10.0};
+    ChunkTimeline tl(2, bw);
+    CollectiveJob j;
+    j.type = CollectiveType::AllToAll;
+    j.size = 1e9;
+    j.spans = spans;
+    j.numChunks = 8;
+    TimelineResult r = tl.run({j});
+    auto traffic =
+        multiRailTraffic(CollectiveType::AllToAll, 1e9, spans);
+    EXPECT_NEAR(r.dimBusy[0] * bw[0] * 1e9, traffic[0],
+                traffic[0] * 1e-9);
+    EXPECT_NEAR(r.dimBusy[1] * bw[1] * 1e9, traffic[1],
+                traffic[1] * 1e-9);
+}
+
+TEST(ChunkTimeline, GreedyNoWorseOnImbalance)
+{
+    // On a BW split that is wrong for the fixed order, greedy
+    // (Themis-style) must not be slower.
+    std::vector<DimSpan> spans{{0, 4}, {1, 4}, {2, 4}};
+    BwConfig bw{5.0, 30.0, 10.0};
+    ChunkTimeline tl(3, bw);
+    Seconds fixed = tl.collectiveTime(arJob(1e9, spans, 64));
+    Seconds greedy = tl.collectiveTime(
+        arJob(1e9, spans, 64, SchedulePolicy::Greedy));
+    EXPECT_LE(greedy, fixed * 1.001);
+}
+
+TEST(ChunkTimeline, ReleaseTimeDelaysJob)
+{
+    std::vector<DimSpan> spans{{0, 4}};
+    ChunkTimeline tl(1, {10.0});
+    CollectiveJob j = arJob(1e9, spans, 4);
+    j.releaseTime = 5.0;
+    TimelineResult r = tl.run({j});
+    EXPECT_GE(r.records.front().start, 5.0);
+    EXPECT_NEAR(r.makespan, 5.0 + 0.15, 1e-6);
+}
+
+TEST(ChunkTimeline, TwoJobsContendOnSharedDim)
+{
+    std::vector<DimSpan> spans{{0, 4}};
+    ChunkTimeline tl(1, {10.0});
+    CollectiveJob j = arJob(1e9, spans, 4);
+    TimelineResult r = tl.run({j, j});
+    // Two identical ARs on one dim take twice one AR.
+    EXPECT_NEAR(r.makespan, 0.30, 1e-6);
+}
+
+TEST(ChunkTimeline, RenderProducesRows)
+{
+    std::vector<DimSpan> spans{{0, 4}, {1, 4}};
+    ChunkTimeline tl(2, {10.0, 10.0});
+    TimelineResult r = tl.run({arJob(1e9, spans, 4)});
+    std::string art = r.render(2, 40);
+    EXPECT_NE(art.find("Dim1"), std::string::npos);
+    EXPECT_NE(art.find("Dim2"), std::string::npos);
+    EXPECT_NE(art.find("% busy"), std::string::npos);
+}
+
+/** Property: makespan decreases (weakly) as bottleneck BW increases. */
+class TimelineMonotonicity : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(TimelineMonotonicity, MoreBwNotSlower)
+{
+    std::vector<DimSpan> spans{{0, 4}, {1, 8}};
+    ChunkTimeline slow(2, {GetParam(), 10.0});
+    ChunkTimeline fast(2, {GetParam() * 2.0, 10.0});
+    Seconds ts = slow.collectiveTime(arJob(1e9, spans, 16));
+    Seconds tf = fast.collectiveTime(arJob(1e9, spans, 16));
+    EXPECT_LE(tf, ts + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bw, TimelineMonotonicity,
+                         ::testing::Values(1.0, 5.0, 20.0, 100.0));
+
+} // namespace
+} // namespace libra

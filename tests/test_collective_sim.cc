@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the data-carrying collective simulator (Fig. 8 semantics).
+ */
+
+#include <gtest/gtest.h>
+
+#include "collective/multi_rail.hh"
+#include "common/logging.hh"
+#include "sim/collective_sim.hh"
+#include "topology/zoo.hh"
+
+namespace libra {
+namespace {
+
+double
+idPlusIndex(long npu, std::size_t idx)
+{
+    return static_cast<double>(npu + 1) * 10.0 +
+           static_cast<double>(idx);
+}
+
+TEST(CollectiveSim, Figure8ThreeByTwoAllReduce)
+{
+    // The paper's 3x2 worked example: 6 NPUs, 6 values each.
+    Network net = Network::parse("RI(3)_RI(2)");
+    CollectiveSim sim(net, {10.0, 10.0});
+    sim.init(6, idPlusIndex);
+
+    Seconds rs = sim.runReduceScatter();
+    EXPECT_TRUE(sim.verifyReduceScatter());
+    // After RS over both dims each NPU owns 6/(3*2) = 1 element.
+    for (long id = 0; id < 6; ++id) {
+        auto [lo, hi] = sim.activeRange(id);
+        EXPECT_EQ(hi - lo, 1u);
+    }
+
+    Seconds ag = sim.runAllGather();
+    EXPECT_TRUE(sim.verifyAllReduce());
+    EXPECT_GT(rs, 0.0);
+    EXPECT_NEAR(ag, rs, 1e-12); // AG mirrors RS volumes.
+}
+
+TEST(CollectiveSim, Figure8NumericValues)
+{
+    // Reproduce the exact arithmetic of Fig. 8: NPU i holds the column
+    // of values shown in the figure; the final result is the same sum
+    // everywhere.
+    Network net = Network::parse("RI(3)_RI(2)");
+    // Values from Fig. 8(a), NPUs 1..6, 6 chunks each.
+    const double vals[6][6] = {
+        {1, 2, 3, -6, -4, -2},  {4, 5, 6, -5, -3, -1},
+        {1, 3, 5, -2, -3, -5},  {2, 4, 6, -1, -4, -6},
+        {6, 3, 2, 4, 2, 6},     {5, 4, 1, 1, 5, 3},
+    };
+    CollectiveSim sim(net, {1.0, 1.0});
+    sim.init(6, [&vals](long npu, std::size_t i) {
+        return vals[npu][i];
+    });
+    sim.runAllReduce();
+    EXPECT_TRUE(sim.verifyAllReduce());
+    // Fig. 8(f): the reduced vector is the same on every NPU.
+    for (long id = 0; id < 6; ++id) {
+        const auto& d = sim.data(id);
+        double expect0 = 1 + 4 + 1 + 2 + 6 + 5; // 19.
+        EXPECT_NEAR(d[0], expect0, 1e-12);
+    }
+}
+
+TEST(CollectiveSim, AllReduceCorrectAcrossTopologies)
+{
+    for (const char* shape :
+         {"RI(4)", "FC(4)", "SW(4)", "RI(2)_SW(2)", "RI(4)_FC(2)_SW(2)",
+          "RI(4)_RI(4)_RI(4)"}) {
+        Network net = Network::parse(shape);
+        CollectiveSim sim(net, net.equalBw(100.0));
+        sim.init(static_cast<std::size_t>(net.npus()) * 4, idPlusIndex);
+        sim.runAllReduce();
+        EXPECT_TRUE(sim.verifyAllReduce()) << shape;
+    }
+}
+
+TEST(CollectiveSim, TimingMatchesAnalyticalModel)
+{
+    // Sequential (non-pipelined) stage times must equal the analytic
+    // per-dim times at zero latency.
+    Network net = Network::parse("RI(4)_FC(2)_SW(2)");
+    BwConfig bw{30.0, 20.0, 10.0};
+    CollectiveSim sim(net, bw, 0.0, kFp32Bytes);
+    std::size_t elems = static_cast<std::size_t>(net.npus()) * 16;
+    sim.init(elems, idPlusIndex);
+    Seconds t = sim.runAllReduce();
+
+    Bytes m = static_cast<double>(elems) * kFp32Bytes;
+    auto spans = mapGroupToDims(net, 1, net.npus());
+    auto timing = multiRailTime(CollectiveType::AllReduce, m, spans, bw);
+    Seconds analyticSum = 0.0;
+    for (Seconds s : timing.timePerDim)
+        analyticSum += s;
+    EXPECT_NEAR(t, analyticSum, analyticSum * 1e-9);
+}
+
+TEST(CollectiveSim, LatencyAddsPerStep)
+{
+    Network ringNet = Network::parse("RI(8)");
+    CollectiveSim noLat(ringNet, {100.0}, 0.0);
+    CollectiveSim withLat(ringNet, {100.0}, 1e-6);
+    noLat.init(8, idPlusIndex);
+    withLat.init(8, idPlusIndex);
+    Seconds t0 = noLat.runAllReduce();
+    Seconds t1 = withLat.runAllReduce();
+    // Ring RS is 7 steps and ring AG is 7 steps: 14 us extra.
+    EXPECT_NEAR(t1 - t0, 14e-6, 1e-12);
+}
+
+TEST(CollectiveSim, AlgorithmStepCounts)
+{
+    // Ring: g-1 steps; Direct: 1; Halving-Doubling: log2 g.
+    Network net = Network::parse("RI(4)_FC(4)_SW(4)");
+    CollectiveSim sim(net, net.equalBw(30.0), 1e-6);
+    sim.init(static_cast<std::size_t>(net.npus()), idPlusIndex);
+    sim.runReduceScatter();
+    const auto& stages = sim.stages();
+    ASSERT_EQ(stages.size(), 3u);
+    EXPECT_EQ(stages[0].steps, 3); // Ring(4).
+    EXPECT_EQ(stages[1].steps, 1); // FC(4) direct.
+    EXPECT_EQ(stages[2].steps, 2); // SW(4) halving-doubling.
+}
+
+TEST(CollectiveSim, ReduceScatterOwnershipTilesBuffer)
+{
+    Network net = topo::threeDTorus();
+    CollectiveSim sim(net, net.equalBw(300.0));
+    std::size_t elems = static_cast<std::size_t>(net.npus());
+    sim.init(elems, idPlusIndex);
+    sim.runReduceScatter();
+    EXPECT_TRUE(sim.verifyReduceScatter());
+
+    // Each NPU owns exactly one element; all elements covered once.
+    std::vector<int> covered(elems, 0);
+    for (long id = 0; id < net.npus(); ++id) {
+        auto [lo, hi] = sim.activeRange(id);
+        EXPECT_EQ(hi - lo, 1u);
+        ++covered[lo];
+    }
+    for (int c : covered)
+        EXPECT_EQ(c, 1);
+}
+
+TEST(CollectiveSim, AllGatherWithoutReduceScatterThrows)
+{
+    // AG assumes the post-RS sibling-interval structure; running it on
+    // a fresh buffer must fail loudly instead of corrupting ranges.
+    Network net = Network::parse("RI(4)");
+    CollectiveSim sim(net, {10.0});
+    sim.init(8, idPlusIndex);
+    EXPECT_THROW(sim.runAllGather(), FatalError);
+}
+
+TEST(CollectiveSim, InitValidation)
+{
+    Network net = Network::parse("RI(4)");
+    CollectiveSim sim(net, {10.0});
+    EXPECT_THROW(sim.init(6, idPlusIndex), FatalError); // Not mult of 4.
+    EXPECT_THROW(sim.init(0, idPlusIndex), FatalError);
+    EXPECT_THROW(sim.runAllReduce(), FatalError); // Init not called.
+}
+
+TEST(CollectiveSim, BandwidthScalesStageTime)
+{
+    Network net = Network::parse("RI(4)");
+    CollectiveSim slow(net, {10.0});
+    CollectiveSim fast(net, {20.0});
+    slow.init(8, idPlusIndex);
+    fast.init(8, idPlusIndex);
+    EXPECT_NEAR(slow.runAllReduce(), 2.0 * fast.runAllReduce(), 1e-15);
+}
+
+/** Property: All-Reduce result is NPU-count * average on all shapes. */
+class CollectiveSimShapes : public ::testing::TestWithParam<const char*>
+{};
+
+TEST_P(CollectiveSimShapes, ConstantInputStaysConstantTimesN)
+{
+    Network net = Network::parse(GetParam());
+    CollectiveSim sim(net, net.equalBw(100.0));
+    sim.init(static_cast<std::size_t>(net.npus()) * 2,
+             [](long, std::size_t) { return 2.5; });
+    sim.runAllReduce();
+    double want = 2.5 * static_cast<double>(net.npus());
+    for (long id = 0; id < net.npus(); ++id)
+        EXPECT_NEAR(sim.data(id)[0], want, 1e-9) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CollectiveSimShapes,
+                         ::testing::Values("RI(2)", "RI(5)", "FC(3)",
+                                           "SW(8)", "RI(2)_FC(2)",
+                                           "SW(4)_SW(2)_SW(2)",
+                                           "RI(4)_RI(4)_RI(4)"));
+
+} // namespace
+} // namespace libra

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Tests for the end-to-end training-time estimator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/estimator.hh"
+#include "topology/zoo.hh"
+#include "workload/zoo.hh"
+
+namespace libra {
+namespace {
+
+/** Tiny hand-built workload: one layer, known numbers. */
+Workload
+toyWorkload(long tp, long dp)
+{
+    Workload w;
+    w.name = "toy";
+    w.strategy = {tp, dp};
+    Layer l;
+    l.name = "l0";
+    l.fwdCompute = 1.0;
+    l.igCompute = 2.0;
+    l.wgCompute = 3.0;
+    if (tp > 1) {
+        l.fwdComm.push_back(
+            {CollectiveType::AllReduce, CommScope::Tp, 1e9});
+        l.igComm.push_back(
+            {CollectiveType::AllReduce, CommScope::Tp, 1e9});
+    }
+    if (dp > 1) {
+        l.wgComm.push_back(
+            {CollectiveType::AllReduce, CommScope::Dp, 1e9});
+    }
+    w.layers.push_back(l);
+    return w;
+}
+
+TEST(Estimator, NoOverlapSumsEverything)
+{
+    Network net = Network::parse("RI(4)_RI(4)");
+    TrainingEstimator est(net);
+    Workload w = toyWorkload(4, 4);
+    BwConfig bw{10.0, 10.0};
+
+    // TP AR on dim 1: 2*1e9*(3/4)/10e9 = 0.15 s each.
+    // DP AR on dim 2 (stride 4): 2*1e9*(3/4)/10e9 = 0.15 s.
+    Seconds want = (1.0 + 0.15) + (2.0 + 0.15) + (3.0 + 0.15);
+    EXPECT_NEAR(est.estimate(w, bw), want, 1e-9);
+}
+
+TEST(Estimator, TpDpOverlapTakesMax)
+{
+    Network net = Network::parse("RI(4)_RI(4)");
+    EstimatorOptions opt;
+    opt.loop = TrainingLoop::TpDpOverlap;
+    TrainingEstimator est(net, opt);
+    Workload w = toyWorkload(4, 4);
+    BwConfig bw{10.0, 10.0};
+
+    // Backward tail = max(TP_comm, DP_comp + DP_comm)
+    //               = max(0.15, 3.0 + 0.15) = 3.15.
+    Seconds want = (1.0 + 0.15) + 2.0 + 3.15;
+    EXPECT_NEAR(est.estimate(w, bw), want, 1e-9);
+}
+
+TEST(Estimator, OverlapNeverSlower)
+{
+    Network net = topo::fourD4K();
+    TrainingEstimator noOverlap(net);
+    EstimatorOptions opt;
+    opt.loop = TrainingLoop::TpDpOverlap;
+    TrainingEstimator overlap(net, opt);
+
+    BwConfig bw = net.equalBw(400.0);
+    for (const auto& w : wl::tableTwo(net.npus())) {
+        EXPECT_LE(overlap.estimate(w, bw),
+                  noOverlap.estimate(w, bw) + 1e-12)
+            << w.name;
+    }
+}
+
+TEST(Estimator, MoreBandwidthNeverSlower)
+{
+    Network net = topo::threeD4K();
+    TrainingEstimator est(net);
+    Workload w = wl::msft1T(net.npus());
+    Seconds slow = est.estimate(w, net.equalBw(100.0));
+    Seconds fast = est.estimate(w, net.equalBw(1000.0));
+    EXPECT_LT(fast, slow);
+}
+
+TEST(Estimator, WorkloadNetworkMismatchThrows)
+{
+    Network net = topo::fourD4K();
+    TrainingEstimator est(net);
+    Workload w = wl::gpt3(1024); // 1024 != 4096 NPUs.
+    EXPECT_THROW(est.estimate(w, net.equalBw(100.0)), FatalError);
+}
+
+TEST(Estimator, DetailMatchesEstimate)
+{
+    Network net = topo::fourD4K();
+    for (auto loop :
+         {TrainingLoop::NoOverlap, TrainingLoop::TpDpOverlap}) {
+        EstimatorOptions opt;
+        opt.loop = loop;
+        TrainingEstimator est(net, opt);
+        Workload w = wl::msft1T(net.npus());
+        BwConfig bw = net.equalBw(300.0);
+        EstimateDetail d = est.detail(w, bw);
+        EXPECT_NEAR(d.total, est.estimate(w, bw), 1e-12);
+        EXPECT_GT(d.computeTotal, 0.0);
+        EXPECT_GT(d.exposedComm, 0.0);
+    }
+}
+
+TEST(Estimator, DetailBreakdownConsistent)
+{
+    Network net = topo::fourD4K();
+    TrainingEstimator est(net);
+    Workload w = wl::gpt3(net.npus());
+    BwConfig bw = net.equalBw(300.0);
+    EstimateDetail d = est.detail(w, bw);
+
+    EXPECT_NEAR(d.computeTotal, d.fwdCompute + d.igCompute + d.wgCompute,
+                1e-12);
+    // No overlap: total = compute + all comm.
+    EXPECT_NEAR(d.total,
+                d.computeTotal + d.fwdComm + d.igComm + d.wgComm, 1e-9);
+    // Utilization is a fraction.
+    EXPECT_GT(d.avgBwUtilization, 0.0);
+    EXPECT_LE(d.avgBwUtilization, 1.0 + 1e-9);
+}
+
+TEST(Estimator, UtilizationHitsOneOnBalancedSingleCollective)
+{
+    // One collective over one dim: the only dim is always busy.
+    Network net = Network::parse("RI(4)");
+    TrainingEstimator est(net);
+    Workload w;
+    w.strategy = {1, 4};
+    Layer l;
+    l.wgComm.push_back({CollectiveType::AllReduce, CommScope::Dp, 1e9});
+    w.layers.push_back(l);
+    EstimateDetail d = est.detail(w, {10.0});
+    EXPECT_NEAR(d.avgBwUtilization, 1.0, 1e-9);
+}
+
+TEST(Estimator, EqualBwUnderutilizesMultiDim)
+{
+    // The Fig. 10 premise: EqualBW on a 4D network leaves most of the
+    // fabric idle because dim 1 bottlenecks.
+    Network net = topo::fourD4K();
+    TrainingEstimator est(net);
+    Workload w = wl::msft1T(net.npus());
+    EstimateDetail d = est.detail(w, net.equalBw(300.0));
+    EXPECT_LT(d.avgBwUtilization, 0.8);
+}
+
+TEST(Estimator, SpansForScopes)
+{
+    Network net = topo::fourD4K();
+    TrainingEstimator est(net);
+    Parallelization hp{128, 32};
+    EXPECT_EQ(est.spansFor(hp, CommScope::Tp).size(), 3u);
+    EXPECT_EQ(est.spansFor(hp, CommScope::Dp).size(), 1u);
+    EXPECT_EQ(est.spansFor(hp, CommScope::All).size(), 4u);
+}
+
+TEST(Estimator, CommTimeMatchesMultiRail)
+{
+    Network net = topo::fourD4K();
+    TrainingEstimator est(net);
+    Parallelization hp{128, 32};
+    BwConfig bw = net.equalBw(400.0);
+    CommOp op{CollectiveType::AllReduce, CommScope::Tp, 5e9};
+    auto spans = est.spansFor(hp, CommScope::Tp);
+    EXPECT_NEAR(est.commTime(op, hp, bw),
+                multiRailTime(op.type, op.size, spans, bw).time, 1e-15);
+}
+
+TEST(Estimator, CustomCommTimeFnUsed)
+{
+    Network net = Network::parse("RI(4)");
+    EstimatorOptions opt;
+    opt.commTimeFn = [](CollectiveType, Bytes,
+                        const std::vector<DimSpan>& spans,
+                        const BwConfig&, bool) {
+        CollectiveTiming t;
+        t.time = 42.0;
+        t.trafficPerDim.assign(spans.size(), 0.0);
+        t.timePerDim.assign(spans.size(), 42.0);
+        return t;
+    };
+    TrainingEstimator est(net, opt);
+    Workload w;
+    w.strategy = {1, 4};
+    Layer l;
+    l.wgComm.push_back({CollectiveType::AllReduce, CommScope::Dp, 1e9});
+    w.layers.push_back(l);
+    EXPECT_NEAR(est.estimate(w, {10.0}), 42.0, 1e-12);
+}
+
+TEST(Estimator, InNetworkSpeedsUpAllReduce)
+{
+    // ResNet-50 syncs gradients with true All-Reduces, the collective
+    // the switch-offload model accelerates (ZeRO-2 RS+AG is untouched).
+    Network net = topo::threeD512();
+    EstimatorOptions offload;
+    offload.inNetworkCollectives = true;
+    TrainingEstimator plain(net);
+    TrainingEstimator inNet(net, offload);
+    Workload w = wl::resnet50(net.npus());
+    BwConfig bw = net.equalBw(300.0);
+    EXPECT_LT(inNet.estimate(w, bw), plain.estimate(w, bw));
+}
+
+TEST(Estimator, InNetworkLeavesZeroTwoWorkloadsUnchanged)
+{
+    Network net = topo::threeD512();
+    EstimatorOptions offload;
+    offload.inNetworkCollectives = true;
+    TrainingEstimator plain(net);
+    TrainingEstimator inNet(net, offload);
+    Workload w = wl::turingNlg(net.npus()); // RS+AG gradient sync.
+    BwConfig bw = net.equalBw(300.0);
+    EXPECT_DOUBLE_EQ(inNet.estimate(w, bw), plain.estimate(w, bw));
+}
+
+} // namespace
+} // namespace libra

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the discrete-event engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace libra {
+namespace {
+
+TEST(Ticks, Conversions)
+{
+    EXPECT_EQ(toTicks(1.0), static_cast<Tick>(1e12));
+    EXPECT_EQ(toTicks(0.5e-12), 1u); // Rounds.
+    EXPECT_DOUBLE_EQ(toSeconds(2'000'000'000'000ull), 2.0);
+}
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(toTicks(3.0), [&] { order.push_back(3); });
+    eq.schedule(toTicks(1.0), [&] { order.push_back(1); });
+    eq.schedule(toTicks(2.0), [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), toTicks(3.0));
+}
+
+TEST(EventQueue, FifoOnTies)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(100, [&order, i] { order.push_back(i); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, NestedScheduling)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] {
+        order.push_back(1);
+        eq.scheduleAfter(5, [&] { order.push_back(2); });
+    });
+    eq.schedule(12, [&] { order.push_back(3); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(EventQueue, StepByStep)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(1, [&] { ++count; });
+    eq.schedule(2, [&] { ++count; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, ScheduleAtNowAllowed)
+{
+    EventQueue eq;
+    int hits = 0;
+    eq.schedule(7, [&] {
+        eq.schedule(eq.now(), [&] { ++hits; });
+    });
+    eq.run();
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(EventQueueDeathTest, PastSchedulingPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(5, [] {}), "panic");
+}
+
+} // namespace
+} // namespace libra

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * End-to-end tests of the LIBRA framework facade plus report helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/framework.hh"
+#include "core/report.hh"
+#include "workload/zoo.hh"
+
+namespace libra {
+namespace {
+
+LibraInputs
+baseInputs(const std::string& shape, Workload w, double bw)
+{
+    LibraInputs in;
+    in.networkShape = shape;
+    in.targets.push_back({std::move(w), 1.0});
+    in.config.totalBw = bw;
+    in.config.search.starts = 3;
+    return in;
+}
+
+TEST(Framework, PerfOptSpeedupAtLeastOne)
+{
+    auto in = baseInputs("RI(16)_FC(8)_SW(32)", wl::msft1T(4096), 300.0);
+    in.config.objective = OptimizationObjective::PerfOpt;
+    LibraReport r = runLibra(in);
+    EXPECT_GE(r.speedup, 1.0 - 1e-6);
+    EXPECT_GE(r.perfPerCostGain, 1.0 - 1e-6);
+    EXPECT_LE(r.optimized.weightedTime, r.equalBw.weightedTime);
+}
+
+TEST(Framework, PerfPerCostWinsPerfPerCost)
+{
+    auto in = baseInputs("RI(16)_FC(8)_SW(32)", wl::msft1T(4096), 300.0);
+    in.config.objective = OptimizationObjective::PerfPerCostOpt;
+    LibraReport r = runLibra(in);
+    EXPECT_GE(r.perfPerCostGain, 1.0 - 1e-6);
+}
+
+TEST(Framework, NormalizedWeightsApplied)
+{
+    LibraInputs in;
+    in.networkShape = "RI(4)_FC(8)_RI(4)_SW(32)";
+    in.targets.push_back({wl::turingNlg(4096), 1.0});
+    in.targets.push_back({wl::msft1T(4096), 1.0});
+    in.normalizeTargetWeights = true;
+    in.config.totalBw = 500.0;
+    in.config.search.starts = 2;
+    LibraReport r = runLibra(in);
+    EXPECT_EQ(r.optimized.perWorkloadTime.size(), 2u);
+    // With 1/T_EqualBW weights, the weighted EqualBW time is the target
+    // count.
+    EXPECT_NEAR(r.equalBw.weightedTime, 2.0, 1e-6);
+}
+
+TEST(Framework, OptimizedAllocationIsWorkloadShaped)
+{
+    // For a TP-heavy LLM the inner dimension should get the most BW.
+    auto in = baseInputs("RI(4)_FC(8)_RI(4)_SW(32)", wl::msft1T(4096),
+                         500.0);
+    LibraReport r = runLibra(in);
+    EXPECT_GT(r.optimized.bw[0], r.optimized.bw[3]);
+}
+
+TEST(Report, Formatting)
+{
+    EXPECT_EQ(bwConfigToString({1.0, 2.5}, 1), "[ 1.0, 2.5 ] GB/s");
+    EXPECT_EQ(bytesToString(3.4e9), "3.40 GB");
+    EXPECT_EQ(dollarsToString(15.2e6), "$15.20 M");
+    EXPECT_EQ(secondsToString(0.0123), "12.300 ms");
+    EXPECT_EQ(secondsToString(2.0), "2.000 s");
+    EXPECT_EQ(bytesToString(512.0), "512.00 B");
+}
+
+} // namespace
+} // namespace libra

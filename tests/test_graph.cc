@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the NPU-level link-graph expansion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/graph.hh"
+#include "topology/zoo.hh"
+
+namespace libra {
+namespace {
+
+TEST(Graph, RingLinkStructure)
+{
+    Network net = Network::parse("RI(4)");
+    TopologyGraph g(net, {10.0});
+    // 4 NPUs x 2 directions = 8 directed links at B/2 each.
+    EXPECT_EQ(g.links().size(), 8u);
+    for (const auto& l : g.links()) {
+        EXPECT_DOUBLE_EQ(l.bw, 5.0);
+        EXPECT_EQ(l.egressGroup, -1);
+        // Neighbours only.
+        long diff = std::abs(l.src - l.dst);
+        EXPECT_TRUE(diff == 1 || diff == 3);
+    }
+}
+
+TEST(Graph, TwoRingIsSingleWirePair)
+{
+    Network net = Network::parse("RI(2)");
+    TopologyGraph g(net, {10.0});
+    ASSERT_EQ(g.links().size(), 2u);
+    EXPECT_DOUBLE_EQ(g.links()[0].bw, 10.0);
+}
+
+TEST(Graph, FullyConnectedSplitsBandwidth)
+{
+    Network net = Network::parse("FC(4)");
+    TopologyGraph g(net, {30.0});
+    // 4*3 directed pairs at B/(g-1) = 10 each.
+    EXPECT_EQ(g.links().size(), 12u);
+    for (const auto& l : g.links())
+        EXPECT_DOUBLE_EQ(l.bw, 10.0);
+}
+
+TEST(Graph, SwitchSharesUplink)
+{
+    Network net = Network::parse("SW(4)");
+    TopologyGraph g(net, {40.0});
+    EXPECT_EQ(g.links().size(), 12u);
+    for (const auto& l : g.links()) {
+        EXPECT_DOUBLE_EQ(l.bw, 40.0); // Full BW per transfer...
+        EXPECT_GE(l.egressGroup, 0);  // ...but serialized per NPU.
+        EXPECT_GE(l.ingressGroup, 0);
+    }
+    // 4 egress + 4 ingress shared groups.
+    EXPECT_EQ(g.numSharedGroups(), 8);
+}
+
+TEST(Graph, TorusHasSixNeighbourLinksPerNode)
+{
+    Network net = topo::threeDTorus(); // RI(4)^3.
+    TopologyGraph g(net, net.equalBw(300.0));
+    EXPECT_EQ(g.numNodes(), 64);
+    // Each dim contributes 2 directed links per NPU: 64*6 total.
+    EXPECT_EQ(g.links().size(), 64u * 6u);
+    for (long id = 0; id < 64; ++id)
+        EXPECT_EQ(g.outLinks(id).size(), 6u);
+}
+
+TEST(Graph, MultiDimMixedStructure)
+{
+    Network net = Network::parse("RI(4)_SW(2)");
+    TopologyGraph g(net, {20.0, 10.0});
+    // Ring: 8 npus * 2 = 16 links; SW(2): 4 groups * 2 links = 8.
+    EXPECT_EQ(g.links().size(), 24u);
+    int swLinks = 0;
+    for (const auto& l : g.links())
+        if (l.dim == 1)
+            ++swLinks;
+    EXPECT_EQ(swLinks, 8);
+}
+
+TEST(Graph, LinksConnectOnlyGroupPeers)
+{
+    Network net = Network::parse("RI(4)_RI(4)");
+    TopologyGraph g(net, {10.0, 10.0});
+    for (const auto& l : g.links()) {
+        auto cs = net.coordsOf(l.src);
+        auto cd = net.coordsOf(l.dst);
+        // Exactly the link's dimension coordinate differs.
+        for (std::size_t d = 0; d < net.numDims(); ++d) {
+            if (d == l.dim)
+                EXPECT_NE(cs[d], cd[d]);
+            else
+                EXPECT_EQ(cs[d], cd[d]);
+        }
+    }
+}
+
+} // namespace
+} // namespace libra

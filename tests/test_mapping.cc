@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for communicator-group to network-dimension mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "collective/mapping.hh"
+#include "common/logging.hh"
+#include "topology/zoo.hh"
+
+namespace libra {
+namespace {
+
+TEST(Mapping, SingletonGroupIsEmpty)
+{
+    Network net = topo::fourD4K();
+    EXPECT_TRUE(mapGroupToDims(net, 1, 1).empty());
+}
+
+TEST(Mapping, WholeNetworkSpansAllDims)
+{
+    Network net = topo::fourD4K(); // RI(4)_FC(8)_RI(4)_SW(32).
+    auto spans = mapGroupToDims(net, 1, net.npus());
+    ASSERT_EQ(spans.size(), 4u);
+    EXPECT_EQ(spans[0], (DimSpan{0, 4}));
+    EXPECT_EQ(spans[1], (DimSpan{1, 8}));
+    EXPECT_EQ(spans[2], (DimSpan{2, 4}));
+    EXPECT_EQ(spans[3], (DimSpan{3, 32}));
+}
+
+TEST(Mapping, Tp128CoversThreeInnerDims)
+{
+    // MSFT-1T on 4D-4K: TP-128 = 4*8*4.
+    Network net = topo::fourD4K();
+    auto spans = mapGroupToDims(net, 1, 128);
+    ASSERT_EQ(spans.size(), 3u);
+    EXPECT_EQ(spans[0], (DimSpan{0, 4}));
+    EXPECT_EQ(spans[1], (DimSpan{1, 8}));
+    EXPECT_EQ(spans[2], (DimSpan{2, 4}));
+}
+
+TEST(Mapping, DpAboveTp128UsesOuterDim)
+{
+    Network net = topo::fourD4K();
+    auto spans = mapGroupToDims(net, 128, 32);
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0], (DimSpan{3, 32}));
+}
+
+TEST(Mapping, Gpt3TpMismatchSplitsDimTwo)
+{
+    // GPT-3 TP-16 on 4D-4K: dim 1 fully (4) + *half* of dim 2 (4 of 8) —
+    // the mismatching-TP-size case the paper calls out. The 4-subset of
+    // the FC(8) can only drive 3 of its 7 per-peer links.
+    Network net = topo::fourD4K();
+    auto spans = mapGroupToDims(net, 1, 16);
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_EQ(spans[0], (DimSpan{0, 4, 1.0}));
+    EXPECT_EQ(spans[1].dim, 1u);
+    EXPECT_EQ(spans[1].groupSize, 4);
+    EXPECT_NEAR(spans[1].efficiency, 3.0 / 7.0, 1e-12);
+}
+
+TEST(Mapping, DpAboveGpt3TpStraddlesDims)
+{
+    // DP-256 above TP-16: remaining half of dim 2 (a stride-4 pair in
+    // the FC(8), 1 of 7 links usable), all of dims 3 and 4.
+    Network net = topo::fourD4K();
+    auto spans = mapGroupToDims(net, 16, 256);
+    ASSERT_EQ(spans.size(), 3u);
+    EXPECT_EQ(spans[0].dim, 1u);
+    EXPECT_EQ(spans[0].groupSize, 2);
+    EXPECT_NEAR(spans[0].efficiency, 1.0 / 7.0, 1e-12);
+    EXPECT_EQ(spans[1], (DimSpan{2, 4, 1.0}));
+    EXPECT_EQ(spans[2], (DimSpan{3, 32, 1.0}));
+}
+
+TEST(Mapping, EfficiencyRules)
+{
+    // FC: (g-1)/(n-1); Ring: g*stride/n; Switch: always 1.
+    Network net = Network::parse("RI(8)_FC(8)_SW(8)");
+
+    auto ri = mapGroupToDims(net, 1, 4); // 4 consecutive of RI(8).
+    EXPECT_NEAR(ri[0].efficiency, 4.0 / 8.0, 1e-12);
+
+    auto ri2 = mapGroupToDims(net, 2, 4); // Stride-2 subset of RI(8).
+    ASSERT_EQ(ri2[0].dim, 0u);
+    EXPECT_NEAR(ri2[0].efficiency, 4.0 * 2.0 / 8.0, 1e-12);
+
+    auto fc = mapGroupToDims(net, 8, 2); // Pair within FC(8).
+    ASSERT_EQ(fc[0].dim, 1u);
+    EXPECT_NEAR(fc[0].efficiency, 1.0 / 7.0, 1e-12);
+
+    auto sw = mapGroupToDims(net, 64, 4); // 4-subset of SW(8).
+    ASSERT_EQ(sw[0].dim, 2u);
+    EXPECT_DOUBLE_EQ(sw[0].efficiency, 1.0);
+}
+
+TEST(Mapping, EfficiencyCanBeDisabled)
+{
+    // The blind (paper-LIBRA) model reports 1.0 everywhere.
+    Network net = topo::fourD4K();
+    auto spans = mapGroupToDims(net, 1, 16, false);
+    for (const auto& s : spans)
+        EXPECT_DOUBLE_EQ(s.efficiency, 1.0);
+}
+
+TEST(Mapping, FullDimsAlwaysFullyEfficient)
+{
+    Network net = topo::fourD4K();
+    for (const auto& s : mapGroupToDims(net, 1, net.npus()))
+        EXPECT_DOUBLE_EQ(s.efficiency, 1.0);
+}
+
+TEST(Mapping, StrideSkipsInnerDims)
+{
+    Network net = Network::parse("RI(4)_RI(4)_RI(4)");
+    auto spans = mapGroupToDims(net, 4, 4);
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0], (DimSpan{1, 4}));
+
+    spans = mapGroupToDims(net, 16, 4);
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0], (DimSpan{2, 4}));
+}
+
+TEST(Mapping, GroupTooLargeThrows)
+{
+    Network net = topo::threeDTorus(); // 64 NPUs.
+    EXPECT_THROW(mapGroupToDims(net, 1, 128), FatalError);
+    EXPECT_THROW(mapGroupToDims(net, 2, 64), FatalError);
+}
+
+TEST(Mapping, MisalignedStrideThrows)
+{
+    Network net = Network::parse("RI(4)_RI(4)");
+    // Stride 3 does not align with the dim-1 size 4.
+    EXPECT_THROW(mapGroupToDims(net, 3, 4), FatalError);
+}
+
+TEST(Mapping, NonTilingGroupThrows)
+{
+    Network net = Network::parse("RI(8)_RI(2)");
+    // A group of 3 cannot tile a dim of 8 (3 does not divide 8).
+    EXPECT_THROW(mapGroupToDims(net, 1, 3), FatalError);
+}
+
+TEST(Mapping, BadStrideThrows)
+{
+    Network net = topo::threeDTorus();
+    EXPECT_THROW(mapGroupToDims(net, 0, 4), FatalError);
+}
+
+/** Property: TP spans + DP spans jointly tile the whole network. */
+class MappingTiling
+    : public ::testing::TestWithParam<std::pair<long, long>>
+{};
+
+TEST_P(MappingTiling, TpTimesDpCoversNetwork)
+{
+    auto [tp, dp] = GetParam();
+    Network net = topo::fourD4K();
+    ASSERT_EQ(tp * dp, net.npus());
+
+    auto tpSpans = mapGroupToDims(net, 1, tp);
+    auto dpSpans = mapGroupToDims(net, tp, dp);
+
+    long tpProduct = 1;
+    for (const auto& s : tpSpans)
+        tpProduct *= s.groupSize;
+    long dpProduct = 1;
+    for (const auto& s : dpSpans)
+        dpProduct *= s.groupSize;
+    EXPECT_EQ(tpProduct, tp);
+    EXPECT_EQ(dpProduct, dp);
+
+    // Per dimension, TP and DP shares multiply to the dim size.
+    std::vector<long> share(net.numDims(), 1);
+    for (const auto& s : tpSpans)
+        share[s.dim] *= s.groupSize;
+    for (const auto& s : dpSpans)
+        share[s.dim] *= s.groupSize;
+    for (std::size_t d = 0; d < net.numDims(); ++d)
+        EXPECT_EQ(share[d], net.dim(d).size) << "dim " << d;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HpStrategies, MappingTiling,
+    ::testing::Values(std::pair<long, long>{1, 4096},
+                      std::pair<long, long>{4, 1024},
+                      std::pair<long, long>{8, 512},
+                      std::pair<long, long>{16, 256},
+                      std::pair<long, long>{32, 128},
+                      std::pair<long, long>{64, 64},
+                      std::pair<long, long>{128, 32},
+                      std::pair<long, long>{256, 16},
+                      std::pair<long, long>{4096, 1}));
+
+} // namespace
+} // namespace libra

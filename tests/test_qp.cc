@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the active-set QP solver and the projection utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "solver/feasible.hh"
+#include "solver/qp.hh"
+
+namespace libra {
+namespace {
+
+TEST(FindFeasible, HitsSimplex)
+{
+    ConstraintSet cs(3);
+    cs.addTotalBw(30.0);
+    cs.addLowerBounds(1.0);
+    Vec x = findFeasiblePoint(cs, {100.0, -5.0, 2.0});
+    EXPECT_LE(cs.maxViolation(x), 1e-8);
+}
+
+TEST(FindFeasible, EqualityChain)
+{
+    ConstraintSet cs(4);
+    cs.addTotalBw(100.0);
+    cs.addParsed("B2 + B3 = B4");
+    cs.addLowerBounds(0.5);
+    Vec x = findFeasiblePoint(cs, {25, 25, 25, 25});
+    EXPECT_LE(cs.maxViolation(x), 1e-8);
+}
+
+TEST(QpSolver, UnconstrainedMinimum)
+{
+    // min 1/2 x'Ix - [1,2].x -> x = (1, 2).
+    QpSolver qp(Matrix::identity(2), {-1.0, -2.0}, Matrix(), Vec(),
+                Matrix(), Vec());
+    QpResult r = qp.solve({0.0, 0.0});
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x[0], 1.0, 1e-8);
+    EXPECT_NEAR(r.x[1], 2.0, 1e-8);
+}
+
+TEST(QpSolver, EqualityConstrained)
+{
+    // min 1/2||x||^2 s.t. x0 + x1 = 2 -> x = (1, 1).
+    Matrix a;
+    a.appendRow({1.0, 1.0});
+    QpSolver qp(Matrix::identity(2), {0.0, 0.0}, a, {2.0}, Matrix(),
+                Vec());
+    QpResult r = qp.solve({2.0, 0.0});
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x[0], 1.0, 1e-8);
+    EXPECT_NEAR(r.x[1], 1.0, 1e-8);
+}
+
+TEST(QpSolver, ActiveInequality)
+{
+    // min 1/2||x - (3,0)||^2 s.t. x0 <= 1 -> x = (1, 0).
+    Matrix g;
+    g.appendRow({1.0, 0.0});
+    QpSolver qp(Matrix::identity(2), {-3.0, 0.0}, Matrix(), Vec(), g,
+                {1.0});
+    QpResult r = qp.solve({0.0, 0.0});
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x[0], 1.0, 1e-7);
+    EXPECT_NEAR(r.x[1], 0.0, 1e-7);
+}
+
+TEST(QpSolver, InactiveInequalityIgnored)
+{
+    // Same but the cap is not binding -> unconstrained optimum.
+    Matrix g;
+    g.appendRow({1.0, 0.0});
+    QpSolver qp(Matrix::identity(2), {-3.0, 0.0}, Matrix(), Vec(), g,
+                {10.0});
+    QpResult r = qp.solve({0.0, 0.0});
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x[0], 3.0, 1e-7);
+}
+
+TEST(Projection, InteriorPointUnchanged)
+{
+    ConstraintSet cs(2);
+    cs.addParsed("B1 + B2 <= 10");
+    cs.addLowerBounds(0.0);
+    Vec p = projectOntoConstraints(cs, {2.0, 3.0});
+    EXPECT_NEAR(p[0], 2.0, 1e-7);
+    EXPECT_NEAR(p[1], 3.0, 1e-7);
+}
+
+TEST(Projection, OntoSimplexKnownAnswer)
+{
+    // Project (2, 0) onto {x >= 0, x0+x1 = 1}: answer (1, 0)... actually
+    // the Euclidean projection of (2,0) onto the segment is (1, 0)? The
+    // unconstrained hyperplane projection is (1.5, -0.5); clipping to
+    // x1 >= 0 gives the vertex (1, 0).
+    ConstraintSet cs(2);
+    cs.addTotalBw(1.0);
+    cs.addLowerBounds(0.0);
+    Vec p = projectOntoConstraints(cs, {2.0, 0.0});
+    EXPECT_NEAR(p[0], 1.0, 1e-6);
+    EXPECT_NEAR(p[1], 0.0, 1e-6);
+}
+
+TEST(Projection, Idempotent)
+{
+    ConstraintSet cs(3);
+    cs.addTotalBw(9.0);
+    cs.addLowerBounds(0.5);
+    Vec once = projectOntoConstraints(cs, {10.0, -4.0, 1.0});
+    Vec twice = projectOntoConstraints(cs, once);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_NEAR(once[static_cast<std::size_t>(i)],
+                    twice[static_cast<std::size_t>(i)], 1e-6);
+}
+
+TEST(Projection, InfeasibleSetThrows)
+{
+    ConstraintSet cs(2);
+    cs.addParsed("B1 + B2 = 10");
+    cs.addParsed("B1 + B2 = 20");
+    EXPECT_THROW(projectOntoConstraints(cs, {5.0, 5.0}), FatalError);
+}
+
+/**
+ * Property: the projection is no farther from the query point than any
+ * random feasible point (definition of Euclidean projection).
+ */
+class ProjectionProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ProjectionProperty, ClosestAmongSamples)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 5);
+    ConstraintSet cs(4);
+    cs.addTotalBw(100.0);
+    cs.addLowerBounds(0.1);
+    cs.addUpperBound(0, 60.0);
+
+    Vec q = rng.uniformVec(4, -50.0, 150.0);
+    Vec p = projectOntoConstraints(cs, q);
+    ASSERT_LE(cs.maxViolation(p), 1e-5);
+    double dp = norm(sub(p, q));
+
+    for (int s = 0; s < 50; ++s) {
+        Vec cand = rng.simplexPoint(4, 100.0);
+        if (!cs.feasible(cand, 1e-9))
+            continue;
+        EXPECT_LE(dp, norm(sub(cand, q)) + 1e-6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProjectionProperty,
+                         ::testing::Range(0, 10));
+
+} // namespace
+} // namespace libra

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the iterative searches: subgradient, pattern search,
+ * Nelder-Mead, and the multistart driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solver/multistart.hh"
+#include "solver/nelder_mead.hh"
+#include "solver/pattern_search.hh"
+#include "solver/qp.hh"
+#include "solver/subgradient.hh"
+
+namespace libra {
+namespace {
+
+/** Convex separable model: sum of a_i / x_i, the LIBRA time shape. */
+ScalarObjective
+inverseSum(Vec weights)
+{
+    return [weights = std::move(weights)](const Vec& x) {
+        double s = 0.0;
+        for (std::size_t i = 0; i < x.size(); ++i)
+            s += weights[i] / std::max(x[i], 1e-12);
+        return s;
+    };
+}
+
+/**
+ * Analytic optimum of min sum a_i/x_i s.t. sum x_i = T:
+ * x_i = T * sqrt(a_i) / sum_j sqrt(a_j).
+ */
+Vec
+inverseSumOptimum(const Vec& a, double total)
+{
+    double denom = 0.0;
+    for (double v : a)
+        denom += std::sqrt(v);
+    Vec x(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        x[i] = total * std::sqrt(a[i]) / denom;
+    return x;
+}
+
+TEST(NumericGradient, MatchesAnalytic)
+{
+    auto f = [](const Vec& x) { return x[0] * x[0] + 3.0 * x[1]; };
+    Vec g = numericGradient(f, {2.0, 5.0});
+    EXPECT_NEAR(g[0], 4.0, 1e-4);
+    EXPECT_NEAR(g[1], 3.0, 1e-4);
+}
+
+TEST(Subgradient, SolvesWaterFilling)
+{
+    Vec a{16.0, 4.0, 1.0};
+    ConstraintSet cs(3);
+    cs.addTotalBw(70.0);
+    cs.addLowerBounds(0.1);
+
+    SearchResult r =
+        projectedSubgradient(inverseSum(a), cs, {70.0 / 3, 70.0 / 3,
+                                                 70.0 / 3});
+    Vec want = inverseSumOptimum(a, 70.0); // (40, 20, 10).
+    auto f = inverseSum(a);
+    EXPECT_NEAR(r.value, f(want), f(want) * 0.01);
+}
+
+TEST(PatternSearch, RefinesToOptimum)
+{
+    Vec a{9.0, 1.0};
+    ConstraintSet cs(2);
+    cs.addTotalBw(40.0);
+    cs.addLowerBounds(0.1);
+
+    SearchResult r = patternSearch(inverseSum(a), cs, {20.0, 20.0});
+    Vec want = inverseSumOptimum(a, 40.0); // (30, 10).
+    EXPECT_NEAR(r.x[0], want[0], 0.3);
+    EXPECT_NEAR(r.x[1], want[1], 0.3);
+}
+
+TEST(PatternSearch, NeverWorseThanStart)
+{
+    Vec a{5.0, 2.0, 1.0, 7.0};
+    ConstraintSet cs(4);
+    cs.addTotalBw(100.0);
+    cs.addLowerBounds(0.1);
+    auto f = inverseSum(a);
+    Vec x0{25.0, 25.0, 25.0, 25.0};
+    SearchResult r = patternSearch(f, cs, x0);
+    EXPECT_LE(r.value, f(x0) + 1e-12);
+    EXPECT_TRUE(cs.feasible(r.x, 1e-5));
+}
+
+TEST(NelderMead, FindsConstrainedMinimum)
+{
+    Vec a{16.0, 1.0};
+    ConstraintSet cs(2);
+    cs.addTotalBw(50.0);
+    cs.addLowerBounds(0.1);
+    SearchResult r = nelderMead(inverseSum(a), cs, {25.0, 25.0});
+    Vec want = inverseSumOptimum(a, 50.0); // (40, 10).
+    auto f = inverseSum(a);
+    EXPECT_NEAR(r.value, f(want), f(want) * 0.02);
+    EXPECT_TRUE(cs.feasible(r.x, 1e-5));
+}
+
+TEST(Multistart, EscapesLocalMinimaOnNonconvex)
+{
+    // f has a poor local basin near x0=(1,9) and a global one at ~(9,1).
+    auto f = [](const Vec& x) {
+        auto bump = [](double cx, double cy, double depth, const Vec& p) {
+            double dx = p[0] - cx;
+            double dy = p[1] - cy;
+            return -depth * std::exp(-(dx * dx + dy * dy) / 4.0);
+        };
+        return 2.0 + bump(1.0, 9.0, 1.0, x) + bump(9.0, 1.0, 2.0, x);
+    };
+    ConstraintSet cs(2);
+    cs.addTotalBw(10.0);
+    cs.addLowerBounds(0.0);
+
+    MultistartOptions opt;
+    opt.starts = 12;
+    opt.useSubgradient = false;
+    SearchResult r = multistartMinimize(f, cs, {1.0, 9.0}, opt);
+    EXPECT_NEAR(r.x[0], 9.0, 0.5);
+    EXPECT_NEAR(r.x[1], 1.0, 0.5);
+}
+
+TEST(Multistart, DeterministicAcrossRuns)
+{
+    Vec a{4.0, 2.0, 1.0};
+    ConstraintSet cs(3);
+    cs.addTotalBw(30.0);
+    cs.addLowerBounds(0.1);
+    auto f = inverseSum(a);
+    SearchResult r1 = multistartMinimize(f, cs, {10, 10, 10});
+    SearchResult r2 = multistartMinimize(f, cs, {10, 10, 10});
+    EXPECT_DOUBLE_EQ(r1.value, r2.value);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_DOUBLE_EQ(r1.x[static_cast<std::size_t>(i)],
+                         r2.x[static_cast<std::size_t>(i)]);
+}
+
+/** Property: multistart respects arbitrary extra linear constraints. */
+class MultistartConstraints : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(MultistartConstraints, RespectsCap)
+{
+    double cap = GetParam();
+    Vec a{16.0, 4.0, 1.0};
+    ConstraintSet cs(3);
+    cs.addTotalBw(70.0);
+    cs.addLowerBounds(0.1);
+    cs.addUpperBound(0, cap);
+    SearchResult r = multistartMinimize(inverseSum(a), cs, {23, 23, 24});
+    EXPECT_TRUE(cs.feasible(r.x, 1e-4));
+    EXPECT_LE(r.x[0], cap + 1e-4);
+    // With the unconstrained optimum at 40, a tighter cap binds.
+    if (cap < 40.0) {
+        EXPECT_NEAR(r.x[0], cap, 0.5);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, MultistartConstraints,
+                         ::testing::Values(10.0, 20.0, 30.0, 50.0));
+
+} // namespace
+} // namespace libra

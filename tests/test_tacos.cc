@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the TACOS-style time-expanded collective synthesizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "collective/multi_rail.hh"
+#include "runtime/tacos.hh"
+#include "topology/zoo.hh"
+
+namespace libra {
+namespace {
+
+TEST(Tacos, AllGatherCompletesOnRing)
+{
+    Network net = Network::parse("RI(4)");
+    TacosSynthesizer tacos(net, {10.0});
+    TacosResult r = tacos.synthesizeAllGather(1e6, 1);
+    EXPECT_GT(r.time, 0.0);
+    // 4 NPUs each need 3 foreign chunks: 12 deliveries minimum.
+    EXPECT_GE(r.transfers, 12);
+}
+
+TEST(Tacos, RingAllGatherNearOptimal)
+{
+    // On a unidirectional-capable ring of g, AG of one chunk per NPU
+    // needs (g-1) rounds; with both directions at B/2 the best time is
+    // (g-1) * chunk / (B/2)... greedy should be within 2x of the
+    // bandwidth lower bound: (g-1)*chunk / B.
+    Network net = Network::parse("RI(8)");
+    GBps b = 16.0;
+    Bytes chunk = 8e6;
+    TacosSynthesizer tacos(net, {b});
+    TacosResult r = tacos.synthesizeAllGather(chunk, 1);
+    Seconds lower = transferTime(7.0 * chunk, b);
+    EXPECT_GE(r.time, lower * 0.999);
+    EXPECT_LE(r.time, lower * 2.5);
+}
+
+TEST(Tacos, UsesAllDimensionsOfTorus)
+{
+    Network net = topo::threeDTorus();
+    TacosSynthesizer tacos(net, net.equalBw(300.0));
+    TacosResult r = tacos.synthesizeAllGather(1e6, 1);
+    ASSERT_EQ(r.dimBusy.size(), 3u);
+    for (Seconds busy : r.dimBusy)
+        EXPECT_GT(busy, 0.0);
+}
+
+TEST(Tacos, BeatsSequentialMultiRailOnSkewedBw)
+{
+    // Multi-rail serializes dims per chunk; TACOS can route around a
+    // slow dimension. On a heavily skewed allocation it should not be
+    // slower than the analytical multi-rail AG time.
+    Network net = topo::threeDTorus();
+    BwConfig bw{280.0, 10.0, 10.0};
+    TacosSynthesizer tacos(net, bw);
+    Bytes total = 64e6; // 1 MB per NPU.
+    TacosResult r = tacos.synthesizeAllGather(total / 64.0, 1);
+
+    auto spans = mapGroupToDims(net, 1, net.npus());
+    Seconds rail =
+        multiRailTime(CollectiveType::AllGather, total, spans, bw).time;
+    EXPECT_LE(r.time, rail * 1.05);
+}
+
+TEST(Tacos, AllReduceIsTwiceAllGather)
+{
+    Network net = topo::threeDTorus();
+    TacosSynthesizer tacos(net, net.equalBw(900.0));
+    Bytes total = 1e9;
+    int chunks = 8;
+    TacosResult ag =
+        tacos.synthesizeAllGather(total / chunks / 64.0, chunks);
+    TacosResult ar = tacos.synthesizeAllReduce(total, chunks);
+    EXPECT_NEAR(ar.time, 2.0 * ag.time, 1e-9);
+    EXPECT_EQ(ar.transfers, 2 * ag.transfers);
+}
+
+TEST(Tacos, MoreChunksPipelineBetter)
+{
+    Network net = topo::threeDTorus();
+    TacosSynthesizer tacos(net, net.equalBw(900.0));
+    TacosResult coarse = tacos.synthesizeAllReduce(1e9, 1);
+    TacosResult fine = tacos.synthesizeAllReduce(1e9, 8);
+    EXPECT_LE(fine.time, coarse.time * 1.01);
+}
+
+TEST(Tacos, SwitchTopologySynthesizes)
+{
+    Network net = Network::parse("SW(8)");
+    TacosSynthesizer tacos(net, {50.0});
+    TacosResult r = tacos.synthesizeAllGather(1e6, 1);
+    // Lower bound: each NPU must receive 7 chunks through one downlink.
+    Seconds lower = transferTime(7e6, 50.0);
+    EXPECT_GE(r.time, lower * 0.999);
+    EXPECT_LE(r.time, lower * 2.0);
+}
+
+TEST(Tacos, DeterministicAcrossRuns)
+{
+    Network net = topo::threeDTorus();
+    TacosSynthesizer tacos(net, {100.0, 150.0, 50.0});
+    TacosResult a = tacos.synthesizeAllGather(2e6, 2);
+    TacosResult b = tacos.synthesizeAllGather(2e6, 2);
+    EXPECT_DOUBLE_EQ(a.time, b.time);
+    EXPECT_EQ(a.transfers, b.transfers);
+}
+
+TEST(Tacos, LatencyIncreasesTime)
+{
+    Network net = Network::parse("RI(4)_RI(4)");
+    TacosSynthesizer fast(net, net.equalBw(100.0), 0.0);
+    TacosSynthesizer slow(net, net.equalBw(100.0), 1e-5);
+    EXPECT_LT(fast.synthesizeAllGather(1e6, 1).time,
+              slow.synthesizeAllGather(1e6, 1).time);
+}
+
+/** Property: synthesis always completes on mixed topologies. */
+class TacosShapes : public ::testing::TestWithParam<const char*>
+{};
+
+TEST_P(TacosShapes, Completes)
+{
+    Network net = Network::parse(GetParam());
+    TacosSynthesizer tacos(net, net.equalBw(120.0));
+    TacosResult r = tacos.synthesizeAllGather(1e5, 1);
+    EXPECT_GT(r.time, 0.0);
+    long n = net.npus();
+    EXPECT_GE(r.transfers, n * (n - 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TacosShapes,
+                         ::testing::Values("RI(2)_SW(2)", "FC(4)_RI(2)",
+                                           "SW(4)_SW(2)", "RI(3)_FC(3)",
+                                           "RI(4)_FC(2)_SW(2)"));
+
+} // namespace
+} // namespace libra

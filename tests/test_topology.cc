@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for building blocks, the network representation, and the zoo.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "topology/building_block.hh"
+#include "topology/network.hh"
+#include "topology/zoo.hh"
+
+namespace libra {
+namespace {
+
+TEST(BuildingBlock, TokensRoundTrip)
+{
+    for (auto t : {UnitTopology::Ring, UnitTopology::FullyConnected,
+                   UnitTopology::Switch})
+        EXPECT_EQ(parseUnitTopology(unitTopologyToken(t)), t);
+    EXPECT_THROW(parseUnitTopology("XX"), FatalError);
+}
+
+TEST(BuildingBlock, CanonicalAlgorithms)
+{
+    // Fig. 7(b): Ring->Ring, FC->Direct, SW->HalvingDoubling.
+    EXPECT_EQ(canonicalAlgorithm(UnitTopology::Ring), DimAlgorithm::Ring);
+    EXPECT_EQ(canonicalAlgorithm(UnitTopology::FullyConnected),
+              DimAlgorithm::Direct);
+    EXPECT_EQ(canonicalAlgorithm(UnitTopology::Switch),
+              DimAlgorithm::HalvingDoubling);
+}
+
+TEST(BuildingBlock, LinkCounts)
+{
+    EXPECT_EQ(linksPerNpu(UnitTopology::Ring, 8), 2);
+    EXPECT_EQ(linksPerNpu(UnitTopology::Ring, 2), 1);
+    EXPECT_EQ(linksPerNpu(UnitTopology::FullyConnected, 8), 7);
+    EXPECT_EQ(linksPerNpu(UnitTopology::Switch, 32), 1);
+    EXPECT_TRUE(needsSwitch(UnitTopology::Switch));
+    EXPECT_FALSE(needsSwitch(UnitTopology::Ring));
+}
+
+TEST(Network, ParseNameRoundTrip)
+{
+    for (const char* name :
+         {"RI(4)_FC(8)_RI(4)_SW(32)", "SW(16)_SW(8)_SW(4)", "RI(2)",
+          "FC(8)_RI(16)_SW(8)"}) {
+        Network n = Network::parse(name);
+        EXPECT_EQ(n.name(), name);
+    }
+}
+
+TEST(Network, NpusAndPrefix)
+{
+    Network n = Network::parse("RI(4)_FC(8)_RI(4)_SW(32)");
+    EXPECT_EQ(n.npus(), 4096);
+    EXPECT_EQ(n.prefixProduct(0), 1);
+    EXPECT_EQ(n.prefixProduct(1), 4);
+    EXPECT_EQ(n.prefixProduct(2), 32);
+    EXPECT_EQ(n.prefixProduct(3), 128);
+    EXPECT_EQ(n.prefixProduct(4), 4096);
+}
+
+TEST(Network, SwitchHierarchyNotation)
+{
+    // Fig. 4(b): a 2-level switch hierarchy within one dimension is
+    // still a 1D topology — same connectivity, same name round-trip.
+    Network n = Network::parse("SW(8:2)");
+    EXPECT_EQ(n.numDims(), 1u);
+    EXPECT_EQ(n.dim(0).size, 8);
+    EXPECT_EQ(n.dim(0).switchLevels, 2);
+    EXPECT_EQ(n.name(), "SW(8:2)");
+
+    Network mixed = Network::parse("RI(4)_SW(16:3)");
+    EXPECT_EQ(mixed.dim(1).switchLevels, 3);
+    EXPECT_EQ(mixed.name(), "RI(4)_SW(16:3)");
+}
+
+TEST(Network, HierarchyDepthValidation)
+{
+    EXPECT_THROW(Network::parse("RI(4:2)"), FatalError); // Not SW.
+    EXPECT_THROW(Network::parse("SW(4:)"), FatalError);
+    EXPECT_THROW(Network::parse("SW(4:0)"), FatalError);
+}
+
+TEST(Network, ParseErrors)
+{
+    EXPECT_THROW(Network::parse(""), FatalError);
+    EXPECT_THROW(Network::parse("RI"), FatalError);
+    EXPECT_THROW(Network::parse("RI(4"), FatalError);
+    EXPECT_THROW(Network::parse("RI(4)FC(8)"), FatalError);
+    EXPECT_THROW(Network::parse("QQ(4)"), FatalError);
+    EXPECT_THROW(Network::parse("RI(1)"), FatalError); // Size < 2.
+}
+
+TEST(Network, PhysicalLevelsOutsideIn)
+{
+    // 4D: Chiplet, Package, Node, Pod (Fig. 2b).
+    Network n4 = Network::parse("RI(4)_FC(8)_RI(4)_SW(32)");
+    EXPECT_EQ(n4.dim(0).level, PhysicalLevel::Chiplet);
+    EXPECT_EQ(n4.dim(1).level, PhysicalLevel::Package);
+    EXPECT_EQ(n4.dim(2).level, PhysicalLevel::Node);
+    EXPECT_EQ(n4.dim(3).level, PhysicalLevel::Pod);
+
+    // 2D: Node, Pod.
+    Network n2 = Network::parse("RI(4)_SW(2)");
+    EXPECT_EQ(n2.dim(0).level, PhysicalLevel::Node);
+    EXPECT_EQ(n2.dim(1).level, PhysicalLevel::Pod);
+
+    // 5D: two Chiplet dims inside.
+    Network n5 = Network::parse("RI(2)_RI(2)_RI(2)_RI(2)_SW(2)");
+    EXPECT_EQ(n5.dim(0).level, PhysicalLevel::Chiplet);
+    EXPECT_EQ(n5.dim(1).level, PhysicalLevel::Chiplet);
+    EXPECT_EQ(n5.dim(2).level, PhysicalLevel::Package);
+}
+
+TEST(Network, CoordinateRoundTrip)
+{
+    Network n = Network::parse("RI(3)_RI(2)_RI(4)");
+    for (long id = 0; id < n.npus(); ++id)
+        EXPECT_EQ(n.npuOf(n.coordsOf(id)), id);
+
+    // Dim 0 is fastest-varying (Fig. 8 placement).
+    auto c1 = n.coordsOf(1);
+    EXPECT_EQ(c1[0], 1);
+    EXPECT_EQ(c1[1], 0);
+    auto c3 = n.coordsOf(3);
+    EXPECT_EQ(c3[0], 0);
+    EXPECT_EQ(c3[1], 1);
+}
+
+TEST(Network, EqualBw)
+{
+    Network n = Network::parse("RI(4)_SW(2)");
+    BwConfig bw = n.equalBw(300.0);
+    ASSERT_EQ(bw.size(), 2u);
+    EXPECT_DOUBLE_EQ(bw[0], 150.0);
+    EXPECT_DOUBLE_EQ(bw[1], 150.0);
+}
+
+TEST(Zoo, TableThreeShapes)
+{
+    EXPECT_EQ(topo::fourD4K().npus(), 4096);
+    EXPECT_EQ(topo::threeD4K().npus(), 4096);
+    EXPECT_EQ(topo::twoD4K().npus(), 4096);
+    EXPECT_EQ(topo::threeD512().npus(), 512);
+    EXPECT_EQ(topo::threeD1K().npus(), 1024);
+    EXPECT_EQ(topo::fourD2K().npus(), 2048);
+    EXPECT_EQ(topo::threeDTorus().npus(), 64);
+    EXPECT_EQ(topo::tableThree().size(), 6u);
+}
+
+TEST(Zoo, FamilyConsistency)
+{
+    // 3D-4K merges the two ring dims of 4D-4K; 2D-4K merges once more.
+    EXPECT_EQ(topo::threeD4K().name(), "RI(16)_FC(8)_SW(32)");
+    EXPECT_EQ(topo::twoD4K().name(), "RI(128)_SW(32)");
+}
+
+TEST(Zoo, RealSystemsParse)
+{
+    auto systems = topo::realSystems();
+    EXPECT_EQ(systems.size(), 5u);
+    for (const auto& s : systems)
+        EXPECT_GE(s.network.npus(), 4);
+}
+
+TEST(PhysicalLevelNames, AllDistinct)
+{
+    EXPECT_EQ(physicalLevelName(PhysicalLevel::Chiplet), "Chiplet");
+    EXPECT_EQ(physicalLevelName(PhysicalLevel::Pod), "Pod");
+}
+
+} // namespace
+} // namespace libra

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the event-driven training-loop simulator and its agreement
+ * with the analytical estimator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/estimator.hh"
+#include "sim/training_sim.hh"
+#include "topology/zoo.hh"
+#include "workload/zoo.hh"
+
+namespace libra {
+namespace {
+
+TEST(TrainingSim, AgreesWithEstimatorNoOverlap)
+{
+    // With many chunks the chunk pipeline converges to the analytical
+    // bottleneck model; end-to-end times should agree within a few %.
+    Network net = topo::fourD4K();
+    Workload w = wl::msft1T(net.npus());
+    BwConfig bw = net.equalBw(300.0);
+
+    TrainingEstimator est(net);
+    TrainingSimOptions opt;
+    opt.chunksPerCollective = 64;
+    TrainingSim sim(net, opt);
+
+    Seconds analytic = est.estimate(w, bw);
+    TrainingSimResult r = sim.simulate(w, bw);
+    EXPECT_NEAR(r.total, analytic, 0.08 * analytic);
+    EXPECT_GE(r.total, analytic * 0.999); // Pipeline can't beat ideal.
+}
+
+TEST(TrainingSim, OverlapNoSlowerThanNoOverlap)
+{
+    Network net = topo::fourD4K();
+    Workload w = wl::gpt3(net.npus());
+    BwConfig bw = net.equalBw(300.0);
+
+    TrainingSimOptions noOv;
+    TrainingSimOptions ov;
+    ov.loop = TrainingLoop::TpDpOverlap;
+    TrainingSimResult a = TrainingSim(net, noOv).simulate(w, bw);
+    TrainingSimResult b = TrainingSim(net, ov).simulate(w, bw);
+    EXPECT_LE(b.total, a.total * 1.001);
+}
+
+TEST(TrainingSim, ComputeOnlyWorkloadHasNoCommTime)
+{
+    Network net = Network::parse("RI(4)");
+    Workload w;
+    w.strategy = {1, 4};
+    Layer l;
+    l.fwdCompute = 1.0;
+    l.igCompute = 0.5;
+    l.wgCompute = 0.25;
+    w.layers.push_back(l);
+
+    TrainingSimResult r = TrainingSim(net).simulate(w, {10.0});
+    EXPECT_NEAR(r.total, 1.75, 1e-12);
+    EXPECT_DOUBLE_EQ(r.commTime, 0.0);
+    EXPECT_DOUBLE_EQ(r.avgBwUtilization, 0.0);
+}
+
+TEST(TrainingSim, UtilizationWithinBounds)
+{
+    Network net = topo::threeD4K();
+    Workload w = wl::msft1T(net.npus());
+    TrainingSimResult r =
+        TrainingSim(net).simulate(w, net.equalBw(300.0));
+    EXPECT_GT(r.avgBwUtilization, 0.0);
+    EXPECT_LE(r.avgBwUtilization, 1.0 + 1e-9);
+}
+
+TEST(TrainingSim, BetterBwSplitRaisesUtilization)
+{
+    // The Fig. 10 claim: a workload-aware split utilizes the fabric
+    // better than EqualBW.
+    Network net = topo::threeD4K();
+    Workload w = wl::msft1T(net.npus());
+    TrainingSim sim(net);
+
+    TrainingSimResult equal = sim.simulate(w, net.equalBw(300.0));
+    // Skew BW toward the traffic profile (dim 1 >> dim 2 >> dim 3).
+    TrainingSimResult skewed =
+        sim.simulate(w, BwConfig{255.0, 30.0, 15.0});
+    EXPECT_GT(skewed.avgBwUtilization, equal.avgBwUtilization);
+    EXPECT_LT(skewed.total, equal.total);
+}
+
+TEST(TrainingSim, MismatchedWorkloadThrows)
+{
+    Network net = topo::fourD4K();
+    Workload w = wl::gpt3(1024);
+    EXPECT_THROW(TrainingSim(net).simulate(w, net.equalBw(100.0)),
+                 FatalError);
+}
+
+TEST(TrainingSim, DpOnlyWorkloadOnTorus)
+{
+    Network net = topo::threeDTorus();
+    Workload w = wl::resnet50(net.npus());
+    TrainingSimResult r =
+        TrainingSim(net).simulate(w, net.equalBw(300.0));
+    EXPECT_GT(r.total, 0.0);
+    EXPECT_GT(r.commTime, 0.0);
+    ASSERT_EQ(r.dimBusy.size(), 3u);
+    // DP spans all dims; with prefix reduction dim 1 works hardest.
+    EXPECT_GT(r.dimBusy[0], r.dimBusy[1]);
+    EXPECT_GT(r.dimBusy[1], r.dimBusy[2]);
+}
+
+/** Parameterized: simulator tracks estimator across BW budgets. */
+class TrainingSimSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(TrainingSimSweep, TracksEstimator)
+{
+    Network net = topo::threeD4K();
+    Workload w = wl::gpt3(net.npus());
+    BwConfig bw = net.equalBw(GetParam());
+    Seconds analytic = TrainingEstimator(net).estimate(w, bw);
+    TrainingSimResult r = TrainingSim(net).simulate(w, bw);
+    EXPECT_NEAR(r.total, analytic, 0.10 * analytic);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, TrainingSimSweep,
+                         ::testing::Values(100.0, 300.0, 600.0, 1000.0));
+
+} // namespace
+} // namespace libra

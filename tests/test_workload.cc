@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the workload IR and the analytical model builders.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "workload/dlrm.hh"
+#include "workload/resnet.hh"
+#include "workload/transformer.hh"
+#include "workload/zoo.hh"
+
+namespace libra {
+namespace {
+
+TEST(Transformer, ParameterCountsMatchTableTwo)
+{
+    // Table II parameter counts within a few percent.
+    EXPECT_NEAR(wl::turingNlg(1024).parameters, 17e9, 0.05 * 17e9);
+    EXPECT_NEAR(wl::gpt3(1024).parameters, 175e9, 0.05 * 175e9);
+    EXPECT_NEAR(wl::msft1T(4096).parameters, 1e12, 0.05 * 1e12);
+}
+
+TEST(Transformer, TableTwoTpSizes)
+{
+    EXPECT_EQ(wl::turingNlg(1024).strategy.tp, 1);
+    EXPECT_EQ(wl::gpt3(1024).strategy.tp, 16);
+    EXPECT_EQ(wl::msft1T(4096).strategy.tp, 128);
+    EXPECT_EQ(wl::resnet50(1024).strategy.tp, 1);
+}
+
+TEST(Transformer, NoTpCommWhenTpIsOne)
+{
+    Workload w = wl::turingNlg(1024);
+    for (const auto& layer : w.layers) {
+        EXPECT_TRUE(layer.fwdComm.empty());
+        EXPECT_TRUE(layer.igComm.empty());
+        EXPECT_FALSE(layer.wgComm.empty());
+    }
+}
+
+TEST(Transformer, MegatronCommStructure)
+{
+    Workload w = wl::gpt3(1024);
+    ASSERT_EQ(w.layers.size(), 96u);
+    const Layer& l = w.layers[0];
+    // 2 activation ARs forward, 2 backward; ZeRO-2 RS+AG for grads.
+    ASSERT_EQ(l.fwdComm.size(), 2u);
+    EXPECT_EQ(l.fwdComm[0].type, CollectiveType::AllReduce);
+    EXPECT_EQ(l.fwdComm[0].scope, CommScope::Tp);
+    ASSERT_EQ(l.igComm.size(), 2u);
+    ASSERT_EQ(l.wgComm.size(), 2u);
+    EXPECT_EQ(l.wgComm[0].type, CollectiveType::ReduceScatter);
+    EXPECT_EQ(l.wgComm[1].type, CollectiveType::AllGather);
+    EXPECT_EQ(l.wgComm[0].scope, CommScope::Dp);
+}
+
+TEST(Transformer, ActivationBytesFormula)
+{
+    TransformerConfig c;
+    c.numLayers = 1;
+    c.hidden = 1000;
+    c.seqLen = 100;
+    c.batchPerGroup = 10;
+    c.strategy = {2, 1};
+    Workload w = buildTransformer(c);
+    // b*s*h*2 bytes = 10*100*1000*2 = 2e6.
+    EXPECT_NEAR(w.layers[0].fwdComm[0].size, 2e6, 1.0);
+}
+
+TEST(Transformer, GradientBytesShardedByTp)
+{
+    TransformerConfig c;
+    c.numLayers = 1;
+    c.hidden = 1000;
+    c.strategy = {4, 2};
+    Workload w = buildTransformer(c);
+    // 12h^2/tp * 2B = 12e6/4*2 = 6e6.
+    EXPECT_NEAR(w.layers[0].wgComm[0].size, 6e6, 1.0);
+}
+
+TEST(Transformer, ComputeScalesWithBatchAndTp)
+{
+    TransformerConfig c;
+    c.numLayers = 2;
+    c.hidden = 2048;
+    c.batchPerGroup = 16;
+    c.strategy = {1, 4};
+    Seconds base = buildTransformer(c).totalCompute();
+
+    c.batchPerGroup = 32;
+    EXPECT_NEAR(buildTransformer(c).totalCompute(), 2.0 * base,
+                1e-9 * base);
+
+    c.batchPerGroup = 16;
+    c.strategy = {4, 1};
+    EXPECT_NEAR(buildTransformer(c).totalCompute(), base / 4.0,
+                1e-9 * base);
+}
+
+TEST(Transformer, BackwardIsTwiceForward)
+{
+    Workload w = wl::gpt3(1024);
+    for (const auto& l : w.layers)
+        EXPECT_NEAR(l.igCompute + l.wgCompute, 2.0 * l.fwdCompute,
+                    1e-12);
+}
+
+TEST(Transformer, InvalidStrategyThrows)
+{
+    TransformerConfig c;
+    c.strategy = {0, 4};
+    EXPECT_THROW(buildTransformer(c), FatalError);
+}
+
+TEST(Dlrm, EmbeddingAllToAllAcrossAllNpus)
+{
+    Workload w = wl::dlrm(4096);
+    const Layer& emb = w.layers[0];
+    ASSERT_EQ(emb.fwdComm.size(), 1u);
+    EXPECT_EQ(emb.fwdComm[0].type, CollectiveType::AllToAll);
+    EXPECT_EQ(emb.fwdComm[0].scope, CommScope::All);
+    ASSERT_EQ(emb.igComm.size(), 1u);
+    EXPECT_EQ(emb.igComm[0].type, CollectiveType::AllToAll);
+}
+
+TEST(Dlrm, MlpLayersAreDataParallel)
+{
+    DlrmConfig c;
+    c.npus = 512;
+    Workload w = buildDlrm(c);
+    EXPECT_EQ(w.layers.size(),
+              static_cast<std::size_t>(c.numMlpLayers) + 1);
+    Bytes gradTotal = 0.0;
+    for (std::size_t i = 1; i < w.layers.size(); ++i) {
+        ASSERT_EQ(w.layers[i].wgComm.size(), 1u);
+        gradTotal += w.layers[i].wgComm[0].size;
+    }
+    // All MLP grads together: 57M params * 2B.
+    EXPECT_NEAR(gradTotal, 57e6 * 2.0, 1.0);
+}
+
+TEST(Dlrm, TooFewNpusThrows)
+{
+    DlrmConfig c;
+    c.npus = 1;
+    EXPECT_THROW(buildDlrm(c), FatalError);
+}
+
+TEST(Resnet, ParameterTotalPreserved)
+{
+    Workload w = wl::resnet50(1024);
+    Bytes gradTotal = 0.0;
+    for (const auto& l : w.layers)
+        for (const auto& op : l.wgComm)
+            gradTotal += op.size;
+    EXPECT_NEAR(gradTotal, 25.6e6 * 2.0, 25.6e6 * 2.0 * 1e-6);
+}
+
+TEST(Resnet, EighteenBlocks)
+{
+    Workload w = wl::resnet50(1024);
+    EXPECT_EQ(w.layers.size(), 18u); // 1+3+4+6+3+1 stage blocks.
+    EXPECT_GT(w.totalCompute(), 0.0);
+}
+
+TEST(Zoo, TableTwoComplete)
+{
+    auto all = wl::tableTwo(4096);
+    ASSERT_EQ(all.size(), 5u);
+    EXPECT_EQ(all[0].name, "Turing-NLG");
+    EXPECT_EQ(all[1].name, "GPT-3");
+    EXPECT_EQ(all[2].name, "MSFT-1T");
+    EXPECT_EQ(all[3].name, "DLRM");
+    EXPECT_EQ(all[4].name, "ResNet-50");
+    for (const auto& w : all)
+        EXPECT_EQ(w.strategy.npus(), 4096);
+}
+
+TEST(Zoo, IndivisibleTpThrows)
+{
+    EXPECT_THROW(wl::msft1T(1000), FatalError);
+}
+
+TEST(Zoo, CommSizesOrderedBySize)
+{
+    // Fig. 1's trend: newer/larger models communicate more per step.
+    long n = 4096;
+    Bytes resnet = wl::resnet50(n).totalCommPayload();
+    Bytes tnlg = wl::turingNlg(n).totalCommPayload();
+    Bytes gpt3 = wl::gpt3(n).totalCommPayload();
+    Bytes msft = wl::msft1T(n).totalCommPayload();
+    EXPECT_LT(resnet, tnlg);
+    EXPECT_LT(tnlg, gpt3);
+    EXPECT_LT(gpt3, msft);
+}
+
+TEST(Workload, HelperAccessors)
+{
+    Workload w = wl::gpt3(1024);
+    EXPECT_EQ(w.strategy.name(), "HP-(16, 64)");
+    auto ops = Workload::allOps(w.layers[0]);
+    EXPECT_EQ(ops.size(), 6u); // 2 fwd + 2 ig + 2 wg.
+    EXPECT_GT(w.totalCommPayload(), 0.0);
+}
+
+TEST(CommScopeNames, Resolve)
+{
+    EXPECT_EQ(commScopeName(CommScope::Tp), "TP");
+    EXPECT_EQ(commScopeName(CommScope::Dp), "DP");
+    EXPECT_EQ(commScopeName(CommScope::All), "ALL");
+}
+
+} // namespace
+} // namespace libra

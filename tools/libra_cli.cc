@@ -1,0 +1,106 @@
+/**
+ * @file
+ * libra_cli — run a complete LIBRA design study from a config file.
+ *
+ * Usage:
+ *   libra_cli <study-file>
+ *   libra_cli --example        # print a template study file and exit
+ *
+ * The study file bundles every Fig. 3 input: network shape, BW budget,
+ * objective, training loop, constraints, cost-model overrides, and the
+ * target workloads (zoo names or profiled workload files). Output is
+ * the optimized design point next to the EqualBW baseline.
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "core/report.hh"
+#include "core/study_config.hh"
+
+namespace {
+
+const char* kTemplate = R"(# LIBRA design study
+NETWORK RI(4)_FC(8)_RI(4)_SW(32)
+TOTAL_BW 500
+OBJECTIVE PERF            # PERF or PERF_PER_COST
+LOOP NO_OVERLAP           # NO_OVERLAP or TP_DP_OVERLAP
+CONSTRAINT B4 <= 50
+WORKLOAD gpt3
+WORKLOAD msft1t WEIGHT 1.0
+NORMALIZE_WEIGHTS
+# COST Pod LINK 7.8 SWITCH 18.0 NIC 31.6
+# DOLLAR_CAP 1.5e7
+# WORKLOAD_FILE my_profiled_model.wl
+)";
+
+int
+runStudy(const char* path)
+{
+    using namespace libra;
+
+    std::ifstream file(path);
+    if (!file) {
+        std::cerr << "libra_cli: cannot open '" << path << "'\n";
+        return 1;
+    }
+    LibraInputs inputs = parseStudyConfig(file);
+
+    std::cout << "Study: " << inputs.networkShape << " @ "
+              << inputs.config.totalBw << " GB/s per NPU, "
+              << objectiveName(inputs.config.objective) << "\n";
+    for (const auto& t : inputs.targets) {
+        std::cout << "  target: " << t.workload.name << " "
+                  << t.workload.strategy.name() << " (weight "
+                  << t.weight << ")\n";
+    }
+
+    LibraReport report = runLibra(inputs);
+
+    Table t("result");
+    t.header({"Design", "BW config", "Weighted time", "Cost",
+              "Speedup", "ppc x"});
+    t.row({"EqualBW", bwConfigToString(report.equalBw.bw, 1),
+           secondsToString(report.equalBw.weightedTime),
+           dollarsToString(report.equalBw.cost), "1.00", "1.00"});
+    t.row({"LIBRA", bwConfigToString(report.optimized.bw, 1),
+           secondsToString(report.optimized.weightedTime),
+           dollarsToString(report.optimized.cost),
+           Table::num(report.speedup, 2),
+           Table::num(report.perfPerCostGain, 2)});
+    t.print(std::cout);
+
+    std::cout << "\nPer-workload iteration times on the LIBRA design:\n";
+    for (std::size_t i = 0; i < inputs.targets.size(); ++i) {
+        std::cout << "  " << inputs.targets[i].workload.name << ": "
+                  << secondsToString(
+                         report.optimized.perWorkloadTime[i])
+                  << " (EqualBW "
+                  << secondsToString(report.equalBw.perWorkloadTime[i])
+                  << ")\n";
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc == 2 && std::string(argv[1]) == "--example") {
+        std::cout << kTemplate;
+        return 0;
+    }
+    if (argc != 2) {
+        std::cerr << "usage: libra_cli <study-file> | --example\n";
+        return 1;
+    }
+    try {
+        return runStudy(argv[1]);
+    } catch (const libra::FatalError& e) {
+        std::cerr << "libra_cli: " << e.what() << "\n";
+        return 1;
+    }
+}
