@@ -8,12 +8,27 @@
  */
 
 #include "bench_util.hh"
+#include "common/thread_pool.hh"
 #include "core/optimizer.hh"
 #include "topology/zoo.hh"
 #include "workload/zoo.hh"
 
 namespace libra {
 namespace {
+
+/** One (topology, budget) sweep point. */
+struct Point
+{
+    std::string label;
+    Network net;
+    double bw = 0.0;
+};
+
+/** The three optimizations the figure plots per point. */
+struct PointResult
+{
+    OptimizationResult perf, base, ppc;
+};
 
 void
 run()
@@ -25,31 +40,41 @@ run()
                                          {"3D-1K", topo::threeD1K()},
                                          {"4D-2K", topo::fourD2K()}};
 
+    // Every (topology, budget) point is an independent optimize();
+    // evaluate them all on the pool, then print in sweep order.
+    std::vector<Point> points;
+    for (const auto& [label, net] : nets)
+        for (double bw : bench::bwSweep())
+            points.push_back({label, net, bw});
+
+    std::vector<PointResult> results =
+        parallelMap(points, [](const Point& p) {
+            BwOptimizer opt(p.net, CostModel::defaultModel());
+            std::vector<TargetWorkload> targets{
+                {wl::msft1T(p.net.npus()), 1.0}};
+            OptimizerConfig cfg;
+            cfg.totalBw = p.bw;
+            cfg.search = bench::benchSearch();
+
+            PointResult r;
+            cfg.objective = OptimizationObjective::PerfOpt;
+            r.perf = opt.optimize(targets, cfg);
+            r.base = opt.baseline(targets, cfg);
+            cfg.objective = OptimizationObjective::PerfPerCostOpt;
+            r.ppc = opt.optimize(targets, cfg);
+            return r;
+        });
+
     Table t;
     t.header({"Net", "BW/NPU", "PerfOpt x", "PerfPerCost x",
               "PerfOpt ppc x", "PerfPerCost ppc x"});
-
-    for (const auto& [label, net] : nets) {
-        Workload w = wl::msft1T(net.npus());
-        for (double bw : bench::bwSweep()) {
-            BwOptimizer opt(net, CostModel::defaultModel());
-            std::vector<TargetWorkload> targets{{w, 1.0}};
-            OptimizerConfig cfg;
-            cfg.totalBw = bw;
-            cfg.search = bench::benchSearch();
-
-            cfg.objective = OptimizationObjective::PerfOpt;
-            OptimizationResult perf = opt.optimize(targets, cfg);
-            OptimizationResult base = opt.baseline(targets, cfg);
-            cfg.objective = OptimizationObjective::PerfPerCostOpt;
-            OptimizationResult ppc = opt.optimize(targets, cfg);
-
-            t.row({label, Table::num(bw, 0),
-                   Table::num(base.weightedTime / perf.weightedTime, 2),
-                   Table::num(base.weightedTime / ppc.weightedTime, 2),
-                   Table::num(bench::perfPerCostGain(base, perf), 2),
-                   Table::num(bench::perfPerCostGain(base, ppc), 2)});
-        }
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto& [perf, base, ppc] = results[i];
+        t.row({points[i].label, Table::num(points[i].bw, 0),
+               Table::num(base.weightedTime / perf.weightedTime, 2),
+               Table::num(base.weightedTime / ppc.weightedTime, 2),
+               Table::num(bench::perfPerCostGain(base, perf), 2),
+               Table::num(bench::perfPerCostGain(base, ppc), 2)});
     }
     t.print(std::cout);
     std::cout << "\nClaim check: PerfOpt speedup >= 1x and PerfPerCost "

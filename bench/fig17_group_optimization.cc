@@ -12,6 +12,7 @@
  */
 
 #include "bench_util.hh"
+#include "common/thread_pool.hh"
 #include "core/optimizer.hh"
 #include "topology/zoo.hh"
 #include "workload/zoo.hh"
@@ -32,17 +33,24 @@ study(const std::string& title, const std::vector<Workload>& members)
     cfg.totalBw = budget;
     cfg.search = bench::benchSearch();
 
-    // Per-workload optimized networks.
-    std::vector<BwConfig> ownBw;
-    for (const auto& w : members)
-        ownBw.push_back(opt.optimize({{w, 1.0}}, cfg).bw);
-
-    // Group-optimized network with EqualBW-normalized weights.
+    // Per-workload optimized networks and the group-optimized network
+    // are independent optimize() calls; run them all on the pool.
+    // Index members.size() is the group target.
     std::vector<TargetWorkload> group;
     for (const auto& w : members)
         group.push_back({w, 1.0});
     group = normalizeWeights(est, group, budget);
-    BwConfig groupBw = opt.optimize(group, cfg).bw;
+
+    std::vector<BwConfig> solved(members.size() + 1);
+    parallelFor(solved.size(), [&](std::size_t i) {
+        if (i < members.size())
+            solved[i] = opt.optimize({{members[i], 1.0}}, cfg).bw;
+        else
+            solved[i] = opt.optimize(group, cfg).bw;
+    });
+    std::vector<BwConfig> ownBw(solved.begin(),
+                                solved.begin() + members.size());
+    BwConfig groupBw = solved.back();
 
     BwConfig equal = net.equalBw(budget);
 

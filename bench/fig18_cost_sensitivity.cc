@@ -10,6 +10,7 @@
  */
 
 #include "bench_util.hh"
+#include "common/thread_pool.hh"
 #include "core/optimizer.hh"
 #include "topology/zoo.hh"
 #include "workload/zoo.hh"
@@ -30,29 +31,42 @@ run()
     t.header({"Pkg link $/GBps", "ppc gain vs EqualBW", "BW config",
               "Network cost"});
 
-    double sum = 0.0, best = 0.0;
+    // Each cost-model point is an independent study; sweep on the pool
+    // and reduce in price order.
     std::vector<double> sweep{1.0, 2.0, 3.0, 4.0, 5.0};
-    for (double price : sweep) {
-        CostModel cm = CostModel::defaultModel();
-        ComponentCost pkg = cm.levelCost(PhysicalLevel::Package);
-        pkg.link = price;
-        cm.setLevelCost(PhysicalLevel::Package, pkg);
+    struct PricePoint
+    {
+        OptimizationResult ppc, base;
+    };
+    std::vector<PricePoint> results =
+        parallelMap(sweep, [&](const double& price) {
+            CostModel cm = CostModel::defaultModel();
+            ComponentCost pkg = cm.levelCost(PhysicalLevel::Package);
+            pkg.link = price;
+            cm.setLevelCost(PhysicalLevel::Package, pkg);
 
-        BwOptimizer opt(net, cm);
-        std::vector<TargetWorkload> targets{{w, 1.0}};
-        OptimizerConfig cfg;
-        cfg.objective = OptimizationObjective::PerfPerCostOpt;
-        cfg.totalBw = 1000.0;
-        cfg.search = bench::benchSearch();
+            BwOptimizer opt(net, cm);
+            std::vector<TargetWorkload> targets{{w, 1.0}};
+            OptimizerConfig cfg;
+            cfg.objective = OptimizationObjective::PerfPerCostOpt;
+            cfg.totalBw = 1000.0;
+            cfg.search = bench::benchSearch();
 
-        OptimizationResult ppc = opt.optimize(targets, cfg);
-        OptimizationResult base = opt.baseline(targets, cfg);
-        double gain = bench::perfPerCostGain(base, ppc);
+            PricePoint r;
+            r.ppc = opt.optimize(targets, cfg);
+            r.base = opt.baseline(targets, cfg);
+            return r;
+        });
+
+    double sum = 0.0, best = 0.0;
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        double gain =
+            bench::perfPerCostGain(results[i].base, results[i].ppc);
         sum += gain;
         best = std::max(best, gain);
-
-        t.row({Table::num(price, 0), Table::num(gain, 2),
-               bwConfigToString(ppc.bw, 0), dollarsToString(ppc.cost)});
+        t.row({Table::num(sweep[i], 0), Table::num(gain, 2),
+               bwConfigToString(results[i].ppc.bw, 0),
+               dollarsToString(results[i].ppc.cost)});
     }
     t.print(std::cout);
     std::cout << "\nAverage gain "

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Compiled-objective evaluation throughput: the function every solver
+ * iteration bottoms out in. Measures evaluations/sec of the legacy
+ * nested compiled layout vs the SoA fast path (plus the uncompiled
+ * direct estimator for reference) and emits machine-readable
+ * BENCH_objective.json for CI tracking.
+ */
+
+#include <chrono>
+#include <fstream>
+
+#include "bench_util.hh"
+#include "common/random.hh"
+#include "core/estimator.hh"
+#include "topology/zoo.hh"
+#include "workload/zoo.hh"
+
+namespace libra {
+namespace {
+
+/** Deterministic pool of bandwidth points to cycle through. */
+std::vector<BwConfig>
+makeBwPool(std::size_t dims, std::size_t count)
+{
+    Rng rng(0xBE7C4);
+    std::vector<BwConfig> pool;
+    for (std::size_t i = 0; i < count; ++i) {
+        BwConfig bw = rng.simplexPoint(dims, 800.0);
+        for (auto& b : bw)
+            b = std::max(b, 1.0);
+        pool.push_back(std::move(bw));
+    }
+    return pool;
+}
+
+/** Evaluations/sec of @p eval, self-timed to ~targetSeconds. */
+template <typename Eval>
+double
+measure(const Eval& eval, const std::vector<BwConfig>& pool,
+        double targetSeconds, volatile double* sink)
+{
+    using Clock = std::chrono::steady_clock;
+    // Warm-up + calibration round.
+    std::size_t batch = 1000;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < batch; ++i)
+        acc += eval(pool[i % pool.size()]);
+
+    std::size_t total = 0;
+    auto begin = Clock::now();
+    for (;;) {
+        for (std::size_t i = 0; i < batch; ++i)
+            acc += eval(pool[(total + i) % pool.size()]);
+        total += batch;
+        std::chrono::duration<double> elapsed = Clock::now() - begin;
+        if (elapsed.count() >= targetSeconds) {
+            *sink = acc;
+            return static_cast<double>(total) / elapsed.count();
+        }
+    }
+}
+
+void
+run()
+{
+    bench::banner("micro", "compiled objective evaluation throughput "
+                           "(nested vs SoA)");
+
+    Network net = topo::threeD512();
+    Workload w = wl::msft1T(net.npus());
+    TrainingEstimator est(net);
+    CompiledWorkload cw = est.compile(w);
+    std::vector<BwConfig> pool = makeBwPool(net.numDims(), 64);
+
+    volatile double sink = 0.0;
+    const double budget = 1.0; // Seconds per variant.
+    double direct = measure(
+        [&](const BwConfig& bw) { return est.estimate(w, bw); }, pool,
+        budget, &sink);
+    double nested = measure(
+        [&](const BwConfig& bw) { return cw.estimateNested(bw); }, pool,
+        budget, &sink);
+    double soa = measure(
+        [&](const BwConfig& bw) { return cw.estimate(bw); }, pool,
+        budget, &sink);
+
+    Table t;
+    t.header({"Path", "evals/sec", "speedup vs nested"});
+    t.row({"direct estimator", Table::num(direct, 0),
+           Table::num(direct / nested, 2)});
+    t.row({"compiled nested", Table::num(nested, 0), "1.00"});
+    t.row({"compiled SoA", Table::num(soa, 0),
+           Table::num(soa / nested, 2)});
+    t.print(std::cout);
+
+    std::ofstream json("BENCH_objective.json");
+    json << "{\n"
+         << "  \"bench\": \"micro_objective_eval\",\n"
+         << "  \"network\": \"" << net.name() << "\",\n"
+         << "  \"workload\": \"" << w.name << "\",\n"
+         << "  \"direct_evals_per_sec\": " << direct << ",\n"
+         << "  \"nested_evals_per_sec\": " << nested << ",\n"
+         << "  \"soa_evals_per_sec\": " << soa << ",\n"
+         << "  \"soa_speedup_vs_nested\": " << soa / nested << "\n"
+         << "}\n";
+    std::cout << "\nWrote BENCH_objective.json (SoA speedup "
+              << Table::num(soa / nested, 2) << "x vs nested).\n";
+}
+
+} // namespace
+} // namespace libra
+
+int
+main()
+{
+    libra::setInformEnabled(false);
+    libra::run();
+    return 0;
+}

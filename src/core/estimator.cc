@@ -53,15 +53,27 @@ TrainingEstimator::timingOf(CollectiveType type, Bytes size,
                          options_.inNetworkCollectives);
 }
 
+TrainingEstimator::ScopeSpans
+TrainingEstimator::spansForAll(const Parallelization& strategy) const
+{
+    ScopeSpans all;
+    for (CommScope scope : {CommScope::Tp, CommScope::Pp, CommScope::Dp,
+                            CommScope::All}) {
+        all[static_cast<std::size_t>(scope)] = spansFor(strategy, scope);
+    }
+    return all;
+}
+
 Seconds
 TrainingEstimator::commListTime(const std::vector<CommOp>& ops,
-                                const Parallelization& strategy,
+                                const ScopeSpans& scopeSpans,
                                 const BwConfig& bw,
                                 EstimateDetail* detail) const
 {
     Seconds total = 0.0;
     for (const auto& op : ops) {
-        auto spans = spansFor(strategy, op.scope);
+        const auto& spans =
+            scopeSpans[static_cast<std::size_t>(op.scope)];
         if (spans.empty())
             continue;
         auto timing = timingOf(op.type, op.size, spans, bw);
@@ -87,14 +99,13 @@ TrainingEstimator::estimate(const Workload& w, const BwConfig& bw) const
               " NPUs but network ", net_.name(), " has ", net_.npus());
     }
 
+    ScopeSpans spans = spansForAll(w.strategy);
     Seconds total = 0.0;
     for (const auto& layer : w.layers) {
         Seconds fwdComm =
-            commListTime(layer.fwdComm, w.strategy, bw, nullptr);
-        Seconds igComm =
-            commListTime(layer.igComm, w.strategy, bw, nullptr);
-        Seconds wgComm =
-            commListTime(layer.wgComm, w.strategy, bw, nullptr);
+            commListTime(layer.fwdComm, spans, bw, nullptr);
+        Seconds igComm = commListTime(layer.igComm, spans, bw, nullptr);
+        Seconds wgComm = commListTime(layer.wgComm, spans, bw, nullptr);
 
         total += layer.fwdCompute + fwdComm;
         switch (options_.loop) {
@@ -127,7 +138,7 @@ CompiledWorkload::opsTime(const std::vector<Op>& ops, const BwConfig& bw)
 }
 
 Seconds
-CompiledWorkload::estimate(const BwConfig& bw) const
+CompiledWorkload::estimateNested(const BwConfig& bw) const
 {
     Seconds total = 0.0;
     for (const auto& layer : layers_) {
@@ -147,6 +158,134 @@ CompiledWorkload::estimate(const BwConfig& bw) const
     return total;
 }
 
+void
+CompiledWorkload::buildSoA()
+{
+    traffic_.clear();
+    entryDim_.clear();
+    opOffset_.clear();
+    meta_.clear();
+    singles_.clear();
+    opOffset_.push_back(0);
+    totalCompute_ = 0.0;
+    allSingles_.assign(numDims_, 0.0);
+
+    // Single-span ops need no bottleneck max: pre-sum their traffic
+    // per dimension. Only genuinely multi-span ops keep per-op extents.
+    auto flattenPhase = [&](const std::vector<Op>& ops,
+                            Bytes* singlesRow) {
+        PhaseRange r;
+        r.begin = static_cast<std::uint32_t>(opOffset_.size() - 1);
+        for (const auto& op : ops) {
+            if (op.size() == 1) {
+                singlesRow[op.front().first] += op.front().second;
+                continue;
+            }
+            for (const auto& [dim, traffic] : op) {
+                entryDim_.push_back(static_cast<std::uint32_t>(dim));
+                traffic_.push_back(traffic);
+            }
+            opOffset_.push_back(
+                static_cast<std::uint32_t>(traffic_.size()));
+        }
+        r.end = static_cast<std::uint32_t>(opOffset_.size() - 1);
+        return r;
+    };
+
+    for (const auto& layer : layers_) {
+        LayerMeta m;
+        m.fwdCompute = layer.fwdCompute;
+        m.igCompute = layer.igCompute;
+        m.wgCompute = layer.wgCompute;
+        m.singlesRow = static_cast<std::uint32_t>(singles_.size());
+        singles_.resize(singles_.size() + 3 * numDims_, 0.0);
+        Bytes* rows = singles_.data() + m.singlesRow;
+        m.fwd = flattenPhase(layer.fwd, rows);
+        m.ig = flattenPhase(layer.ig, rows + numDims_);
+        m.wg = flattenPhase(layer.wg, rows + 2 * numDims_);
+        meta_.push_back(m);
+
+        totalCompute_ +=
+            layer.fwdCompute + layer.igCompute + layer.wgCompute;
+    }
+
+    // NoOverlap collapse: all phase times add, so fold every layer's
+    // singles into one per-dim vector and span all multi ops at once.
+    for (std::size_t row = 0; row < singles_.size(); ++row)
+        allSingles_[row % numDims_] += singles_[row];
+    allMulti_.begin = 0;
+    allMulti_.end = static_cast<std::uint32_t>(opOffset_.size() - 1);
+}
+
+Seconds
+CompiledWorkload::multiOpsTime(PhaseRange r, const double* recip) const
+{
+    const Bytes* traffic = traffic_.data();
+    const std::uint32_t* dim = entryDim_.data();
+    const std::uint32_t* offset = opOffset_.data();
+    Seconds total = 0.0;
+    for (std::uint32_t op = r.begin; op < r.end; ++op) {
+        Seconds worst = 0.0;
+        for (std::uint32_t k = offset[op]; k < offset[op + 1]; ++k) {
+            Seconds t = traffic[k] * recip[dim[k]];
+            if (t > worst)
+                worst = t;
+        }
+        total += worst;
+    }
+    return total;
+}
+
+Seconds
+CompiledWorkload::singlesTime(std::uint32_t row, const double* recip) const
+{
+    const Bytes* s = singles_.data() + row;
+    Seconds total = 0.0;
+    for (std::size_t d = 0; d < numDims_; ++d)
+        total += s[d] * recip[d];
+    return total;
+}
+
+Seconds
+CompiledWorkload::estimate(const BwConfig& bw) const
+{
+    // Per-dimension reciprocal scaling, computed once per call: the
+    // hot loops are then pure multiply-and-max over flat arrays.
+    constexpr std::size_t kInlineDims = 16;
+    double recipInline[kInlineDims];
+    std::vector<double> recipHeap;
+    double* recip = recipInline;
+    if (numDims_ > kInlineDims) {
+        recipHeap.resize(numDims_);
+        recip = recipHeap.data();
+    }
+    for (std::size_t d = 0; d < numDims_; ++d)
+        recip[d] = 1.0 / (bw[d] * kGiga);
+
+    if (loop_ == TrainingLoop::NoOverlap) {
+        // Everything adds: no layer loop, just the global aggregates.
+        Seconds total = totalCompute_ + multiOpsTime(allMulti_, recip);
+        for (std::size_t d = 0; d < numDims_; ++d)
+            total += allSingles_[d] * recip[d];
+        return total;
+    }
+
+    Seconds total = 0.0;
+    const std::uint32_t dims = static_cast<std::uint32_t>(numDims_);
+    for (const auto& layer : meta_) {
+        Seconds fwdComm = singlesTime(layer.singlesRow, recip) +
+                          multiOpsTime(layer.fwd, recip);
+        Seconds igComm = singlesTime(layer.singlesRow + dims, recip) +
+                         multiOpsTime(layer.ig, recip);
+        Seconds wgComm =
+            singlesTime(layer.singlesRow + 2 * dims, recip) +
+            multiOpsTime(layer.wg, recip);
+        total += layer.fwdCompute + fwdComm + layer.igCompute +
+                 std::max(igComm, layer.wgCompute + wgComm);
+    }
+    return total;
+}
+
 CompiledWorkload
 TrainingEstimator::compile(const Workload& w) const
 {
@@ -159,10 +298,12 @@ TrainingEstimator::compile(const Workload& w) const
               " NPUs but network ", net_.name(), " has ", net_.npus());
     }
 
+    ScopeSpans scopeSpans = spansForAll(w.strategy);
     auto compileOps = [&](const std::vector<CommOp>& ops) {
         std::vector<CompiledWorkload::Op> out;
         for (const auto& op : ops) {
-            auto spans = spansFor(w.strategy, op.scope);
+            const auto& spans =
+                scopeSpans[static_cast<std::size_t>(op.scope)];
             if (spans.empty())
                 continue;
             CollectiveTiming timing =
@@ -184,6 +325,7 @@ TrainingEstimator::compile(const Workload& w) const
 
     CompiledWorkload cw;
     cw.loop_ = options_.loop;
+    cw.numDims_ = net_.numDims();
     for (const auto& layer : w.layers) {
         CompiledWorkload::CompiledLayer cl;
         cl.fwdCompute = layer.fwdCompute;
@@ -194,6 +336,7 @@ TrainingEstimator::compile(const Workload& w) const
         cl.wg = compileOps(layer.wgComm);
         cw.layers_.push_back(std::move(cl));
     }
+    cw.buildSoA();
     return cw;
 }
 
@@ -204,10 +347,11 @@ TrainingEstimator::detail(const Workload& w, const BwConfig& bw) const
     d.dimBusy.assign(net_.numDims(), 0.0);
     d.dimTraffic.assign(net_.numDims(), 0.0);
 
+    ScopeSpans spans = spansForAll(w.strategy);
     for (const auto& layer : w.layers) {
-        Seconds fwdComm = commListTime(layer.fwdComm, w.strategy, bw, &d);
-        Seconds igComm = commListTime(layer.igComm, w.strategy, bw, &d);
-        Seconds wgComm = commListTime(layer.wgComm, w.strategy, bw, &d);
+        Seconds fwdComm = commListTime(layer.fwdComm, spans, bw, &d);
+        Seconds igComm = commListTime(layer.igComm, spans, bw, &d);
+        Seconds wgComm = commListTime(layer.wgComm, spans, bw, &d);
 
         d.fwdCompute += layer.fwdCompute;
         d.fwdComm += fwdComm;

@@ -18,6 +18,8 @@
 #ifndef LIBRA_CORE_ESTIMATOR_HH
 #define LIBRA_CORE_ESTIMATOR_HH
 
+#include <array>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -88,15 +90,43 @@ struct EstimatorOptions
  *
  * The optimizer evaluates the training-time objective tens of thousands
  * of times; compiling resolves every collective to its per-dimension
- * traffic once, so an evaluation is a handful of divisions and max()
- * operations per layer. Produces bit-identical results to
- * TrainingEstimator::estimate() for the default analytical model.
+ * traffic once. Evaluation runs over a flat structure-of-arrays layout:
+ *
+ *  - Ops spanning a single dimension need no bottleneck max, and their
+ *    times simply add — so their traffic is pre-summed per (layer,
+ *    phase, dim) at compile time. Under NoOverlap the whole workload
+ *    further collapses to one per-dim traffic vector plus a compute
+ *    constant, making an evaluation O(dims + multi-span entries) with
+ *    no layer loop at all.
+ *  - Ops spanning several dimensions keep per-op extents into one
+ *    contiguous (traffic, dim) entry array for the max reduction.
+ *
+ * Per call the bandwidth vector is inverted once (reciprocal GB/s
+ * scaling), so the hot loop is a branch-light multiply-and-max over
+ * contiguous memory — no pointer chasing, no divisions. Aggregation
+ * reorders floating-point additions, so results agree with
+ * TrainingEstimator::estimate() to summation rounding (~n*eps; the
+ * property tests assert 1e-12 relative), and are always bit-identical
+ * run-to-run at any thread count.
+ *
+ * CompiledWorkload is immutable after compile() and estimate() is pure,
+ * so one instance may be shared by any number of solver threads.
  */
 class CompiledWorkload
 {
   public:
-    /** Iteration time under @p bw (GB/s per dimension). */
+    /** Iteration time under @p bw (GB/s per dimension); SoA fast path. */
     Seconds estimate(const BwConfig& bw) const;
+
+    /**
+     * Iteration time via the legacy nested (vector-of-vector-of-pairs)
+     * layout. Kept as the A/B reference for bench/micro_objective_eval
+     * and the equivalence tests; same math, slower memory walk.
+     */
+    Seconds estimateNested(const BwConfig& bw) const;
+
+    /** Network rank this workload was compiled against. */
+    std::size_t numDims() const { return numDims_; }
 
   private:
     friend class TrainingEstimator;
@@ -112,13 +142,68 @@ class CompiledWorkload
         std::vector<Op> fwd, ig, wg;
     };
 
+    /** Half-open multi-span-op range [begin, end) into opOffset_. */
+    struct PhaseRange
+    {
+        std::uint32_t begin = 0;
+        std::uint32_t end = 0;
+    };
+
+    /**
+     * SoA per-layer record (TpDpOverlap path): compute times,
+     * multi-span op ranges, and the index of this layer's per-dim
+     * single-span traffic rows in singles_.
+     */
+    struct LayerMeta
+    {
+        Seconds fwdCompute = 0.0;
+        Seconds igCompute = 0.0;
+        Seconds wgCompute = 0.0;
+        PhaseRange fwd, ig, wg;
+        std::uint32_t singlesRow = 0; ///< fwd row; ig/wg follow.
+    };
+
     static Seconds opsTime(const std::vector<Op>& ops, const BwConfig& bw);
 
+    /** Bottleneck-time sum of the multi-span ops in @p r. */
+    Seconds multiOpsTime(PhaseRange r, const double* recip) const;
+
+    /** Dot of a singles_ row with the reciprocal-bandwidth vector. */
+    Seconds singlesTime(std::uint32_t row, const double* recip) const;
+
+    /** Build the flat arrays from layers_. */
+    void buildSoA();
+
     TrainingLoop loop_ = TrainingLoop::NoOverlap;
-    std::vector<CompiledLayer> layers_;
+    std::vector<CompiledLayer> layers_; ///< Nested reference layout.
+
+    // SoA evaluation layout (derived from layers_ by buildSoA).
+    std::size_t numDims_ = 0;
+    std::vector<Bytes> traffic_;         ///< Multi-span op traffic.
+    std::vector<std::uint32_t> entryDim_; ///< Dim of each traffic entry.
+    std::vector<std::uint32_t> opOffset_; ///< Entry extents; numOps + 1.
+    std::vector<LayerMeta> meta_;
+
+    /**
+     * Per-dim traffic sums of single-span ops, numDims_ values per
+     * row: one row per (layer, phase) for TpDpOverlap.
+     */
+    std::vector<Bytes> singles_;
+
+    // NoOverlap whole-workload aggregates: every phase time adds, so
+    // evaluation needs no layer loop at all.
+    Seconds totalCompute_ = 0.0;
+    std::vector<Bytes> allSingles_;    ///< numDims_ traffic sums.
+    PhaseRange allMulti_;              ///< All multi-span ops.
 };
 
-/** Estimates training time for workloads on one network. */
+/**
+ * Estimates training time for workloads on one network.
+ *
+ * All query methods are const and touch no mutable state, so a single
+ * estimator may be shared across solver threads (provided any custom
+ * commTimeFn is itself thread-safe; the built-in analytical model is).
+ */
 class TrainingEstimator
 {
   public:
@@ -130,6 +215,15 @@ class TrainingEstimator
     /** Dimension spans of a comm scope under @p strategy. */
     std::vector<DimSpan> spansFor(const Parallelization& strategy,
                                   CommScope scope) const;
+
+    /**
+     * Span vectors of all four comm scopes, indexed by CommScope.
+     * Computed once per estimate()/detail()/compile() call so the
+     * per-op group-to-dimension mapping is not redone for every op of
+     * every layer.
+     */
+    using ScopeSpans = std::array<std::vector<DimSpan>, 4>;
+    ScopeSpans spansForAll(const Parallelization& strategy) const;
 
     /** Time of one collective op under @p bw. */
     Seconds commTime(const CommOp& op, const Parallelization& strategy,
@@ -154,8 +248,7 @@ class TrainingEstimator
                               const BwConfig& bw) const;
 
     Seconds commListTime(const std::vector<CommOp>& ops,
-                         const Parallelization& strategy,
-                         const BwConfig& bw,
+                         const ScopeSpans& spans, const BwConfig& bw,
                          EstimateDetail* detail) const;
 
     Network net_;

@@ -1,11 +1,15 @@
 #include "core/framework.hh"
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace libra {
 
+namespace {
+
+/** One study point, with the pool left alone (sweeps own the pool). */
 LibraReport
-runLibra(const LibraInputs& inputs)
+runLibraPoint(const LibraInputs& inputs)
 {
     Network net = Network::parse(inputs.networkShape);
     BwOptimizer optimizer(net, inputs.costModel);
@@ -31,6 +35,38 @@ runLibra(const LibraInputs& inputs)
     if (optRecip > 0.0)
         report.perfPerCostGain = eqRecip / optRecip;
     return report;
+}
+
+} // namespace
+
+LibraReport
+runLibra(const LibraInputs& inputs)
+{
+    if (inputs.threads > 0 && !ThreadPool::insidePool())
+        ThreadPool::setGlobalThreads(
+            static_cast<std::size_t>(inputs.threads));
+    return runLibraPoint(inputs);
+}
+
+std::vector<LibraReport>
+runLibraSweep(const std::vector<LibraInputs>& points)
+{
+    // Same guard optimize() applies within a point: custom
+    // collective-timing models are not guaranteed thread-safe, so
+    // never invoke them from sweep workers either.
+    bool customTiming = false;
+    for (const auto& p : points)
+        customTiming |= static_cast<bool>(p.config.estimator.commTimeFn);
+    if (customTiming) {
+        std::vector<LibraReport> reports;
+        reports.reserve(points.size());
+        for (const auto& p : points)
+            reports.push_back(runLibraPoint(p));
+        return reports;
+    }
+    return parallelMap(points, [](const LibraInputs& p) {
+        return runLibraPoint(p);
+    });
 }
 
 } // namespace libra

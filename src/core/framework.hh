@@ -26,6 +26,13 @@ struct LibraInputs
     CostModel costModel = CostModel::defaultModel();
     OptimizerConfig config;
     bool normalizeTargetWeights = false;  ///< 1/T_EqualBW weighting.
+
+    /**
+     * Parallelism for this study (the THREADS / --threads knob).
+     * 0 keeps the current global pool size (LIBRA_THREADS or hardware
+     * concurrency). Results are identical at any value.
+     */
+    int threads = 0;
 };
 
 /** Optimized point, baseline, and derived comparison metrics. */
@@ -46,6 +53,16 @@ struct LibraReport
 
 /** Run a full LIBRA design study. */
 LibraReport runLibra(const LibraInputs& inputs);
+
+/**
+ * Run a batch of independent design studies — a topology / budget /
+ * workload-mix sweep — concurrently on the global thread pool. Reports
+ * come back aligned with @p points, and each report is bit-identical
+ * to a standalone runLibra() of the same point. Per-point `threads`
+ * fields are ignored (the sweep itself owns the pool).
+ */
+std::vector<LibraReport>
+runLibraSweep(const std::vector<LibraInputs>& points);
 
 } // namespace libra
 

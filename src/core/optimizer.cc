@@ -79,6 +79,11 @@ BwOptimizer::optimize(const std::vector<TargetWorkload>& targets,
     // The pure-performance objective is convex, so subgradient leads;
     // the perf-per-cost product is not, so rely on the global searches.
     search.useSubgradient = true;
+    // A custom collective-timing model may carry internal state the
+    // pool would race on; only the built-in analytical model is
+    // guaranteed thread-safe. Results are identical either way.
+    if (config.estimator.commTimeFn)
+        search.parallel = false;
 
     // Warm start: size each dimension proportionally to the busy time
     // it accrues under EqualBW — the single-collective closed form,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <istream>
 #include <sstream>
@@ -174,6 +175,16 @@ parseStudyConfig(std::istream& in)
             inputs.config.budgetCap = parseNumber(
                 wantToken("dollar cap"), lineNo, "dollar cap");
             inputs.config.relaxTotalBw = true;
+        } else if (keyword == "THREADS") {
+            double v = parseNumber(wantToken("thread count"), lineNo,
+                                   "thread count");
+            // The range check also rejects NaN (all comparisons
+            // false) before the double-to-int cast could be UB.
+            if (!(v >= 1.0 && v <= 4096.0) || v != std::floor(v))
+                fatal("study line ", lineNo,
+                      ": THREADS must be an integer in [1, 4096], "
+                      "got ", v);
+            inputs.threads = static_cast<int>(v);
         } else if (keyword == "SEED") {
             inputs.config.search.seed = static_cast<std::uint64_t>(
                 parseNumber(wantToken("seed"), lineNo, "seed"));

@@ -16,6 +16,8 @@
  *     IN_NETWORK                # switch-offloaded All-Reduce
  *     DOLLAR_CAP 1.5e7          # optional; makes TOTAL_BW a ceiling
  *     COST Pod LINK 7.8 SWITCH 18.0 NIC 31.6   # cost-model override
+ *     THREADS 8                 # solver parallelism (results are
+ *                               # identical at any thread count)
  *
  * Zoo names: turing-nlg, gpt3, msft1t, dlrm, resnet50 (each sized to
  * the network's NPU count).

@@ -23,7 +23,16 @@ EventQueue::schedule(Tick when, std::function<void()> callback)
 {
     if (when < now_)
         panic("scheduling event at ", when, " before now ", now_);
-    queue_.push({when, nextSeq_++, std::move(callback)});
+    std::uint32_t slot;
+    if (!freeSlots_.empty()) {
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+        slots_[slot] = std::move(callback);
+    } else {
+        slot = static_cast<std::uint32_t>(slots_.size());
+        slots_.push_back(std::move(callback));
+    }
+    queue_.push({when, nextSeq_++, slot});
 }
 
 void
@@ -37,12 +46,15 @@ EventQueue::step()
 {
     if (queue_.empty())
         return false;
-    // priority_queue::top() is const; the callback is moved out after the
-    // copy below, so take it by value.
     Event ev = queue_.top();
     queue_.pop();
     now_ = ev.when;
-    ev.callback();
+    // Move the callback out and free its slot before running: the
+    // callback may schedule new events that reuse the slot.
+    std::function<void()> callback = std::move(slots_[ev.slot]);
+    slots_[ev.slot] = nullptr;
+    freeSlots_.push_back(ev.slot);
+    callback();
     return true;
 }
 

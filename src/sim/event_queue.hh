@@ -56,11 +56,17 @@ class EventQueue
     void run();
 
   private:
+    /**
+     * Heap entries carry only ordering keys plus a slot index; the
+     * callbacks live in a side vector so heap sifts shuffle 24-byte
+     * PODs and step() moves (never copies) the std::function out of
+     * priority_queue::top()'s const reference.
+     */
     struct Event
     {
         Tick when;
         std::uint64_t seq;
-        std::function<void()> callback;
+        std::uint32_t slot;
     };
     struct Later
     {
@@ -76,6 +82,8 @@ class EventQueue
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    std::vector<std::function<void()>> slots_; ///< Keyed by Event::slot.
+    std::vector<std::uint32_t> freeSlots_;     ///< Recyclable slots.
 };
 
 } // namespace libra

@@ -2,20 +2,71 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/random.hh"
+#include "common/thread_pool.hh"
 #include "solver/nelder_mead.hh"
 #include "solver/pattern_search.hh"
 #include "solver/qp.hh"
 
 namespace libra {
 
+namespace {
+
+/**
+ * splitmix64 finalizer: decorrelates the per-start RNG streams so start
+ * s's point depends only on (seed, s), never on how many starts ran
+ * before it.
+ */
+std::uint64_t
+mixSeed(std::uint64_t seed, std::uint64_t stream)
+{
+    std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+/** Outcome of one restart's search chain. */
+struct StartResult
+{
+    Vec x;
+    double value = std::numeric_limits<double>::infinity();
+    bool feasible = false;
+};
+
+/** Subgradient -> pattern search -> Nelder-Mead from one point. */
+StartResult
+searchFromStart(const ScalarObjective& f, const ConstraintSet& constraints,
+                const Vec& x0, const MultistartOptions& options)
+{
+    Vec x = x0;
+    if (options.useSubgradient) {
+        SearchResult sg = projectedSubgradient(f, constraints, x);
+        x = sg.x;
+    }
+    SearchResult ps = patternSearch(f, constraints, x);
+    x = ps.x;
+    if (options.useNelderMead) {
+        SearchResult nm = nelderMead(f, constraints, x);
+        if (nm.value < ps.value)
+            x = nm.x;
+    }
+    StartResult r;
+    r.x = std::move(x);
+    r.value = f(r.x);
+    r.feasible = constraints.feasible(r.x, 1e-5);
+    return r;
+}
+
+} // namespace
+
 SearchResult
 multistartMinimize(const ScalarObjective& f,
                    const ConstraintSet& constraints, const Vec& hint,
                    MultistartOptions options)
 {
-    Rng rng(options.seed);
     const std::size_t n = constraints.numVars();
     double total = 0.0;
     for (double v : hint)
@@ -23,32 +74,37 @@ multistartMinimize(const ScalarObjective& f,
     if (total <= 0.0)
         total = 1.0;
 
+    // Start 0 is the caller's hint; start s > 0 draws from its own
+    // RNG stream so the point set is independent of evaluation order.
     std::vector<Vec> starts;
     starts.push_back(projectOntoConstraints(constraints, hint));
     for (int s = 0; s < options.starts; ++s) {
-        Vec p = rng.simplexPoint(n, total);
-        starts.push_back(projectOntoConstraints(constraints, p));
+        Rng rng(mixSeed(options.seed, static_cast<std::uint64_t>(s)));
+        starts.push_back(projectOntoConstraints(
+            constraints, rng.simplexPoint(n, total)));
     }
 
+    // Restarts are independent; fan out on the pool. Results land in
+    // per-start slots, so the reduction below is order-independent.
+    std::vector<StartResult> results(starts.size());
+    auto runOne = [&](std::size_t i) {
+        results[i] = searchFromStart(f, constraints, starts[i], options);
+    };
+    if (options.parallel) {
+        ThreadPool::global().parallelFor(starts.size(), runOne);
+    } else {
+        for (std::size_t i = 0; i < starts.size(); ++i)
+            runOne(i);
+    }
+
+    // Deterministic winner: best feasible value, ties broken toward
+    // the lower start index (strict < scans in index order).
     SearchResult best;
     best.value = std::numeric_limits<double>::infinity();
-    for (const auto& x0 : starts) {
-        Vec x = x0;
-        if (options.useSubgradient) {
-            SearchResult sg = projectedSubgradient(f, constraints, x);
-            x = sg.x;
-        }
-        SearchResult ps = patternSearch(f, constraints, x);
-        x = ps.x;
-        if (options.useNelderMead) {
-            SearchResult nm = nelderMead(f, constraints, x);
-            if (nm.value < ps.value)
-                x = nm.x;
-        }
-        double fx = f(x);
-        if (fx < best.value && constraints.feasible(x, 1e-5)) {
-            best.value = fx;
-            best.x = x;
+    for (const auto& r : results) {
+        if (r.feasible && r.value < best.value) {
+            best.value = r.value;
+            best.x = r.x;
         }
     }
 

@@ -6,6 +6,15 @@
  * land in a local minimum; the driver seeds pattern search + Nelder-Mead
  * from several deterministic random feasible points (plus the caller's
  * hint) and keeps the best feasible result.
+ *
+ * Restarts are independent, so they run concurrently on the global
+ * thread pool. Each start draws its point from its own seeded RNG
+ * stream (derived from `seed` and the start index), every start's
+ * search is deterministic given its point, and the winner is selected
+ * in start-index order with ties broken toward the lower index — so
+ * the result is bit-identical at any thread count. Requires the
+ * objective to be const-callable from multiple threads (true for all
+ * built-in objectives).
  */
 
 #ifndef LIBRA_SOLVER_MULTISTART_HH
@@ -23,6 +32,13 @@ struct MultistartOptions
     std::uint64_t seed = 0x11BAa;
     bool useSubgradient = true;  ///< Run subgradient first (convex f).
     bool useNelderMead = true;
+
+    /**
+     * Run starts on the global thread pool. Disable only for
+     * objectives that are not thread-safe; results are identical
+     * either way.
+     */
+    bool parallel = true;
 };
 
 /**

@@ -64,6 +64,11 @@ TEST_P(CompiledEquivalence, MatchesDirectEstimator)
         ASSERT_NEAR(cw.estimate(bw), est.estimate(w, bw),
                     1e-12 * est.estimate(w, bw))
             << param.network << "/" << param.workload;
+        // The SoA fast path and the legacy nested layout must agree
+        // (same math, different memory walk).
+        ASSERT_NEAR(cw.estimate(bw), cw.estimateNested(bw),
+                    1e-12 * cw.estimateNested(bw))
+            << param.network << "/" << param.workload;
     }
 }
 

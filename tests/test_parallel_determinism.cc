@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The parallel evaluation engine's determinism guarantee: optimize()
+ * must return bit-identical results at any thread count. Covers a
+ * fig09-style 3D bandwidth-allocation study and a fig16-style
+ * topology-exploration point, plus the parallel study-sweep path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hh"
+#include "core/framework.hh"
+#include "core/optimizer.hh"
+#include "core/study_config.hh"
+#include "topology/zoo.hh"
+#include "workload/zoo.hh"
+
+namespace libra {
+namespace {
+
+/** Run @p fn under each thread count; every result must match the first
+ *  bit-for-bit. */
+void
+expectIdenticalAcrossThreadCounts(
+    const std::function<OptimizationResult()>& fn)
+{
+    ThreadPool::setGlobalThreads(1);
+    OptimizationResult serial = fn();
+    for (std::size_t threads : {2, 8}) {
+        ThreadPool::setGlobalThreads(threads);
+        OptimizationResult parallel = fn();
+        ASSERT_EQ(serial.bw.size(), parallel.bw.size());
+        for (std::size_t i = 0; i < serial.bw.size(); ++i) {
+            EXPECT_EQ(serial.bw[i], parallel.bw[i])
+                << "dim " << i << " at " << threads << " threads";
+        }
+        EXPECT_EQ(serial.objectiveValue, parallel.objectiveValue)
+            << threads << " threads";
+        EXPECT_EQ(serial.weightedTime, parallel.weightedTime)
+            << threads << " threads";
+    }
+    ThreadPool::setGlobalThreads(1);
+}
+
+/** Fig. 9 setting: distribute BW over a 3D 64-NPU network. */
+TEST(ParallelDeterminism, Fig09StyleAllocation)
+{
+    Network net = Network::parse("RI(4)_FC(4)_SW(4)");
+    Workload w;
+    w.name = "fig09-ar";
+    w.strategy = {1, net.npus()};
+    Layer l;
+    l.wgComm.push_back(
+        {CollectiveType::AllReduce, CommScope::Dp, 1e9});
+    w.layers.push_back(l);
+
+    expectIdenticalAcrossThreadCounts([&] {
+        BwOptimizer opt(net, CostModel::defaultModel());
+        OptimizerConfig cfg;
+        cfg.totalBw = 300.0;
+        cfg.search.starts = 6;
+        return opt.optimize({{w, 1.0}}, cfg);
+    });
+}
+
+/** Fig. 16 setting: MSFT-1T on the 3D-512 topology. */
+TEST(ParallelDeterminism, Fig16StyleTopologyPoint)
+{
+    Network net = topo::threeD512();
+    Workload w = wl::msft1T(net.npus());
+
+    expectIdenticalAcrossThreadCounts([&] {
+        BwOptimizer opt(net, CostModel::defaultModel());
+        OptimizerConfig cfg;
+        cfg.totalBw = 500.0;
+        cfg.search.starts = 3;
+        cfg.objective = OptimizationObjective::PerfPerCostOpt;
+        return opt.optimize({{w, 1.0}}, cfg);
+    });
+}
+
+/** A parallel sweep must match point-by-point serial runs exactly. */
+TEST(ParallelDeterminism, SweepMatchesStandaloneRuns)
+{
+    std::vector<LibraInputs> points;
+    for (double bw : {250.0, 500.0}) {
+        LibraInputs p;
+        p.networkShape = "RI(4)_FC(4)_SW(4)";
+        p.targets.push_back(
+            {zooWorkloadByName("resnet50",
+                               Network::parse(p.networkShape).npus()),
+             1.0});
+        p.config.totalBw = bw;
+        p.config.search.starts = 2;
+        points.push_back(std::move(p));
+    }
+
+    ThreadPool::setGlobalThreads(1);
+    std::vector<LibraReport> serial;
+    for (const auto& p : points)
+        serial.push_back(runLibra(p));
+
+    ThreadPool::setGlobalThreads(4);
+    std::vector<LibraReport> swept = runLibraSweep(points);
+    ThreadPool::setGlobalThreads(1);
+
+    ASSERT_EQ(serial.size(), swept.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].optimized.objectiveValue,
+                  swept[i].optimized.objectiveValue);
+        EXPECT_EQ(serial[i].speedup, swept[i].speedup);
+        ASSERT_EQ(serial[i].optimized.bw.size(),
+                  swept[i].optimized.bw.size());
+        for (std::size_t d = 0; d < serial[i].optimized.bw.size(); ++d)
+            EXPECT_EQ(serial[i].optimized.bw[d],
+                      swept[i].optimized.bw[d]);
+    }
+}
+
+} // namespace
+} // namespace libra

@@ -3,8 +3,12 @@
  * libra_cli — run a complete LIBRA design study from a config file.
  *
  * Usage:
- *   libra_cli <study-file>
+ *   libra_cli [--threads N] <study-file>
  *   libra_cli --example        # print a template study file and exit
+ *
+ * --threads N (or the LIBRA_THREADS environment variable, or a THREADS
+ * line in the study file; flag wins) sizes the parallel evaluation
+ * engine. Results are bit-identical at any thread count.
  *
  * The study file bundles every Fig. 3 input: network shape, BW budget,
  * objective, training loop, constraints, cost-model overrides, and the
@@ -12,11 +16,14 @@
  * the optimized design point next to the EqualBW baseline.
  */
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <string>
 
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "common/thread_pool.hh"
 #include "core/report.hh"
 #include "core/study_config.hh"
 
@@ -31,13 +38,14 @@ CONSTRAINT B4 <= 50
 WORKLOAD gpt3
 WORKLOAD msft1t WEIGHT 1.0
 NORMALIZE_WEIGHTS
+# THREADS 8                # solver parallelism (deterministic)
 # COST Pod LINK 7.8 SWITCH 18.0 NIC 31.6
 # DOLLAR_CAP 1.5e7
 # WORKLOAD_FILE my_profiled_model.wl
 )";
 
 int
-runStudy(const char* path)
+runStudy(const char* path, int threads)
 {
     using namespace libra;
 
@@ -47,6 +55,8 @@ runStudy(const char* path)
         return 1;
     }
     LibraInputs inputs = parseStudyConfig(file);
+    if (threads > 0)
+        inputs.threads = threads; // Flag wins over the THREADS line.
 
     std::cout << "Study: " << inputs.networkShape << " @ "
               << inputs.config.totalBw << " GB/s per NPU, "
@@ -89,16 +99,41 @@ runStudy(const char* path)
 int
 main(int argc, char** argv)
 {
-    if (argc == 2 && std::string(argv[1]) == "--example") {
-        std::cout << kTemplate;
-        return 0;
+    int threads = 0;
+    const char* studyPath = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--example") {
+            std::cout << kTemplate;
+            return 0;
+        }
+        if (arg == "--threads") {
+            if (i + 1 >= argc) {
+                std::cerr << "libra_cli: --threads needs a count\n";
+                return 1;
+            }
+            char* end = nullptr;
+            long v = std::strtol(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0' || v < 1 || v > 4096) {
+                std::cerr << "libra_cli: bad thread count '" << argv[i]
+                          << "' (expected 1..4096)\n";
+                return 1;
+            }
+            threads = static_cast<int>(v);
+        } else if (!studyPath) {
+            studyPath = argv[i];
+        } else {
+            studyPath = nullptr;
+            break;
+        }
     }
-    if (argc != 2) {
-        std::cerr << "usage: libra_cli <study-file> | --example\n";
+    if (!studyPath) {
+        std::cerr << "usage: libra_cli [--threads N] <study-file> | "
+                     "--example\n";
         return 1;
     }
     try {
-        return runStudy(argv[1]);
+        return runStudy(studyPath, threads);
     } catch (const libra::FatalError& e) {
         std::cerr << "libra_cli: " << e.what() << "\n";
         return 1;

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Minimal CI entry point: configure, build, and run the tier-1 suite.
+# Usage: tools/run_tier1.sh [extra cmake args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B build -S . "$@"
+cmake --build build -j"${JOBS}"
+ctest --test-dir build --output-on-failure -j"${JOBS}"
