@@ -18,24 +18,48 @@
 #include "common/table.hh"
 #include "core/framework.hh"
 #include "core/report.hh"
+#include "study/matrix.hh"
 
 namespace libra {
 namespace bench {
 
-/** BW-per-NPU sweep used across Figs. 13-16 (paper: 100-1,000 GB/s). */
+/**
+ * Entry point of the figure/table benches ported onto the scenario
+ * registry: run one named scenario through the matrix engine (no
+ * cache) and print it in the paper-style table format. The shared
+ * table/summary/notes rendering lives in printScenarioRun(), which
+ * replaced the per-bench row-printing each binary used to hand-roll.
+ */
+inline int
+runScenarioMain(const std::string& name)
+{
+    setInformEnabled(false);
+    try {
+        MatrixResult result = runScenarioMatrix({name});
+        printScenarioRun(result.scenarios.front(), std::cout);
+        return 0;
+    } catch (const FatalError& e) {
+        std::cerr << "bench: " << e.what() << "\n";
+        return 1;
+    }
+}
+
+/**
+ * BW-per-NPU sweep used across Figs. 13-16 (paper: 100-1,000 GB/s).
+ * Forwards to the scenario engine's definition so the remaining
+ * standalone benches share one grid with the registered scenarios.
+ */
 inline std::vector<double>
 bwSweep()
 {
-    return {100.0, 250.0, 500.0, 1000.0};
+    return paperBwSweep();
 }
 
 /** Search options sized for the harness (deterministic, fast). */
 inline MultistartOptions
 benchSearch()
 {
-    MultistartOptions opt;
-    opt.starts = 3;
-    return opt;
+    return paperSearchOptions();
 }
 
 /** Print a standard figure banner. */

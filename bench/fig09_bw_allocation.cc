@@ -5,64 +5,13 @@
  * underprovisioned, and ideally distributed. Rendered as ASCII Gantt
  * rows (digits = Reduce-Scatter chunks, letters = All-Gather chunks).
  *
- * Reproduced claims: an underprovisioned dimension saturates while the
- * others idle; the ideal allocation keeps every dimension busy outside
- * of inevitable pipeline bubbles.
+ * The study is the registered "fig09" scenario (src/study/scenarios.cc).
  */
 
 #include "bench_util.hh"
-#include "sim/chunk_timeline.hh"
-
-namespace libra {
-namespace {
-
-void
-show(const std::string& title, const BwConfig& bw)
-{
-    std::vector<DimSpan> spans{{0, 4}, {1, 4}, {2, 4}};
-    ChunkTimeline tl(3, bw);
-    CollectiveJob job;
-    job.type = CollectiveType::AllReduce;
-    job.size = 1e9;
-    job.spans = spans;
-    job.numChunks = 4;
-    TimelineResult r = tl.run({job});
-
-    std::cout << "\n--- " << title << " (B = " << bwConfigToString(bw)
-              << ") ---\n"
-              << r.render(3, 68) << "All-Reduce time: "
-              << secondsToString(r.makespan)
-              << ", avg BW utilization: "
-              << Table::num(r.avgBwUtilization * 100.0, 1) << "%\n";
-}
-
-void
-run()
-{
-    bench::banner("Fig. 9",
-                  "4-chunk All-Reduce on 3D networks with different BW "
-                  "allocations");
-
-    // Traffic shares on a 4x4x4 multi-rail AR are (1.5, 0.375, 0.094)m.
-    // (a) Dim 1 underprovisioned: it bottlenecks, dims 2-3 idle.
-    show("(a) underprovisioned Dim 1", {30.0, 135.0, 135.0});
-    // (b) Dim 2 underprovisioned.
-    show("(b) underprovisioned Dim 2", {200.0, 10.0, 90.0});
-    // (c) Ideal: BW proportional to per-dim traffic.
-    double total = 300.0;
-    double share = 1.5 + 0.375 + 0.09375;
-    show("(c) ideally distributed",
-         {total * 1.5 / share, total * 0.375 / share,
-          total * 0.09375 / share});
-}
-
-} // namespace
-} // namespace libra
 
 int
 main()
 {
-    libra::setInformEnabled(false);
-    libra::run();
-    return 0;
+    return libra::bench::runScenarioMain("fig09");
 }

@@ -2,78 +2,17 @@
  * @file
  * Fig. 10: end-to-end MSFT-1T training time vs average network BW
  * utilization on 2D/3D/4D networks at 300 GB/s per NPU with EqualBW,
- * compared to the workload-aware (LIBRA) allocation and the pure-compute
- * floor.
+ * compared to the workload-aware (LIBRA) allocation and the
+ * pure-compute floor.
  *
- * Reproduced claims: EqualBW utilizations are well below 100% (paper:
- * 57.5% / 39.0% / 66.7% for 2D/3D/4D) and reaching full utilization
- * would speed training by 1.29-1.83x.
+ * The study is the registered "fig10" scenario (src/study/scenarios.cc);
+ * its utilization metrics are pinned by tests/test_golden_figures.cc.
  */
 
 #include "bench_util.hh"
-#include "core/optimizer.hh"
-#include "sim/training_sim.hh"
-#include "topology/zoo.hh"
-#include "workload/zoo.hh"
-
-namespace libra {
-namespace {
-
-void
-run()
-{
-    bench::banner("Fig. 10", "MSFT-1T runtime vs network BW utilization "
-                             "(300 GB/s per NPU)");
-
-    const double budget = 300.0;
-    std::vector<topo::NamedNetwork> nets{
-        {"2D", topo::twoD4K()},
-        {"3D", topo::threeD4K()},
-        {"4D", topo::fourD4K()},
-    };
-
-    Table t;
-    t.header({"Net", "Alloc", "Runtime(norm)", "BW util(%)",
-              "Speedup vs EqualBW"});
-
-    for (const auto& [label, net] : nets) {
-        Workload w = wl::msft1T(net.npus());
-        TrainingSim sim(net, {});
-        TrainingSimResult equal = sim.simulate(w, net.equalBw(budget));
-
-        // Workload-aware allocation via the optimizer.
-        BwOptimizer opt(net, CostModel::defaultModel());
-        OptimizerConfig cfg;
-        cfg.objective = OptimizationObjective::PerfOpt;
-        cfg.totalBw = budget;
-        cfg.search = bench::benchSearch();
-        OptimizationResult best = opt.optimize({{w, 1.0}}, cfg);
-        TrainingSimResult tuned = sim.simulate(w, best.bw);
-
-        t.row({label, "EqualBW", Table::num(1.0, 3),
-               Table::num(equal.avgBwUtilization * 100.0, 2),
-               Table::num(1.0, 2)});
-        t.row({label, "LIBRA", Table::num(tuned.total / equal.total, 3),
-               Table::num(tuned.avgBwUtilization * 100.0, 2),
-               Table::num(equal.total / tuned.total, 2)});
-        t.row({label, "PureCompute",
-               Table::num(equal.computeTotal / equal.total, 3), "-",
-               Table::num(equal.total / equal.computeTotal, 2)});
-    }
-    t.print(std::cout);
-
-    std::cout << "\nClaim check: EqualBW utilization is far below 100%; "
-                 "the workload-aware allocation raises utilization and "
-                 "yields >1x speedup (paper: up to 1.83x on 3D).\n";
-}
-
-} // namespace
-} // namespace libra
 
 int
 main()
 {
-    libra::setInformEnabled(false);
-    libra::run();
-    return 0;
+    return libra::bench::runScenarioMain("fig10");
 }

@@ -4,83 +4,16 @@
  * Turing-NLG, GPT-3, and MSFT-1T on the 3D-4K and 4D-4K networks,
  * sweeping 100-1,000 GB/s per NPU, under both optimization schemes.
  *
- * Reproduced claims: PerfOptBW is never slower than EqualBW (paper avg
- * 1.23x, max 2.00x); PerfPerCostOptBW may trade speed for dollars
- * (speedup can dip below 1); GPT-3 on 4D-4K stays near 1x because the
- * TP-16 group mismatches the dim-2 size.
+ * The study itself is the registered "fig13" scenario
+ * (src/study/scenarios.cc); run it alongside the other figures with
+ * `libra_cli run-matrix fig13` to share the point cache. Its headline
+ * metrics are pinned by tests/test_golden_figures.cc.
  */
 
 #include "bench_util.hh"
-#include "core/optimizer.hh"
-#include "topology/zoo.hh"
-#include "workload/zoo.hh"
-
-namespace libra {
-namespace {
-
-void
-run()
-{
-    bench::banner("Fig. 13", "training speedup over EqualBW "
-                             "(LIBRA-optimized networks)");
-
-    std::vector<topo::NamedNetwork> nets{{"3D", topo::threeD4K()},
-                                         {"4D", topo::fourD4K()}};
-
-    Table t;
-    t.header({"Workload", "Net", "BW/NPU", "PerfOpt x", "PerfPerCost x",
-              "PerfOpt BW config"});
-
-    double sumSpeedup = 0.0, maxSpeedup = 0.0;
-    int points = 0;
-
-    for (const auto& [label, net] : nets) {
-        std::vector<Workload> workloads{wl::turingNlg(net.npus()),
-                                        wl::gpt3(net.npus()),
-                                        wl::msft1T(net.npus())};
-        for (const auto& w : workloads) {
-            for (double bw : bench::bwSweep()) {
-                BwOptimizer opt(net, CostModel::defaultModel());
-                std::vector<TargetWorkload> targets{{w, 1.0}};
-                OptimizerConfig cfg;
-                cfg.totalBw = bw;
-                cfg.search = bench::benchSearch();
-
-                cfg.objective = OptimizationObjective::PerfOpt;
-                OptimizationResult perf = opt.optimize(targets, cfg);
-                OptimizationResult base = opt.baseline(targets, cfg);
-
-                cfg.objective = OptimizationObjective::PerfPerCostOpt;
-                OptimizationResult ppc = opt.optimize(targets, cfg);
-
-                double sPerf = base.weightedTime / perf.weightedTime;
-                double sPpc = base.weightedTime / ppc.weightedTime;
-                sumSpeedup += sPerf;
-                maxSpeedup = std::max(maxSpeedup, sPerf);
-                ++points;
-
-                t.row({w.name, label, Table::num(bw, 0),
-                       Table::num(sPerf, 2), Table::num(sPpc, 2),
-                       bwConfigToString(perf.bw, 0)});
-            }
-        }
-    }
-    t.print(std::cout);
-    std::cout << "\nPerfOptBW speedup: avg "
-              << Table::num(sumSpeedup / points, 2) << "x, max "
-              << Table::num(maxSpeedup, 2)
-              << "x (paper: avg 1.23x, max 2.00x).\n"
-              << "Claim check: PerfOpt >= 1x everywhere; GPT-3+4D near "
-                 "1x (TP-16 vs dim-2=8 mismatch).\n";
-}
-
-} // namespace
-} // namespace libra
 
 int
 main()
 {
-    libra::setInformEnabled(false);
-    libra::run();
-    return 0;
+    return libra::bench::runScenarioMain("fig13");
 }

@@ -3,84 +3,16 @@
  * Fig. 14: perf-per-cost benefit over the EqualBW baseline for the
  * same grid as Fig. 13.
  *
- * Reproduced claims: PerfPerCostOptBW achieves the best perf-per-cost
- * everywhere (paper avg 9.16x, max 13.02x over EqualBW); PerfOptBW also
- * beats EqualBW on perf-per-cost (paper avg 5.40x).
+ * The study is the registered "fig14" scenario (src/study/scenarios.cc).
+ * It builds the identical design-point grid as fig13, so the matrix
+ * runner optimizes each point once when both figures run together. The
+ * headline metrics are pinned by tests/test_golden_figures.cc.
  */
 
 #include "bench_util.hh"
-#include "core/optimizer.hh"
-#include "topology/zoo.hh"
-#include "workload/zoo.hh"
-
-namespace libra {
-namespace {
-
-void
-run()
-{
-    bench::banner("Fig. 14",
-                  "perf-per-cost benefit over EqualBW baseline");
-
-    std::vector<topo::NamedNetwork> nets{{"3D", topo::threeD4K()},
-                                         {"4D", topo::fourD4K()}};
-
-    Table t;
-    t.header({"Workload", "Net", "BW/NPU", "PerfOpt ppc x",
-              "PerfPerCost ppc x", "PerfPerCost cost"});
-
-    double sumPerf = 0.0, sumPpc = 0.0, maxPpc = 0.0;
-    int points = 0;
-
-    for (const auto& [label, net] : nets) {
-        std::vector<Workload> workloads{wl::turingNlg(net.npus()),
-                                        wl::gpt3(net.npus()),
-                                        wl::msft1T(net.npus())};
-        for (const auto& w : workloads) {
-            for (double bw : bench::bwSweep()) {
-                BwOptimizer opt(net, CostModel::defaultModel());
-                std::vector<TargetWorkload> targets{{w, 1.0}};
-                OptimizerConfig cfg;
-                cfg.totalBw = bw;
-                cfg.search = bench::benchSearch();
-
-                cfg.objective = OptimizationObjective::PerfOpt;
-                OptimizationResult perf = opt.optimize(targets, cfg);
-                OptimizationResult base = opt.baseline(targets, cfg);
-
-                cfg.objective = OptimizationObjective::PerfPerCostOpt;
-                OptimizationResult ppc = opt.optimize(targets, cfg);
-
-                double gPerf = bench::perfPerCostGain(base, perf);
-                double gPpc = bench::perfPerCostGain(base, ppc);
-                sumPerf += gPerf;
-                sumPpc += gPpc;
-                maxPpc = std::max(maxPpc, gPpc);
-                ++points;
-
-                t.row({w.name, label, Table::num(bw, 0),
-                       Table::num(gPerf, 2), Table::num(gPpc, 2),
-                       dollarsToString(ppc.cost)});
-            }
-        }
-    }
-    t.print(std::cout);
-    std::cout << "\nPerf-per-cost over EqualBW: PerfOpt avg "
-              << Table::num(sumPerf / points, 2) << "x; PerfPerCost avg "
-              << Table::num(sumPpc / points, 2) << "x, max "
-              << Table::num(maxPpc, 2)
-              << "x (paper: 5.40x / 9.16x / 13.02x).\n"
-              << "Claim check: PerfPerCostOptBW wins perf-per-cost at "
-                 "every design point.\n";
-}
-
-} // namespace
-} // namespace libra
 
 int
 main()
 {
-    libra::setInformEnabled(false);
-    libra::run();
-    return 0;
+    return libra::bench::runScenarioMain("fig14");
 }

@@ -3,74 +3,13 @@
  * Fig. 15: speedup and perf-per-cost for the non-transformer workloads
  * (ResNet-50 and DLRM) on the 4D-4K network.
  *
- * Reproduced claims: LIBRA needs no modification for non-transformer
- * models; small models show modest speedups but large perf-per-cost
- * gains; PerfPerCostOptBW networks are cheaper than PerfOptBW ones
- * (paper: 15.4% cheaper on average for these workloads).
+ * The study is the registered "fig15" scenario (src/study/scenarios.cc).
  */
 
 #include "bench_util.hh"
-#include "core/optimizer.hh"
-#include "topology/zoo.hh"
-#include "workload/zoo.hh"
-
-namespace libra {
-namespace {
-
-void
-run()
-{
-    bench::banner("Fig. 15",
-                  "ResNet-50 and DLRM on 4D-4K (speedup and "
-                  "perf-per-cost over EqualBW)");
-
-    Network net = topo::fourD4K();
-    Table t;
-    t.header({"Workload", "BW/NPU", "PerfOpt x", "PerfPerCost x",
-              "PerfOpt ppc x", "PerfPerCost ppc x", "Cost saving"});
-
-    double sumSaving = 0.0;
-    int points = 0;
-    for (const auto& w : {wl::resnet50(net.npus()),
-                          wl::dlrm(net.npus())}) {
-        for (double bw : bench::bwSweep()) {
-            BwOptimizer opt(net, CostModel::defaultModel());
-            std::vector<TargetWorkload> targets{{w, 1.0}};
-            OptimizerConfig cfg;
-            cfg.totalBw = bw;
-            cfg.search = bench::benchSearch();
-
-            cfg.objective = OptimizationObjective::PerfOpt;
-            OptimizationResult perf = opt.optimize(targets, cfg);
-            OptimizationResult base = opt.baseline(targets, cfg);
-            cfg.objective = OptimizationObjective::PerfPerCostOpt;
-            OptimizationResult ppc = opt.optimize(targets, cfg);
-
-            double saving = 1.0 - ppc.cost / perf.cost;
-            sumSaving += saving;
-            ++points;
-
-            t.row({w.name, Table::num(bw, 0),
-                   Table::num(base.weightedTime / perf.weightedTime, 2),
-                   Table::num(base.weightedTime / ppc.weightedTime, 2),
-                   Table::num(bench::perfPerCostGain(base, perf), 2),
-                   Table::num(bench::perfPerCostGain(base, ppc), 2),
-                   Table::num(saving * 100.0, 1) + "%"});
-        }
-    }
-    t.print(std::cout);
-    std::cout << "\nPerfPerCostOptBW networks are "
-              << Table::num(sumSaving / points * 100.0, 1)
-              << "% cheaper than PerfOptBW on average (paper: 15.41%).\n";
-}
-
-} // namespace
-} // namespace libra
 
 int
 main()
 {
-    libra::setInformEnabled(false);
-    libra::run();
-    return 0;
+    return libra::bench::runScenarioMain("fig15");
 }

@@ -3,91 +3,14 @@
  * Fig. 16: MSFT-1T over the 3D-512, 3D-1K, and 4D-2K topologies —
  * speedup and perf-per-cost versus each network's own EqualBW baseline.
  *
- * Reproduced claim: LIBRA generalizes across network shapes, sizes, and
- * dimensionalities.
+ * The study is the registered "fig16" scenario (src/study/scenarios.cc);
+ * all points run as one sharded runLibraSweep batch.
  */
 
 #include "bench_util.hh"
-#include "common/thread_pool.hh"
-#include "core/optimizer.hh"
-#include "topology/zoo.hh"
-#include "workload/zoo.hh"
-
-namespace libra {
-namespace {
-
-/** One (topology, budget) sweep point. */
-struct Point
-{
-    std::string label;
-    Network net;
-    double bw = 0.0;
-};
-
-/** The three optimizations the figure plots per point. */
-struct PointResult
-{
-    OptimizationResult perf, base, ppc;
-};
-
-void
-run()
-{
-    bench::banner("Fig. 16",
-                  "MSFT-1T on 3D-512 / 3D-1K / 4D-2K topologies");
-
-    std::vector<topo::NamedNetwork> nets{{"3D-512", topo::threeD512()},
-                                         {"3D-1K", topo::threeD1K()},
-                                         {"4D-2K", topo::fourD2K()}};
-
-    // Every (topology, budget) point is an independent optimize();
-    // evaluate them all on the pool, then print in sweep order.
-    std::vector<Point> points;
-    for (const auto& [label, net] : nets)
-        for (double bw : bench::bwSweep())
-            points.push_back({label, net, bw});
-
-    std::vector<PointResult> results =
-        parallelMap(points, [](const Point& p) {
-            BwOptimizer opt(p.net, CostModel::defaultModel());
-            std::vector<TargetWorkload> targets{
-                {wl::msft1T(p.net.npus()), 1.0}};
-            OptimizerConfig cfg;
-            cfg.totalBw = p.bw;
-            cfg.search = bench::benchSearch();
-
-            PointResult r;
-            cfg.objective = OptimizationObjective::PerfOpt;
-            r.perf = opt.optimize(targets, cfg);
-            r.base = opt.baseline(targets, cfg);
-            cfg.objective = OptimizationObjective::PerfPerCostOpt;
-            r.ppc = opt.optimize(targets, cfg);
-            return r;
-        });
-
-    Table t;
-    t.header({"Net", "BW/NPU", "PerfOpt x", "PerfPerCost x",
-              "PerfOpt ppc x", "PerfPerCost ppc x"});
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        const auto& [perf, base, ppc] = results[i];
-        t.row({points[i].label, Table::num(points[i].bw, 0),
-               Table::num(base.weightedTime / perf.weightedTime, 2),
-               Table::num(base.weightedTime / ppc.weightedTime, 2),
-               Table::num(bench::perfPerCostGain(base, perf), 2),
-               Table::num(bench::perfPerCostGain(base, ppc), 2)});
-    }
-    t.print(std::cout);
-    std::cout << "\nClaim check: PerfOpt speedup >= 1x and PerfPerCost "
-                 "ppc > 1x on every topology shape/scale.\n";
-}
-
-} // namespace
-} // namespace libra
 
 int
 main()
 {
-    libra::setInformEnabled(false);
-    libra::run();
-    return 0;
+    return libra::bench::runScenarioMain("fig16");
 }

@@ -2,114 +2,17 @@
  * @file
  * Fig. 17: optimizing a network for one workload vs for a group.
  * 4D-4K at 1,000 GB/s per NPU, PerfOptBW. For every optimization
- * target (each single workload + the normalized group) we train every
- * workload and report speedup over EqualBW and slowdown relative to
- * that workload's own optimized network.
+ * target (each single workload + the normalized group) every workload
+ * trains and reports speedup over EqualBW and slowdown relative to its
+ * own optimized network.
  *
- * Reproduced claims: single-target networks can slow other workloads
- * down (paper: up to 1.77x); the group-optimized network is
- * near-optimal for every member (paper: avg slowdown 1.01x).
+ * The study is the registered "fig17" scenario (src/study/scenarios.cc).
  */
 
 #include "bench_util.hh"
-#include "common/thread_pool.hh"
-#include "core/optimizer.hh"
-#include "topology/zoo.hh"
-#include "workload/zoo.hh"
-
-namespace libra {
-namespace {
-
-void
-study(const std::string& title, const std::vector<Workload>& members)
-{
-    Network net = topo::fourD4K();
-    BwOptimizer opt(net, CostModel::defaultModel());
-    TrainingEstimator est(net);
-    const double budget = 1000.0;
-
-    OptimizerConfig cfg;
-    cfg.objective = OptimizationObjective::PerfOpt;
-    cfg.totalBw = budget;
-    cfg.search = bench::benchSearch();
-
-    // Per-workload optimized networks and the group-optimized network
-    // are independent optimize() calls; run them all on the pool.
-    // Index members.size() is the group target.
-    std::vector<TargetWorkload> group;
-    for (const auto& w : members)
-        group.push_back({w, 1.0});
-    group = normalizeWeights(est, group, budget);
-
-    std::vector<BwConfig> solved(members.size() + 1);
-    parallelFor(solved.size(), [&](std::size_t i) {
-        if (i < members.size())
-            solved[i] = opt.optimize({{members[i], 1.0}}, cfg).bw;
-        else
-            solved[i] = opt.optimize(group, cfg).bw;
-    });
-    std::vector<BwConfig> ownBw(solved.begin(),
-                                solved.begin() + members.size());
-    BwConfig groupBw = solved.back();
-
-    BwConfig equal = net.equalBw(budget);
-
-    std::cout << "\n--- " << title << " ---\n";
-    Table t;
-    t.header({"Opt target", "Trained workload", "Speedup vs EqualBW",
-              "Slowdown vs own-opt"});
-
-    double groupSlowdownSum = 0.0;
-    double maxCrossSlowdown = 1.0;
-    auto evalRow = [&](const std::string& target, const BwConfig& bw,
-                       bool isGroup) {
-        for (std::size_t i = 0; i < members.size(); ++i) {
-            Seconds tEq = est.estimate(members[i], equal);
-            Seconds tOwn = est.estimate(members[i], ownBw[i]);
-            Seconds tX = est.estimate(members[i], bw);
-            double slowdown = tX / tOwn;
-            if (isGroup)
-                groupSlowdownSum += slowdown;
-            else
-                maxCrossSlowdown = std::max(maxCrossSlowdown, slowdown);
-            t.row({target, members[i].name, Table::num(tEq / tX, 2),
-                   Table::num(slowdown, 2)});
-        }
-    };
-    for (std::size_t i = 0; i < members.size(); ++i)
-        evalRow(members[i].name, ownBw[i], false);
-    evalRow("Group-Opt", groupBw, true);
-    t.print(std::cout);
-
-    std::cout << "Max cross-workload slowdown (single-target nets): "
-              << Table::num(maxCrossSlowdown, 2)
-              << "x (paper: up to 1.77x)\n"
-              << "Group-optimized avg slowdown: "
-              << Table::num(groupSlowdownSum /
-                                static_cast<double>(members.size()),
-                            2)
-              << "x (paper: 1.01x)\n";
-}
-
-void
-run()
-{
-    bench::banner("Fig. 17", "single-target vs group network "
-                             "optimization (4D-4K @ 1,000 GB/s)");
-    long n = topo::fourD4K().npus();
-    study("(a) group-optimizing LLMs",
-          {wl::turingNlg(n), wl::gpt3(n), wl::msft1T(n)});
-    study("(b) group-optimizing a DNN mixture",
-          {wl::msft1T(n), wl::dlrm(n), wl::resnet50(n)});
-}
-
-} // namespace
-} // namespace libra
 
 int
 main()
 {
-    libra::setInformEnabled(false);
-    libra::run();
-    return 0;
+    return libra::bench::runScenarioMain("fig17");
 }

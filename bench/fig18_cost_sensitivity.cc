@@ -4,84 +4,13 @@
  * PerfPerCostOptBW over EqualBW on 4D-4K at 1,000 GB/s per NPU while
  * sweeping the inter-Package link cost from $1 to $5 per GBps.
  *
- * Reproduced claim: the benefit persists across the sweep (paper avg
- * 4.06x, max 5.59x), demonstrating that the user-defined cost model is
- * a first-class input.
+ * The study is the registered "fig18" scenario (src/study/scenarios.cc).
  */
 
 #include "bench_util.hh"
-#include "common/thread_pool.hh"
-#include "core/optimizer.hh"
-#include "topology/zoo.hh"
-#include "workload/zoo.hh"
-
-namespace libra {
-namespace {
-
-void
-run()
-{
-    bench::banner("Fig. 18", "inter-Package link cost sweep "
-                             "($1-$5/GBps, 4D-4K @ 1,000 GB/s)");
-
-    Network net = topo::fourD4K();
-    Workload w = wl::msft1T(net.npus());
-
-    Table t;
-    t.header({"Pkg link $/GBps", "ppc gain vs EqualBW", "BW config",
-              "Network cost"});
-
-    // Each cost-model point is an independent study; sweep on the pool
-    // and reduce in price order.
-    std::vector<double> sweep{1.0, 2.0, 3.0, 4.0, 5.0};
-    struct PricePoint
-    {
-        OptimizationResult ppc, base;
-    };
-    std::vector<PricePoint> results =
-        parallelMap(sweep, [&](const double& price) {
-            CostModel cm = CostModel::defaultModel();
-            ComponentCost pkg = cm.levelCost(PhysicalLevel::Package);
-            pkg.link = price;
-            cm.setLevelCost(PhysicalLevel::Package, pkg);
-
-            BwOptimizer opt(net, cm);
-            std::vector<TargetWorkload> targets{{w, 1.0}};
-            OptimizerConfig cfg;
-            cfg.objective = OptimizationObjective::PerfPerCostOpt;
-            cfg.totalBw = 1000.0;
-            cfg.search = bench::benchSearch();
-
-            PricePoint r;
-            r.ppc = opt.optimize(targets, cfg);
-            r.base = opt.baseline(targets, cfg);
-            return r;
-        });
-
-    double sum = 0.0, best = 0.0;
-    for (std::size_t i = 0; i < sweep.size(); ++i) {
-        double gain =
-            bench::perfPerCostGain(results[i].base, results[i].ppc);
-        sum += gain;
-        best = std::max(best, gain);
-        t.row({Table::num(sweep[i], 0), Table::num(gain, 2),
-               bwConfigToString(results[i].ppc.bw, 0),
-               dollarsToString(results[i].ppc.cost)});
-    }
-    t.print(std::cout);
-    std::cout << "\nAverage gain "
-              << Table::num(sum / static_cast<double>(sweep.size()), 2)
-              << "x, max " << Table::num(best, 2)
-              << "x (paper: 4.06x avg, 5.59x max).\n";
-}
-
-} // namespace
-} // namespace libra
 
 int
 main()
 {
-    libra::setInformEnabled(false);
-    libra::run();
-    return 0;
+    return libra::bench::runScenarioMain("fig18");
 }

@@ -7,75 +7,13 @@
  * PerfOptBW network; all results are normalized to EqualBW with the
  * default HP-(128,32).
  *
- * Reproduced claims: a mid-range TP (paper: HP-(64,64)) with its
- * co-optimized network is fastest (paper: 1.19x over baseline);
- * performance degrades sharply once TP drops below 32.
+ * The study is the registered "fig21" scenario (src/study/scenarios.cc).
  */
 
 #include "bench_util.hh"
-#include "core/optimizer.hh"
-#include "topology/zoo.hh"
-#include "workload/zoo.hh"
-
-namespace libra {
-namespace {
-
-void
-run()
-{
-    bench::banner("Fig. 21", "network + parallelization co-design "
-                             "(MSFT-1T, 4D-4K @ 1,000 GB/s)");
-
-    Network net = topo::fourD4K();
-    TrainingEstimator est(net);
-    BwOptimizer opt(net, CostModel::defaultModel());
-    const double budget = 1000.0;
-
-    // Baseline: EqualBW with the Table II default HP-(128, 32).
-    Seconds tBase = est.estimate(wl::msft1TWithStrategy(128, 32),
-                                 net.equalBw(budget));
-
-    Table t;
-    t.header({"Strategy", "Speedup (EqualBW)", "Speedup (co-design)",
-              "Co-designed BW config"});
-
-    double bestSpeedup = 0.0;
-    std::string bestStrategy;
-    for (long tp : {8L, 16L, 32L, 64L, 128L, 256L}) {
-        long dp = net.npus() / tp;
-        Workload w = wl::msft1TWithStrategy(tp, dp);
-
-        Seconds tEq = est.estimate(w, net.equalBw(budget));
-
-        OptimizerConfig cfg;
-        cfg.objective = OptimizationObjective::PerfOpt;
-        cfg.totalBw = budget;
-        cfg.search = bench::benchSearch();
-        OptimizationResult r = opt.optimize({{w, 1.0}}, cfg);
-
-        double speedup = tBase / r.weightedTime;
-        if (speedup > bestSpeedup) {
-            bestSpeedup = speedup;
-            bestStrategy = w.strategy.name();
-        }
-        t.row({w.strategy.name(), Table::num(tBase / tEq, 2),
-               Table::num(speedup, 2), bwConfigToString(r.bw, 0)});
-    }
-    t.print(std::cout);
-
-    std::cout << "\nBest co-designed point: " << bestStrategy << " at "
-              << Table::num(bestSpeedup, 2)
-              << "x over the HP-(128,32)+EqualBW baseline (paper: "
-                 "HP-(64,64) at 1.19x).\n";
-}
-
-} // namespace
-} // namespace libra
 
 int
 main()
 {
-    libra::setInformEnabled(false);
-    libra::run();
-    return 0;
+    return libra::bench::runScenarioMain("fig21");
 }

@@ -2,62 +2,15 @@
  * @file
  * Table I + Fig. 12: the default network cost model and the worked
  * 3-NPU inter-Pod switch example ($1,722 at 10 GB/s).
+ *
+ * The study is the registered "tbl1" scenario (src/study/scenarios.cc);
+ * its cost rows are pinned by tests/test_golden_figures.cc.
  */
 
 #include "bench_util.hh"
-#include "cost/cost_model.hh"
-#include "topology/zoo.hh"
-
-namespace libra {
-namespace {
-
-void
-run()
-{
-    bench::banner("Table I / Fig. 12", "network cost model ($/GBps)");
-
-    CostModel m = CostModel::defaultModel();
-    Table t;
-    t.header({"Level", "Link", "Switch", "NIC"});
-    auto row = [&](PhysicalLevel level) {
-        ComponentCost c = m.levelCost(level);
-        auto cell = [](double v) {
-            return v > 0.0 ? Table::num(v, 1) : std::string("-");
-        };
-        t.row({physicalLevelName(level), cell(c.link), cell(c.switch_),
-               cell(c.nic)});
-    };
-    row(PhysicalLevel::Chiplet);
-    row(PhysicalLevel::Package);
-    row(PhysicalLevel::Node);
-    row(PhysicalLevel::Pod);
-    t.print(std::cout);
-
-    std::cout << "\nFig. 12 worked example: 3-NPU inter-Pod switch "
-                 "network at 10 GB/s\n";
-    Network net = Network::parse("SW(3)");
-    auto breakdown = m.breakdown(net, {10.0});
-    Table e;
-    e.header({"Component", "Cost"});
-    e.row({"Links", dollarsToString(breakdown[0].linkCost)});
-    e.row({"Switch", dollarsToString(breakdown[0].switchCost)});
-    e.row({"NICs", dollarsToString(breakdown[0].nicCost)});
-    e.row({"Total", dollarsToString(breakdown[0].total())});
-    e.print(std::cout);
-    std::cout << "Paper value: $1,722. Match: "
-              << (std::abs(breakdown[0].total() - 1722.0) < 1e-6
-                      ? "EXACT"
-                      : "MISMATCH")
-              << "\n";
-}
-
-} // namespace
-} // namespace libra
 
 int
 main()
 {
-    libra::setInformEnabled(false);
-    libra::run();
-    return 0;
+    return libra::bench::runScenarioMain("tbl1");
 }

@@ -3,67 +3,14 @@
  * Table II: the evaluation workloads — parameter counts, TP sizes, and
  * the per-iteration compute/communication profile our analytical
  * builders generate for them on 4,096 NPUs.
+ *
+ * The study is the registered "tbl2" scenario (src/study/scenarios.cc).
  */
 
 #include "bench_util.hh"
-#include "core/estimator.hh"
-#include "topology/zoo.hh"
-#include "workload/zoo.hh"
-
-namespace libra {
-namespace {
-
-std::string
-paramsToString(double p)
-{
-    if (p >= 1e12)
-        return Table::num(p / 1e12, 2) + "T";
-    if (p >= 1e9)
-        return Table::num(p / 1e9, 1) + "B";
-    return Table::num(p / 1e6, 1) + "M";
-}
-
-void
-run()
-{
-    bench::banner("Table II", "workload specifications (4,096 NPUs)");
-
-    Network net = topo::fourD4K();
-    TrainingEstimator est(net);
-    BwConfig bw = net.equalBw(300.0);
-
-    Table t;
-    t.header({"Workload", "Params", "TP", "DP", "Layers",
-              "Compute/iter", "Comm payload/iter"});
-    for (const auto& w : wl::tableTwo(net.npus())) {
-        t.row({w.name, paramsToString(w.parameters),
-               std::to_string(w.strategy.tp),
-               std::to_string(w.strategy.dp),
-               std::to_string(w.layers.size()),
-               secondsToString(w.totalCompute()),
-               bytesToString(w.totalCommPayload())});
-    }
-    t.print(std::cout);
-
-    std::cout << "\nPer-iteration time at EqualBW 300 GB/s (no overlap):\n";
-    Table t2;
-    t2.header({"Workload", "Total", "Exposed comm", "Comm fraction"});
-    for (const auto& w : wl::tableTwo(net.npus())) {
-        EstimateDetail d = est.detail(w, bw);
-        t2.row({w.name, secondsToString(d.total),
-                secondsToString(d.exposedComm),
-                Table::num(d.exposedComm / d.total * 100.0, 1) + "%"});
-    }
-    t2.print(std::cout);
-}
-
-} // namespace
-} // namespace libra
 
 int
 main()
 {
-    libra::setInformEnabled(false);
-    libra::run();
-    return 0;
+    return libra::bench::runScenarioMain("tbl2");
 }

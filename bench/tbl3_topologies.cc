@@ -2,46 +2,14 @@
  * @file
  * Table III: the evaluation topologies, plus the Fig. 11 real-system
  * shapes expressible in the same notation.
+ *
+ * The study is the registered "tbl3" scenario (src/study/scenarios.cc).
  */
 
 #include "bench_util.hh"
-#include "cost/cost_model.hh"
-#include "topology/zoo.hh"
-
-namespace libra {
-namespace {
-
-void
-run()
-{
-    bench::banner("Table III / Fig. 11", "multi-dimensional topologies");
-
-    CostModel m = CostModel::defaultModel();
-    Table t;
-    t.header({"Name", "Shape", "NPUs", "Dims",
-              "EqualBW cost @300GB/s"});
-    for (const auto& [label, net] : topo::tableThree()) {
-        t.row({label, net.name(), std::to_string(net.npus()),
-               std::to_string(net.numDims()),
-               dollarsToString(m.networkCost(net, net.equalBw(300.0)))});
-    }
-    t.print(std::cout);
-
-    std::cout << "\nFig. 11: real ML HPC clusters in the same notation\n";
-    Table r;
-    r.header({"System", "NPUs"});
-    for (const auto& [label, net] : topo::realSystems())
-        r.row({label, std::to_string(net.npus())});
-    r.print(std::cout);
-}
-
-} // namespace
-} // namespace libra
 
 int
 main()
 {
-    libra::setInformEnabled(false);
-    libra::run();
-    return 0;
+    return libra::bench::runScenarioMain("tbl3");
 }

@@ -7,6 +7,7 @@
 #include <istream>
 #include <sstream>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "workload/parser.hh"
 #include "workload/zoo.hh"
@@ -244,6 +245,161 @@ parseStudyConfigString(const std::string& text)
 {
     std::istringstream in(text);
     return parseStudyConfig(in);
+}
+
+namespace {
+
+/** The study-file token of a zoo workload, or "" when not a zoo match. */
+std::string
+zooNameOf(const Workload& w, long npus)
+{
+    for (const char* token :
+         {"turing-nlg", "gpt3", "msft1t", "dlrm", "resnet50"}) {
+        try {
+            if (workloadsEqual(w, zooWorkloadByName(token, npus)))
+                return token;
+        } catch (const FatalError&) {
+            // Candidate cannot even be built at this NPU count (e.g.
+            // MSFT-1T's TP-128 on a small network) — not a match.
+        }
+    }
+    return "";
+}
+
+std::string
+trimmed(const std::string& s)
+{
+    auto begin = s.find_first_not_of(" \t");
+    if (begin == std::string::npos)
+        return "";
+    auto end = s.find_last_not_of(" \t");
+    return s.substr(begin, end - begin + 1);
+}
+
+} // namespace
+
+bool
+studyInputsEqual(const LibraInputs& a, const LibraInputs& b)
+{
+    if (a.networkShape != b.networkShape ||
+        a.normalizeTargetWeights != b.normalizeTargetWeights ||
+        a.threads != b.threads || !costModelsEqual(a.costModel,
+                                                   b.costModel)) {
+        return false;
+    }
+    const OptimizerConfig& ca = a.config;
+    const OptimizerConfig& cb = b.config;
+    std::vector<std::string> consA, consB;
+    for (const auto& c : ca.constraints)
+        consA.push_back(trimmed(c));
+    for (const auto& c : cb.constraints)
+        consB.push_back(trimmed(c));
+    if (ca.objective != cb.objective || ca.totalBw != cb.totalBw ||
+        ca.minDimBw != cb.minDimBw || consA != consB ||
+        ca.budgetCap != cb.budgetCap ||
+        ca.relaxTotalBw != cb.relaxTotalBw ||
+        ca.estimator.loop != cb.estimator.loop ||
+        ca.estimator.inNetworkCollectives !=
+            cb.estimator.inNetworkCollectives ||
+        ca.estimator.modelPartialDimEfficiency !=
+            cb.estimator.modelPartialDimEfficiency ||
+        ca.search.starts != cb.search.starts ||
+        ca.search.seed != cb.search.seed ||
+        ca.search.useSubgradient != cb.search.useSubgradient ||
+        ca.search.useNelderMead != cb.search.useNelderMead) {
+        return false;
+    }
+    if (a.targets.size() != b.targets.size())
+        return false;
+    for (std::size_t i = 0; i < a.targets.size(); ++i) {
+        if (a.targets[i].weight != b.targets[i].weight ||
+            !workloadsEqual(a.targets[i].workload,
+                            b.targets[i].workload)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+studyConfigToString(const LibraInputs& inputs)
+{
+    const OptimizerConfig& cfg = inputs.config;
+    const LibraInputs defaults;
+    if (cfg.estimator.commTimeFn)
+        fatal("cannot serialize a study with a custom commTimeFn");
+    if (!cfg.estimator.modelPartialDimEfficiency)
+        fatal("cannot serialize a study with partial-dim efficiency "
+              "modeling disabled (no study-file directive)");
+    if (cfg.minDimBw != defaults.config.minDimBw)
+        fatal("cannot serialize a non-default minDimBw (no study-file "
+              "directive)");
+    if (cfg.search.useSubgradient !=
+            defaults.config.search.useSubgradient ||
+        cfg.search.useNelderMead !=
+            defaults.config.search.useNelderMead ||
+        cfg.search.parallel != defaults.config.search.parallel) {
+        fatal("cannot serialize non-default search-driver toggles (no "
+              "study-file directive)");
+    }
+    if (cfg.relaxTotalBw && cfg.budgetCap <= 0.0)
+        fatal("cannot serialize relaxTotalBw without a DOLLAR_CAP "
+              "(only DOLLAR_CAP implies it in the study language)");
+    if (!cfg.relaxTotalBw && cfg.budgetCap > 0.0)
+        fatal("cannot serialize a DOLLAR_CAP with relaxTotalBw unset "
+              "(DOLLAR_CAP always relaxes the budget on parse)");
+
+    // Doubles print in shortest round-trip form, so reparsing with
+    // strtod reproduces every value bit-exactly.
+    std::ostringstream out;
+    out << "# LIBRA design study (generated by studyConfigToString)\n";
+    out << "NETWORK " << inputs.networkShape << "\n";
+    out << "TOTAL_BW " << jsonNumberToString(cfg.totalBw) << "\n";
+    out << "OBJECTIVE "
+        << (cfg.objective == OptimizationObjective::PerfOpt
+                ? "PERF"
+                : "PERF_PER_COST")
+        << "\n";
+    out << "LOOP "
+        << (cfg.estimator.loop == TrainingLoop::NoOverlap
+                ? "NO_OVERLAP"
+                : "TP_DP_OVERLAP")
+        << "\n";
+    if (cfg.estimator.inNetworkCollectives)
+        out << "IN_NETWORK\n";
+    if (inputs.normalizeTargetWeights)
+        out << "NORMALIZE_WEIGHTS\n";
+    if (cfg.budgetCap > 0.0)
+        out << "DOLLAR_CAP " << jsonNumberToString(cfg.budgetCap)
+            << "\n";
+    if (inputs.threads > 0)
+        out << "THREADS " << inputs.threads << "\n";
+    out << "SEED " << cfg.search.seed << "\n";
+    out << "STARTS " << cfg.search.starts << "\n";
+    for (const auto& constraint : cfg.constraints)
+        out << "CONSTRAINT " << trimmed(constraint) << "\n";
+    for (PhysicalLevel level :
+         {PhysicalLevel::Chiplet, PhysicalLevel::Package,
+          PhysicalLevel::Node, PhysicalLevel::Pod}) {
+        ComponentCost c = inputs.costModel.levelCost(level);
+        out << "COST " << physicalLevelName(level) << " LINK "
+            << jsonNumberToString(c.link) << " SWITCH "
+            << jsonNumberToString(c.switch_) << " NIC "
+            << jsonNumberToString(c.nic) << "\n";
+    }
+
+    long npus = Network::parse(inputs.networkShape).npus();
+    for (const auto& target : inputs.targets) {
+        std::string token = zooNameOf(target.workload, npus);
+        if (token.empty())
+            fatal("cannot serialize workload '", target.workload.name,
+                  "': not a zoo workload at ", npus,
+                  " NPUs (WORKLOAD_FILE inputs and programmatic "
+                  "strategies have no study-file name)");
+        out << "WORKLOAD " << token << " WEIGHT "
+            << jsonNumberToString(target.weight) << "\n";
+    }
+    return out.str();
 }
 
 } // namespace libra

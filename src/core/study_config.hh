@@ -42,6 +42,24 @@ LibraInputs parseStudyConfig(std::istream& in);
 /** Convenience overload over a string. */
 LibraInputs parseStudyConfigString(const std::string& text);
 
+/**
+ * Serialize parsed inputs back to study-file text such that
+ * parseStudyConfigString(studyConfigToString(in)) reproduces @p inputs
+ * exactly (the round-trip property test's contract). Every expressible
+ * directive is emitted explicitly — including the full COST model and
+ * the search SEED/STARTS — so the text is self-contained.
+ *
+ * @throws FatalError for inputs the study-file language cannot express:
+ * a custom commTimeFn, non-default minDimBw / search-driver toggles /
+ * efficiency modeling, relaxTotalBw without a DOLLAR_CAP, or target
+ * workloads that are not zoo workloads at the network's NPU count
+ * (e.g. WORKLOAD_FILE-loaded or programmatically built ones).
+ */
+std::string studyConfigToString(const LibraInputs& inputs);
+
+/** Deep equality of two parsed study inputs (round-trip testing). */
+bool studyInputsEqual(const LibraInputs& a, const LibraInputs& b);
+
 /** Resolve a zoo workload name ("gpt3", "msft1t", ...) at @p npus. */
 Workload zooWorkloadByName(const std::string& name, long npus);
 

@@ -1,5 +1,6 @@
 #include "cost/cost_model.hh"
 
+#include "common/json.hh"
 #include "common/logging.hh"
 
 namespace libra {
@@ -76,6 +77,31 @@ CostModel::breakdown(const Network& net, const BwConfig& bw) const
         out.push_back(b);
     }
     return out;
+}
+
+void
+appendCanonicalText(std::string& out, const CostModel& model)
+{
+    for (PhysicalLevel level :
+         {PhysicalLevel::Chiplet, PhysicalLevel::Package,
+          PhysicalLevel::Node, PhysicalLevel::Pod}) {
+        ComponentCost c = model.levelCost(level);
+        out += jsonNumberToString(c.link);
+        out += ' ';
+        out += jsonNumberToString(c.switch_);
+        out += ' ';
+        out += jsonNumberToString(c.nic);
+        out += ' ';
+    }
+}
+
+bool
+costModelsEqual(const CostModel& a, const CostModel& b)
+{
+    std::string ta, tb;
+    appendCanonicalText(ta, a);
+    appendCanonicalText(tb, b);
+    return ta == tb;
 }
 
 } // namespace libra

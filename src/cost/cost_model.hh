@@ -87,6 +87,17 @@ class CostModel
     std::map<PhysicalLevel, ComponentCost> levels_;
 };
 
+/**
+ * Append a canonical text form of every level's component prices to
+ * @p out (fixed level order, shortest round-trip doubles). The single
+ * source of truth for cost-model content identity: the study result
+ * cache keys on it and costModelsEqual compares it.
+ */
+void appendCanonicalText(std::string& out, const CostModel& model);
+
+/** Deep content equality via canonical text. */
+bool costModelsEqual(const CostModel& a, const CostModel& b);
+
 } // namespace libra
 
 #endif // LIBRA_COST_COST_MODEL_HH

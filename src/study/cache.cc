@@ -1,0 +1,238 @@
+#include "study/cache.hh"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace libra {
+
+// Field encoding comes from common/json.hh (appendCanonicalNumber /
+// appendCanonicalString) so it cannot diverge from the workload and
+// cost-model canonical serializations.
+
+bool
+studyPointCacheable(const LibraInputs& inputs)
+{
+    return !inputs.config.estimator.commTimeFn;
+}
+
+std::string
+canonicalStudyKey(const LibraInputs& inputs)
+{
+    if (!studyPointCacheable(inputs))
+        fatal("study points with a custom commTimeFn have no canonical "
+              "content and cannot be cached");
+
+    std::string out;
+    out.reserve(512);
+    out += "libra-study-v";
+    out += std::to_string(kStudyCacheVersion);
+    out += ' ';
+    // Parse-and-rename canonicalizes cosmetic shape differences.
+    appendCanonicalString(out, Network::parse(inputs.networkShape).name());
+
+    const OptimizerConfig& cfg = inputs.config;
+    out += "obj";
+    out += std::to_string(static_cast<int>(cfg.objective));
+    out += ' ';
+    appendCanonicalNumber(out, cfg.totalBw);
+    appendCanonicalNumber(out, cfg.minDimBw);
+    appendCanonicalNumber(out, cfg.budgetCap);
+    out += cfg.relaxTotalBw ? "relax " : "pin ";
+    out += std::to_string(cfg.constraints.size());
+    out += "constraints ";
+    for (const auto& c : cfg.constraints)
+        appendCanonicalString(out, c);
+
+    out += "loop";
+    out += std::to_string(static_cast<int>(cfg.estimator.loop));
+    out += cfg.estimator.inNetworkCollectives ? " innet " : " swdis ";
+    out += cfg.estimator.modelPartialDimEfficiency ? "eff " : "blind ";
+
+    out += "search(";
+    out += std::to_string(cfg.search.starts);
+    out += ',';
+    out += std::to_string(cfg.search.seed);
+    out += ',';
+    out += cfg.search.useSubgradient ? '1' : '0';
+    out += ',';
+    out += cfg.search.useNelderMead ? '1' : '0';
+    out += ") ";
+    // search.parallel and inputs.threads are deliberately excluded:
+    // results are bit-identical at any thread count (see docs/PERF.md).
+
+    // Workload and cost-model content text comes from the single
+    // canonical serialization next to each struct, shared with the
+    // deep-equality helpers — new fields only need adding there.
+    appendCanonicalText(out, inputs.costModel);
+
+    out += inputs.normalizeTargetWeights ? "norm " : "raw ";
+    out += std::to_string(inputs.targets.size());
+    out += "targets ";
+    for (const auto& t : inputs.targets) {
+        appendCanonicalNumber(out, t.weight);
+        appendCanonicalText(out, t.workload);
+    }
+    return out;
+}
+
+std::uint64_t
+studyCacheHashOfKey(const std::string& canonical)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull; // FNV-1a offset basis.
+    for (unsigned char c : canonical) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::uint64_t
+studyCacheHash(const LibraInputs& inputs)
+{
+    return studyCacheHashOfKey(canonicalStudyKey(inputs));
+}
+
+namespace {
+
+Json
+resultToJson(const OptimizationResult& r)
+{
+    Json j = Json::object();
+    Json bw = Json::array();
+    for (double b : r.bw)
+        bw.push(b);
+    j["bw"] = std::move(bw);
+    j["weightedTime"] = r.weightedTime;
+    j["cost"] = r.cost;
+    j["objectiveValue"] = r.objectiveValue;
+    Json per = Json::array();
+    for (double t : r.perWorkloadTime)
+        per.push(t);
+    j["perWorkloadTime"] = std::move(per);
+    return j;
+}
+
+OptimizationResult
+resultFromJson(const Json& j)
+{
+    OptimizationResult r;
+    for (const Json& b : j.at("bw").items())
+        r.bw.push_back(b.asNumber());
+    r.weightedTime = j.at("weightedTime").asNumber();
+    r.cost = j.at("cost").asNumber();
+    r.objectiveValue = j.at("objectiveValue").asNumber();
+    for (const Json& t : j.at("perWorkloadTime").items())
+        r.perWorkloadTime.push_back(t.asNumber());
+    return r;
+}
+
+} // namespace
+
+Json
+reportToJson(const LibraReport& report)
+{
+    Json j = Json::object();
+    j["optimized"] = resultToJson(report.optimized);
+    j["equalBw"] = resultToJson(report.equalBw);
+    j["speedup"] = report.speedup;
+    j["perfPerCostGain"] = report.perfPerCostGain;
+    return j;
+}
+
+LibraReport
+reportFromJson(const Json& json)
+{
+    LibraReport report;
+    report.optimized = resultFromJson(json.at("optimized"));
+    report.equalBw = resultFromJson(json.at("equalBw"));
+    report.speedup = json.at("speedup").asNumber();
+    report.perfPerCostGain = json.at("perfPerCostGain").asNumber();
+    return report;
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
+{
+    if (dir_.empty())
+        fatal("result cache needs a directory");
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec)
+        fatal("cannot create cache directory '", dir_, "': ",
+              ec.message());
+}
+
+std::string
+ResultCache::path(std::uint64_t key) const
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "%016llx.json",
+                  static_cast<unsigned long long>(key));
+    return dir_ + "/" + name;
+}
+
+bool
+ResultCache::load(std::uint64_t key, const std::string& canonical,
+                  LibraReport* out) const
+{
+    std::ifstream file(path(key));
+    if (!file)
+        return false;
+    std::ostringstream text;
+    text << file.rdbuf();
+    try {
+        Json j = Json::parse(text.str());
+        if (j.at("version").asNumber() !=
+            static_cast<double>(kStudyCacheVersion)) {
+            return false; // Entry from another engine version.
+        }
+        if (j.at("inputs").asString() != canonical) {
+            // 64-bit hash collision between distinct inputs: treat as
+            // a miss (the colliding entry stays; last writer wins).
+            warn("cache key collision on ", path(key),
+                 "; recomputing the point");
+            return false;
+        }
+        *out = reportFromJson(j.at("report"));
+        return true;
+    } catch (const FatalError& e) {
+        warn("ignoring corrupt cache entry ", path(key), ": ", e.what());
+        return false;
+    }
+}
+
+void
+ResultCache::store(std::uint64_t key, const std::string& canonical,
+                   const LibraReport& report) const
+{
+    Json j = Json::object();
+    j["version"] = static_cast<double>(kStudyCacheVersion);
+    j["inputs"] = canonical;
+    j["report"] = reportToJson(report);
+
+    // Write-then-rename so concurrent runs never observe a torn file;
+    // the tmp name is per-process so two runs storing the same key
+    // cannot interleave writes into one tmp file.
+    const std::string finalPath = path(key);
+    const std::string tmpPath =
+        finalPath + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream file(tmpPath);
+        if (!file)
+            fatal("cannot write cache entry '", tmpPath, "'");
+        file << j.dump(1) << "\n";
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmpPath, finalPath, ec);
+    if (ec)
+        fatal("cannot publish cache entry '", finalPath, "': ",
+              ec.message());
+}
+
+} // namespace libra

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Content-addressed result cache for design-study points.
+ *
+ * A study point is cached under a key derived from the *content* of its
+ * LibraInputs — everything that can influence the resulting LibraReport:
+ * the canonicalized network shape, budget/objective/loop/constraint
+ * configuration, search options, the full cost model, and the complete
+ * workload IR of every target (not just names — programmatic scenarios
+ * build workloads with custom strategies). Fields that provably do not
+ * affect results are excluded: `threads` and `search.parallel` (the
+ * engine's determinism contract guarantees bit-identical results at any
+ * thread count).
+ *
+ * Key = FNV-1a 64-bit over the canonical text, salted with
+ * kStudyCacheVersion. Bump the version whenever estimator, optimizer,
+ * or solver *semantics* change (anything that would alter a report for
+ * identical inputs); stale entries are then simply never hit again.
+ *
+ * Storage is one JSON file per key in the cache directory. Reports
+ * round-trip bit-exactly (shortest round-trip double formatting), so a
+ * matrix run served from cache emits byte-identical output to the run
+ * that populated it.
+ *
+ * Points with a custom commTimeFn are not cacheable (a std::function
+ * has no canonical content) — callers must skip the cache for them.
+ */
+
+#ifndef LIBRA_STUDY_CACHE_HH
+#define LIBRA_STUDY_CACHE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.hh"
+#include "core/framework.hh"
+
+namespace libra {
+
+/** Bump when a semantic change invalidates previously cached reports. */
+constexpr std::uint32_t kStudyCacheVersion = 1;
+
+/**
+ * Canonical text form of everything result-relevant in @p inputs.
+ * @throws FatalError for inputs with a custom commTimeFn.
+ */
+std::string canonicalStudyKey(const LibraInputs& inputs);
+
+/** True when @p inputs can be cached (no custom commTimeFn). */
+bool studyPointCacheable(const LibraInputs& inputs);
+
+/** FNV-1a over an already canonicalized key text. */
+std::uint64_t studyCacheHashOfKey(const std::string& canonical);
+
+/** FNV-1a hash of the canonical key, salted with kStudyCacheVersion. */
+std::uint64_t studyCacheHash(const LibraInputs& inputs);
+
+/** Bit-exact JSON round-trip of a LibraReport. */
+Json reportToJson(const LibraReport& report);
+LibraReport reportFromJson(const Json& json);
+
+/** One-file-per-key report store under a directory. */
+class ResultCache
+{
+  public:
+    /** Opens (and creates if needed) @p dir. */
+    explicit ResultCache(std::string dir);
+
+    const std::string& dir() const { return dir_; }
+
+    /**
+     * Load the report cached under @p key. The entry's stored
+     * canonical input text must equal @p canonical — a 64-bit hash is
+     * not collision-resistant, so identity is always re-verified on
+     * load (a mismatch is treated as a miss and warned about).
+     * @return hit/miss.
+     */
+    bool load(std::uint64_t key, const std::string& canonical,
+              LibraReport* out) const;
+
+    /** Store @p report under @p key with its canonical input text. */
+    void store(std::uint64_t key, const std::string& canonical,
+               const LibraReport& report) const;
+
+  private:
+    std::string path(std::uint64_t key) const;
+
+    std::string dir_;
+};
+
+} // namespace libra
+
+#endif // LIBRA_STUDY_CACHE_HH

@@ -1,0 +1,355 @@
+#include "study/matrix.hh"
+
+#include <cstdio>
+#include <iterator>
+#include <optional>
+#include <ostream>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "study/cache.hh"
+
+namespace libra {
+
+MatrixResult
+runScenarioMatrix(const std::vector<std::string>& names,
+                  const MatrixOptions& options)
+{
+    const ScenarioRegistry& registry = ScenarioRegistry::global();
+
+    std::vector<const Scenario*> scenarios;
+    scenarios.reserve(names.size());
+    for (const auto& name : names) {
+        const Scenario* s = registry.find(name);
+        if (!s) {
+            std::string known;
+            for (const auto& n : registry.names())
+                known += known.empty() ? n : (", " + n);
+            fatal("unknown scenario '", name, "' (known: ", known, ")");
+        }
+        scenarios.push_back(s);
+    }
+
+    // Phase 1: build every scenario's design points into one batch.
+    struct Slice
+    {
+        std::size_t begin = 0;
+        std::size_t count = 0;
+    };
+    std::vector<LibraInputs> points;
+    std::vector<Slice> slices;
+    slices.reserve(scenarios.size());
+    for (const Scenario* s : scenarios) {
+        Slice slice;
+        slice.begin = points.size();
+        if (s->build) {
+            std::vector<LibraInputs> built = s->build();
+            slice.count = built.size();
+            for (auto& p : built)
+                points.push_back(std::move(p));
+        }
+        slices.push_back(slice);
+    }
+
+    // Phase 2: deduplicate by content. Scenarios plotting the same
+    // grid (fig13/fig14) collapse onto one optimization per point.
+    // Identity is the full canonical key text — the hash only names
+    // the cache file — so a 64-bit collision cannot merge distinct
+    // points. Points with a custom commTimeFn get a private slot (no
+    // content identity) and never touch the cache.
+    std::vector<std::size_t> slotOf(points.size());
+    std::vector<std::string> slotKey; // Canonical text; "" = private.
+    std::vector<std::size_t> slotRep; // Slot -> representative point.
+    std::unordered_map<std::string, std::size_t> slotByKey;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (!studyPointCacheable(points[i])) {
+            slotOf[i] = slotRep.size();
+            slotKey.emplace_back();
+            slotRep.push_back(i);
+            continue;
+        }
+        std::string key = canonicalStudyKey(points[i]);
+        auto [it, inserted] =
+            slotByKey.try_emplace(std::move(key), slotRep.size());
+        if (inserted) {
+            slotKey.push_back(it->first);
+            slotRep.push_back(i);
+        }
+        slotOf[i] = it->second;
+    }
+
+    // Phase 3: serve slots from the cache where possible.
+    std::optional<ResultCache> cache;
+    if (!options.cacheDir.empty())
+        cache.emplace(options.cacheDir);
+
+    const std::size_t slots = slotRep.size();
+    std::vector<LibraReport> slotReport(slots);
+    std::vector<bool> slotCached(slots, false);
+    std::vector<std::size_t> missing;
+    for (std::size_t s = 0; s < slots; ++s) {
+        if (cache && !slotKey[s].empty() &&
+            cache->load(studyCacheHashOfKey(slotKey[s]), slotKey[s],
+                        &slotReport[s])) {
+            slotCached[s] = true;
+        } else {
+            missing.push_back(s);
+        }
+    }
+
+    // Phase 4: one sharded sweep over every missing unique point.
+    std::vector<LibraInputs> batch;
+    batch.reserve(missing.size());
+    for (std::size_t s : missing)
+        batch.push_back(points[slotRep[s]]);
+    std::vector<LibraReport> computed = runLibraSweep(batch);
+    for (std::size_t k = 0; k < missing.size(); ++k) {
+        std::size_t s = missing[k];
+        slotReport[s] = std::move(computed[k]);
+        if (cache && options.updateCache && !slotKey[s].empty()) {
+            cache->store(studyCacheHashOfKey(slotKey[s]), slotKey[s],
+                         slotReport[s]);
+        }
+    }
+
+    // Phase 5: hand every scenario its aligned report slice.
+    MatrixResult result;
+    result.points = points.size();
+    result.unique = slots;
+    result.computed = missing.size();
+    // Cache hits are counted in point terms (what the user asked for).
+    for (std::size_t i = 0; i < points.size(); ++i)
+        result.fromCache += slotCached[slotOf[i]] ? 1 : 0;
+
+    for (std::size_t si = 0; si < scenarios.size(); ++si) {
+        const Slice& slice = slices[si];
+        // Slices partition `points` and nothing reads a point after
+        // its scenario is formatted, so move the workload IR out
+        // instead of deep-copying it.
+        auto begin =
+            points.begin() + static_cast<std::ptrdiff_t>(slice.begin);
+        std::vector<LibraInputs> slicePoints(
+            std::make_move_iterator(begin),
+            std::make_move_iterator(
+                begin + static_cast<std::ptrdiff_t>(slice.count)));
+        std::vector<LibraReport> sliceReports;
+        sliceReports.reserve(slice.count);
+        ScenarioRun run;
+        run.name = scenarios[si]->name;
+        run.title = scenarios[si]->title;
+        run.points = slice.count;
+        for (std::size_t i = 0; i < slice.count; ++i) {
+            std::size_t slot = slotOf[slice.begin + i];
+            sliceReports.push_back(slotReport[slot]);
+            run.fromCache += slotCached[slot] ? 1 : 0;
+        }
+        run.output = scenarios[si]->format(slicePoints, sliceReports);
+        result.scenarios.push_back(std::move(run));
+    }
+    return result;
+}
+
+namespace {
+
+Json
+pairsToJson(const std::vector<std::pair<std::string, double>>& pairs)
+{
+    Json j = Json::object();
+    for (const auto& [k, v] : pairs)
+        j[k] = v;
+    return j;
+}
+
+} // namespace
+
+Json
+scenarioRunToJson(const ScenarioRun& run)
+{
+    Json j = Json::object();
+    j["name"] = run.name;
+    j["title"] = run.title;
+    Json rows = Json::array();
+    for (const ScenarioRow& row : run.output.rows) {
+        Json r = Json::object();
+        Json labels = Json::object();
+        for (const auto& [k, v] : row.labels)
+            labels[k] = v;
+        r["labels"] = std::move(labels);
+        r["metrics"] = pairsToJson(row.metrics);
+        rows.push(std::move(r));
+    }
+    j["rows"] = std::move(rows);
+    j["summary"] = pairsToJson(run.output.summary);
+    Json notes = Json::array();
+    for (const auto& note : run.output.notes)
+        notes.push(note);
+    j["notes"] = std::move(notes);
+    return j;
+}
+
+Json
+matrixToJson(const MatrixResult& result)
+{
+    Json j = Json::object();
+    j["schema"] = "libra-study-matrix-v1";
+    j["engineVersion"] = static_cast<double>(kStudyCacheVersion);
+    Json scenarios = Json::array();
+    for (const ScenarioRun& run : result.scenarios)
+        scenarios.push(scenarioRunToJson(run));
+    j["scenarios"] = std::move(scenarios);
+    return j;
+}
+
+void
+emitMatrixJson(const MatrixResult& result, std::ostream& os)
+{
+    os << matrixToJson(result).dump(1) << "\n";
+}
+
+namespace {
+
+std::string
+csvEscape(const std::string& s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+/** Union of row keys in first-seen order. */
+template <typename Value>
+std::vector<std::string>
+keyUnion(const std::vector<ScenarioRow>& rows,
+         std::vector<std::pair<std::string, Value>> ScenarioRow::*field)
+{
+    std::vector<std::string> keys;
+    for (const ScenarioRow& row : rows) {
+        for (const auto& [k, v] : row.*field) {
+            bool seen = false;
+            for (const auto& existing : keys)
+                seen |= existing == k;
+            if (!seen)
+                keys.push_back(k);
+        }
+    }
+    return keys;
+}
+
+template <typename Value>
+const Value*
+findKey(const std::vector<std::pair<std::string, Value>>& pairs,
+        const std::string& key)
+{
+    for (const auto& [k, v] : pairs) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+/** Compact human form: fixed notation for a sane column width. */
+std::string
+formatMetric(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+    return buf;
+}
+
+} // namespace
+
+void
+printScenarioRun(const ScenarioRun& run, std::ostream& os)
+{
+    os << "\n############################################\n"
+       << "# " << run.name << ": " << run.title << "\n"
+       << "############################################\n";
+
+    if (!run.output.rows.empty()) {
+        auto labelKeys = keyUnion(run.output.rows, &ScenarioRow::labels);
+        auto metricKeys =
+            keyUnion(run.output.rows, &ScenarioRow::metrics);
+        Table t;
+        std::vector<std::string> header = labelKeys;
+        header.insert(header.end(), metricKeys.begin(),
+                      metricKeys.end());
+        t.header(header);
+        for (const ScenarioRow& row : run.output.rows) {
+            std::vector<std::string> cells;
+            for (const auto& k : labelKeys) {
+                const std::string* v = findKey(row.labels, k);
+                cells.push_back(v ? *v : "-");
+            }
+            for (const auto& k : metricKeys) {
+                const double* v = findKey(row.metrics, k);
+                cells.push_back(v ? formatMetric(*v) : "-");
+            }
+            t.row(cells);
+        }
+        t.print(os);
+    }
+    for (const auto& [k, v] : run.output.summary)
+        os << k << " = " << formatMetric(v) << "\n";
+    for (const auto& note : run.output.notes)
+        os << "\n" << note << "\n";
+}
+
+void
+printMatrixHuman(const MatrixResult& result, std::ostream& os)
+{
+    for (const ScenarioRun& run : result.scenarios)
+        printScenarioRun(run, os);
+    os << "\nmatrix: " << result.scenarios.size() << " scenarios, "
+       << result.points << " design points (" << result.unique
+       << " unique, " << result.fromCache << " from cache, "
+       << result.computed << " computed)\n";
+}
+
+void
+emitMatrixCsv(const MatrixResult& result, std::ostream& os)
+{
+    bool first = true;
+    for (const ScenarioRun& run : result.scenarios) {
+        if (!first)
+            os << "\n";
+        first = false;
+
+        auto labelKeys = keyUnion(run.output.rows, &ScenarioRow::labels);
+        auto metricKeys =
+            keyUnion(run.output.rows, &ScenarioRow::metrics);
+
+        os << "scenario,kind";
+        for (const auto& k : labelKeys)
+            os << ',' << csvEscape(k);
+        for (const auto& k : metricKeys)
+            os << ',' << csvEscape(k);
+        os << "\n";
+
+        for (const ScenarioRow& row : run.output.rows) {
+            os << csvEscape(run.name) << ",row";
+            for (const auto& k : labelKeys) {
+                const std::string* v = findKey(row.labels, k);
+                os << ',' << (v ? csvEscape(*v) : "");
+            }
+            for (const auto& k : metricKeys) {
+                const double* v = findKey(row.metrics, k);
+                os << ',' << (v ? jsonNumberToString(*v) : "");
+            }
+            os << "\n";
+        }
+        for (const auto& [k, v] : run.output.summary) {
+            os << csvEscape(run.name) << ",summary," << csvEscape(k)
+               << ',' << jsonNumberToString(v) << "\n";
+        }
+    }
+}
+
+} // namespace libra

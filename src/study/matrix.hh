@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Scenario-matrix runner: execute any subset of registered scenarios as
+ * one batched, cached, sharded study.
+ *
+ * The runner concatenates every selected scenario's design points,
+ * deduplicates them by content hash (figures that share design points —
+ * e.g. Fig. 13 and Fig. 14 plot the same grid — are optimized once),
+ * serves previously seen points from the ResultCache, and runs the
+ * remaining unique points as a single runLibraSweep batch on the global
+ * thread pool. Each scenario then formats its aligned report slice.
+ *
+ * Determinism: runLibraSweep results are bit-identical at any thread
+ * count, report JSON round-trips bit-exactly through the cache, and all
+ * emission is insertion-ordered — so a matrix run emits byte-identical
+ * JSON whether its points were computed or loaded from cache.
+ */
+
+#ifndef LIBRA_STUDY_MATRIX_HH
+#define LIBRA_STUDY_MATRIX_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "study/scenario.hh"
+
+namespace libra {
+
+/** Matrix runner options. */
+struct MatrixOptions
+{
+    /** Cache directory; empty disables the result cache. */
+    std::string cacheDir;
+
+    /** Store freshly computed points back into the cache. */
+    bool updateCache = true;
+};
+
+/** One executed scenario with its provenance counters. */
+struct ScenarioRun
+{
+    std::string name;
+    std::string title;
+    ScenarioOutput output;
+    std::size_t points = 0;     ///< Design points this scenario built.
+    std::size_t fromCache = 0;  ///< Points served from the cache.
+};
+
+/** Result of one matrix execution. */
+struct MatrixResult
+{
+    std::vector<ScenarioRun> scenarios;
+    std::size_t points = 0;    ///< Total points across scenarios.
+    std::size_t unique = 0;    ///< Distinct points after dedup.
+    std::size_t fromCache = 0; ///< Points served from the cache.
+    std::size_t computed = 0;  ///< Points actually optimized.
+};
+
+/**
+ * Run @p names (registry keys) under @p options.
+ * @throws FatalError on an unknown scenario name.
+ */
+MatrixResult runScenarioMatrix(const std::vector<std::string>& names,
+                               const MatrixOptions& options = {});
+
+/**
+ * Stable JSON form of a matrix result. Contains only run-independent
+ * content (no cache counters or timings), so two runs of the same
+ * matrix — cached or not — dump byte-identical text.
+ */
+Json matrixToJson(const MatrixResult& result);
+
+/** JSON form of one scenario run (the golden-file payload). */
+Json scenarioRunToJson(const ScenarioRun& run);
+
+/** Emit matrixToJson with a trailing newline. */
+void emitMatrixJson(const MatrixResult& result, std::ostream& os);
+
+/**
+ * CSV emission: one row per scenario row; header is the union of the
+ * scenario's label and metric keys, prefixed by the scenario name.
+ * Summary metrics follow as `summary` rows.
+ */
+void emitMatrixCsv(const MatrixResult& result, std::ostream& os);
+
+/**
+ * Paper-style human rendering of one scenario run: banner, aligned
+ * table (label columns then metric columns), summary lines, notes.
+ * Used by the ported bench binaries and libra_cli's default output.
+ */
+void printScenarioRun(const ScenarioRun& run, std::ostream& os);
+
+/** printScenarioRun over every scenario, plus cache statistics. */
+void printMatrixHuman(const MatrixResult& result, std::ostream& os);
+
+} // namespace libra
+
+#endif // LIBRA_STUDY_MATRIX_HH

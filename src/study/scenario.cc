@@ -1,0 +1,58 @@
+#include "study/scenario.hh"
+
+#include "common/logging.hh"
+
+namespace libra {
+
+ScenarioRegistry&
+ScenarioRegistry::global()
+{
+    static ScenarioRegistry* registry = [] {
+        auto* r = new ScenarioRegistry();
+        registerBuiltinScenarios(*r);
+        return r;
+    }();
+    return *registry;
+}
+
+void
+ScenarioRegistry::add(Scenario scenario)
+{
+    if (scenario.name.empty())
+        fatal("scenario has no name");
+    if (!scenario.format)
+        fatal("scenario '", scenario.name, "' has no formatter");
+    if (find(scenario.name))
+        fatal("duplicate scenario '", scenario.name, "'");
+    scenarios_.push_back(std::move(scenario));
+}
+
+const Scenario*
+ScenarioRegistry::find(const std::string& name) const
+{
+    for (const auto& s : scenarios_) {
+        if (s.name == name)
+            return &s;
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+ScenarioRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(scenarios_.size());
+    for (const auto& s : scenarios_)
+        out.push_back(s.name);
+    return out;
+}
+
+const std::vector<std::string>&
+goldenScenarioNames()
+{
+    static const std::vector<std::string> names{"tbl1", "fig10", "fig13",
+                                               "fig14"};
+    return names;
+}
+
+} // namespace libra

@@ -1,0 +1,833 @@
+/**
+ * @file
+ * Built-in paper scenarios: Table I-III and Figs. 9/10/13-18/21 as
+ * registry entries. Each definition replaces a standalone bench binary
+ * (the bench/ wrappers now just run these by name); the reproduced
+ * claims from the original bench headers live on as `notes`.
+ *
+ * Grid conventions: figures sharing the paper's evaluation grid
+ * (workloads x networks x 100-1,000 GB/s x both objectives) build their
+ * points in identical nested-loop order, so the matrix runner's content
+ * dedup collapses fig13/fig14 onto a single optimization per point.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/table.hh"
+#include "core/report.hh"
+#include "sim/chunk_timeline.hh"
+#include "sim/training_sim.hh"
+#include "study/scenario.hh"
+#include "topology/zoo.hh"
+#include "workload/zoo.hh"
+
+namespace libra {
+
+const std::vector<double>&
+paperBwSweep()
+{
+    static const std::vector<double> sweep{100.0, 250.0, 500.0, 1000.0};
+    return sweep;
+}
+
+MultistartOptions
+paperSearchOptions()
+{
+    MultistartOptions opt;
+    opt.starts = 3;
+    return opt;
+}
+
+namespace {
+
+/** Shorthands for the scenario definitions below. */
+const std::vector<double>&
+bwSweep()
+{
+    return paperBwSweep();
+}
+
+MultistartOptions
+studySearch()
+{
+    return paperSearchOptions();
+}
+
+/** One design point on @p net with the harness search settings. */
+LibraInputs
+makePoint(const Network& net, std::vector<TargetWorkload> targets,
+          OptimizationObjective objective, double total_bw)
+{
+    LibraInputs p;
+    p.networkShape = net.name();
+    p.targets = std::move(targets);
+    p.config.objective = objective;
+    p.config.totalBw = total_bw;
+    p.config.search = studySearch();
+    return p;
+}
+
+/**
+ * The Fig. 13/14 evaluation grid: for every (network, workload, budget)
+ * cell, a PerfOpt point immediately followed by a PerfPerCost point.
+ */
+struct SpeedupGrid
+{
+    std::vector<topo::NamedNetwork> nets;
+    std::vector<Workload> workloadsFor(const Network& net) const
+    {
+        return {wl::turingNlg(net.npus()), wl::gpt3(net.npus()),
+                wl::msft1T(net.npus())};
+    }
+
+    std::vector<LibraInputs>
+    build() const
+    {
+        std::vector<LibraInputs> points;
+        for (const auto& [label, net] : nets) {
+            for (const auto& w : workloadsFor(net)) {
+                for (double bw : bwSweep()) {
+                    points.push_back(makePoint(
+                        net, {{w, 1.0}},
+                        OptimizationObjective::PerfOpt, bw));
+                    points.push_back(makePoint(
+                        net, {{w, 1.0}},
+                        OptimizationObjective::PerfPerCostOpt, bw));
+                }
+            }
+        }
+        return points;
+    }
+
+    /** Visit cells as (net label, workload, bw, perf report, ppc report). */
+    template <typename Fn>
+    void
+    visit(const std::vector<LibraReport>& reports, Fn fn) const
+    {
+        std::size_t i = 0;
+        for (const auto& [label, net] : nets) {
+            for (const auto& w : workloadsFor(net)) {
+                for (double bw : bwSweep()) {
+                    fn(label, w, bw, reports[i], reports[i + 1]);
+                    i += 2;
+                }
+            }
+        }
+    }
+};
+
+SpeedupGrid
+mainGrid()
+{
+    return {{{"3D", topo::threeD4K()}, {"4D", topo::fourD4K()}}};
+}
+
+std::string
+bwLabel(double bw)
+{
+    return Table::num(bw, 0);
+}
+
+// --- Table I / Fig. 12 -------------------------------------------------
+
+Scenario
+tbl1Scenario()
+{
+    Scenario s;
+    s.name = "tbl1";
+    s.title = "network cost model ($/GBps) and the Fig. 12 worked "
+              "example";
+    s.format = [](const std::vector<LibraInputs>&,
+                  const std::vector<LibraReport>&) {
+        ScenarioOutput out;
+        CostModel m = CostModel::defaultModel();
+        for (PhysicalLevel level :
+             {PhysicalLevel::Chiplet, PhysicalLevel::Package,
+              PhysicalLevel::Node, PhysicalLevel::Pod}) {
+            ComponentCost c = m.levelCost(level);
+            ScenarioRow row;
+            row.label("level", physicalLevelName(level));
+            row.metric("link", c.link);
+            row.metric("switch", c.switch_);
+            row.metric("nic", c.nic);
+            out.rows.push_back(std::move(row));
+        }
+
+        // Fig. 12: the 3-NPU inter-Pod switch network at 10 GB/s.
+        Network net = Network::parse("SW(3)");
+        auto breakdown = m.breakdown(net, {10.0});
+        ScenarioRow example;
+        example.label("level", "fig12-example");
+        example.metric("links", breakdown[0].linkCost);
+        example.metric("switches", breakdown[0].switchCost);
+        example.metric("nics", breakdown[0].nicCost);
+        example.metric("total", breakdown[0].total());
+        out.rows.push_back(std::move(example));
+
+        out.summarize("fig12_total", breakdown[0].total());
+        out.summarize("fig12_matches_paper",
+                      std::abs(breakdown[0].total() - 1722.0) < 1e-6
+                          ? 1.0
+                          : 0.0);
+        out.notes.push_back(
+            "Fig. 12 worked example: paper value $1,722.");
+        return out;
+    };
+    return s;
+}
+
+// --- Table II ----------------------------------------------------------
+
+Scenario
+tbl2Scenario()
+{
+    Scenario s;
+    s.name = "tbl2";
+    s.title = "workload specifications (4,096 NPUs)";
+    s.format = [](const std::vector<LibraInputs>&,
+                  const std::vector<LibraReport>&) {
+        ScenarioOutput out;
+        Network net = topo::fourD4K();
+        TrainingEstimator est(net);
+        BwConfig bw = net.equalBw(300.0);
+        for (const auto& w : wl::tableTwo(net.npus())) {
+            EstimateDetail d = est.detail(w, bw);
+            ScenarioRow row;
+            row.label("workload", w.name);
+            row.metric("params", w.parameters);
+            row.metric("tp", static_cast<double>(w.strategy.tp));
+            row.metric("dp", static_cast<double>(w.strategy.dp));
+            row.metric("layers", static_cast<double>(w.layers.size()));
+            row.metric("compute_per_iter_s", w.totalCompute());
+            row.metric("comm_payload_bytes", w.totalCommPayload());
+            row.metric("iter_time_s", d.total);
+            row.metric("exposed_comm_s", d.exposedComm);
+            row.metric("comm_fraction_pct",
+                       d.exposedComm / d.total * 100.0);
+            out.rows.push_back(std::move(row));
+        }
+        out.notes.push_back("Iteration times at EqualBW 300 GB/s per "
+                            "NPU, NoOverlap loop.");
+        return out;
+    };
+    return s;
+}
+
+// --- Table III / Fig. 11 -----------------------------------------------
+
+Scenario
+tbl3Scenario()
+{
+    Scenario s;
+    s.name = "tbl3";
+    s.title = "multi-dimensional evaluation topologies and Fig. 11 "
+              "real systems";
+    s.format = [](const std::vector<LibraInputs>&,
+                  const std::vector<LibraReport>&) {
+        ScenarioOutput out;
+        CostModel m = CostModel::defaultModel();
+        for (const auto& [label, net] : topo::tableThree()) {
+            ScenarioRow row;
+            row.label("kind", "evaluation");
+            row.label("name", label);
+            row.label("shape", net.name());
+            row.metric("npus", static_cast<double>(net.npus()));
+            row.metric("dims", static_cast<double>(net.numDims()));
+            row.metric("equalbw_cost_300",
+                       m.networkCost(net, net.equalBw(300.0)));
+            out.rows.push_back(std::move(row));
+        }
+        for (const auto& [label, net] : topo::realSystems()) {
+            ScenarioRow row;
+            row.label("kind", "real-system");
+            row.label("name", label);
+            row.label("shape", net.name());
+            row.metric("npus", static_cast<double>(net.npus()));
+            row.metric("dims", static_cast<double>(net.numDims()));
+            out.rows.push_back(std::move(row));
+        }
+        return out;
+    };
+    return s;
+}
+
+// --- Fig. 9 ------------------------------------------------------------
+
+Scenario
+fig09Scenario()
+{
+    Scenario s;
+    s.name = "fig09";
+    s.title = "4-chunk All-Reduce on 3D networks with different BW "
+              "allocations";
+    s.format = [](const std::vector<LibraInputs>&,
+                  const std::vector<LibraReport>&) {
+        ScenarioOutput out;
+        // Traffic shares on a 4x4x4 multi-rail AR are
+        // (1.5, 0.375, 0.094)m; see the file comment of fig09's bench.
+        const double total = 300.0;
+        const double share = 1.5 + 0.375 + 0.09375;
+        struct Alloc
+        {
+            std::string label;
+            BwConfig bw;
+        };
+        std::vector<Alloc> allocs{
+            {"underprovisioned-dim1", {30.0, 135.0, 135.0}},
+            {"underprovisioned-dim2", {200.0, 10.0, 90.0}},
+            {"ideal",
+             {total * 1.5 / share, total * 0.375 / share,
+              total * 0.09375 / share}},
+        };
+        for (const auto& alloc : allocs) {
+            ChunkTimeline tl(3, alloc.bw);
+            CollectiveJob job;
+            job.type = CollectiveType::AllReduce;
+            job.size = 1e9;
+            job.spans = {{0, 4}, {1, 4}, {2, 4}};
+            job.numChunks = 4;
+            TimelineResult r = tl.run({job});
+
+            ScenarioRow row;
+            row.label("allocation", alloc.label);
+            row.label("bw_config", bwConfigToString(alloc.bw));
+            row.metric("allreduce_time_s", r.makespan);
+            row.metric("avg_bw_util_pct", r.avgBwUtilization * 100.0);
+            out.rows.push_back(std::move(row));
+
+            out.notes.push_back("--- " + alloc.label + " (B = " +
+                                bwConfigToString(alloc.bw) + ") ---\n" +
+                                r.render(3, 68));
+        }
+        out.notes.push_back(
+            "Claim check: an underprovisioned dimension saturates while "
+            "the others idle; the ideal allocation keeps every "
+            "dimension busy outside pipeline bubbles.");
+        return out;
+    };
+    return s;
+}
+
+// --- Fig. 10 -----------------------------------------------------------
+
+/** The Fig. 10 networks — one list shared by build() and format(). */
+std::vector<topo::NamedNetwork>
+fig10Nets()
+{
+    return {{"2D", topo::twoD4K()},
+            {"3D", topo::threeD4K()},
+            {"4D", topo::fourD4K()}};
+}
+
+Scenario
+fig10Scenario()
+{
+    Scenario s;
+    s.name = "fig10";
+    s.title = "MSFT-1T runtime vs network BW utilization (300 GB/s per "
+              "NPU)";
+    s.build = [] {
+        std::vector<LibraInputs> points;
+        for (const auto& [label, net] : fig10Nets()) {
+            points.push_back(makePoint(net,
+                                       {{wl::msft1T(net.npus()), 1.0}},
+                                       OptimizationObjective::PerfOpt,
+                                       300.0));
+        }
+        return points;
+    };
+    s.format = [](const std::vector<LibraInputs>& points,
+                  const std::vector<LibraReport>& reports) {
+        ScenarioOutput out;
+        std::vector<topo::NamedNetwork> nets = fig10Nets();
+        double maxSpeedup = 0.0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const Network& net = nets[i].network;
+            const std::string& label = nets[i].label;
+            const Workload& w = points[i].targets[0].workload;
+            TrainingSim sim(net, {});
+            TrainingSimResult equal =
+                sim.simulate(w, net.equalBw(points[i].config.totalBw));
+            TrainingSimResult tuned =
+                sim.simulate(w, reports[i].optimized.bw);
+
+            auto row = [&](const std::string& alloc) {
+                ScenarioRow r;
+                r.label("net", label);
+                r.label("alloc", alloc);
+                return r;
+            };
+            ScenarioRow eq = row("EqualBW");
+            eq.metric("runtime_norm", 1.0);
+            eq.metric("bw_util_pct", equal.avgBwUtilization * 100.0);
+            eq.metric("speedup", 1.0);
+            out.rows.push_back(std::move(eq));
+
+            ScenarioRow tu = row("LIBRA");
+            tu.metric("runtime_norm", tuned.total / equal.total);
+            tu.metric("bw_util_pct", tuned.avgBwUtilization * 100.0);
+            tu.metric("speedup", equal.total / tuned.total);
+            out.rows.push_back(std::move(tu));
+            maxSpeedup =
+                std::max(maxSpeedup, equal.total / tuned.total);
+
+            ScenarioRow pc = row("PureCompute");
+            pc.metric("runtime_norm",
+                      equal.computeTotal / equal.total);
+            pc.metric("speedup", equal.total / equal.computeTotal);
+            out.rows.push_back(std::move(pc));
+        }
+        out.summarize("max_libra_speedup", maxSpeedup);
+        out.notes.push_back(
+            "Claim check: EqualBW utilization is far below 100%; the "
+            "workload-aware allocation raises utilization and yields "
+            ">1x speedup (paper: up to 1.83x on 3D; EqualBW "
+            "utilizations 57.5% / 39.0% / 66.7% for 2D/3D/4D).");
+        return out;
+    };
+    return s;
+}
+
+// --- Fig. 13 -----------------------------------------------------------
+
+Scenario
+fig13Scenario()
+{
+    Scenario s;
+    s.name = "fig13";
+    s.title = "training speedup over EqualBW (LIBRA-optimized networks)";
+    s.build = [] { return mainGrid().build(); };
+    s.format = [](const std::vector<LibraInputs>&,
+                  const std::vector<LibraReport>& reports) {
+        ScenarioOutput out;
+        double sum = 0.0, best = 0.0;
+        int n = 0;
+        mainGrid().visit(
+            reports, [&](const std::string& net, const Workload& w,
+                         double bw, const LibraReport& perf,
+                         const LibraReport& ppc) {
+                ScenarioRow row;
+                row.label("workload", w.name);
+                row.label("net", net);
+                row.label("bw_per_npu", bwLabel(bw));
+                row.label("perfopt_bw_config",
+                          bwConfigToString(perf.optimized.bw, 0));
+                row.metric("speedup_perfopt", perf.speedup);
+                row.metric("speedup_perfpercost", ppc.speedup);
+                out.rows.push_back(std::move(row));
+                sum += perf.speedup;
+                best = std::max(best, perf.speedup);
+                ++n;
+            });
+        out.summarize("perfopt_avg_speedup", sum / n);
+        out.summarize("perfopt_max_speedup", best);
+        out.notes.push_back(
+            "PerfOptBW speedup (paper: avg 1.23x, max 2.00x). Claim "
+            "check: PerfOpt >= 1x everywhere; GPT-3+4D near 1x (TP-16 "
+            "vs dim-2=8 mismatch).");
+        return out;
+    };
+    return s;
+}
+
+// --- Fig. 14 -----------------------------------------------------------
+
+Scenario
+fig14Scenario()
+{
+    Scenario s;
+    s.name = "fig14";
+    s.title = "perf-per-cost benefit over EqualBW baseline";
+    s.build = [] { return mainGrid().build(); };
+    s.format = [](const std::vector<LibraInputs>&,
+                  const std::vector<LibraReport>& reports) {
+        ScenarioOutput out;
+        double sumPerf = 0.0, sumPpc = 0.0, maxPpc = 0.0;
+        int n = 0;
+        mainGrid().visit(
+            reports, [&](const std::string& net, const Workload& w,
+                         double bw, const LibraReport& perf,
+                         const LibraReport& ppc) {
+                ScenarioRow row;
+                row.label("workload", w.name);
+                row.label("net", net);
+                row.label("bw_per_npu", bwLabel(bw));
+                row.label("perfpercost_cost",
+                          dollarsToString(ppc.optimized.cost));
+                row.metric("ppc_gain_perfopt", perf.perfPerCostGain);
+                row.metric("ppc_gain_perfpercost", ppc.perfPerCostGain);
+                out.rows.push_back(std::move(row));
+                sumPerf += perf.perfPerCostGain;
+                sumPpc += ppc.perfPerCostGain;
+                maxPpc = std::max(maxPpc, ppc.perfPerCostGain);
+                ++n;
+            });
+        out.summarize("perfopt_avg_ppc_gain", sumPerf / n);
+        out.summarize("perfpercost_avg_ppc_gain", sumPpc / n);
+        out.summarize("perfpercost_max_ppc_gain", maxPpc);
+        out.notes.push_back(
+            "Perf-per-cost over EqualBW (paper: PerfOpt avg 5.40x; "
+            "PerfPerCost avg 9.16x, max 13.02x). Claim check: "
+            "PerfPerCostOptBW wins perf-per-cost at every design "
+            "point.");
+        return out;
+    };
+    return s;
+}
+
+// --- Fig. 15 -----------------------------------------------------------
+
+Scenario
+fig15Scenario()
+{
+    Scenario s;
+    s.name = "fig15";
+    s.title = "ResNet-50 and DLRM on 4D-4K (speedup and perf-per-cost "
+              "over EqualBW)";
+    s.build = [] {
+        Network net = topo::fourD4K();
+        std::vector<LibraInputs> points;
+        for (const auto& w :
+             {wl::resnet50(net.npus()), wl::dlrm(net.npus())}) {
+            for (double bw : bwSweep()) {
+                points.push_back(makePoint(
+                    net, {{w, 1.0}}, OptimizationObjective::PerfOpt,
+                    bw));
+                points.push_back(
+                    makePoint(net, {{w, 1.0}},
+                              OptimizationObjective::PerfPerCostOpt,
+                              bw));
+            }
+        }
+        return points;
+    };
+    s.format = [](const std::vector<LibraInputs>& points,
+                  const std::vector<LibraReport>& reports) {
+        ScenarioOutput out;
+        double sumSaving = 0.0;
+        int n = 0;
+        for (std::size_t i = 0; i + 1 < points.size(); i += 2) {
+            const LibraReport& perf = reports[i];
+            const LibraReport& ppc = reports[i + 1];
+            double saving =
+                1.0 - ppc.optimized.cost / perf.optimized.cost;
+            sumSaving += saving;
+            ++n;
+
+            ScenarioRow row;
+            row.label("workload",
+                      points[i].targets[0].workload.name);
+            row.label("bw_per_npu", bwLabel(points[i].config.totalBw));
+            row.metric("speedup_perfopt", perf.speedup);
+            row.metric("speedup_perfpercost", ppc.speedup);
+            row.metric("ppc_gain_perfopt", perf.perfPerCostGain);
+            row.metric("ppc_gain_perfpercost", ppc.perfPerCostGain);
+            row.metric("cost_saving_pct", saving * 100.0);
+            out.rows.push_back(std::move(row));
+        }
+        out.summarize("avg_cost_saving_pct", sumSaving / n * 100.0);
+        out.notes.push_back(
+            "PerfPerCostOptBW networks are cheaper than PerfOptBW ones "
+            "(paper: 15.41% on average for these workloads); LIBRA "
+            "needs no modification for non-transformer models.");
+        return out;
+    };
+    return s;
+}
+
+// --- Fig. 16 -----------------------------------------------------------
+
+/** The Fig. 16 topologies — one list shared by build() and format(). */
+std::vector<topo::NamedNetwork>
+fig16Nets()
+{
+    return {{"3D-512", topo::threeD512()},
+            {"3D-1K", topo::threeD1K()},
+            {"4D-2K", topo::fourD2K()}};
+}
+
+Scenario
+fig16Scenario()
+{
+    Scenario s;
+    s.name = "fig16";
+    s.title = "MSFT-1T on 3D-512 / 3D-1K / 4D-2K topologies";
+    s.build = [] {
+        std::vector<LibraInputs> points;
+        for (const auto& [label, net] : fig16Nets()) {
+            for (double bw : bwSweep()) {
+                points.push_back(makePoint(
+                    net, {{wl::msft1T(net.npus()), 1.0}},
+                    OptimizationObjective::PerfOpt, bw));
+                points.push_back(makePoint(
+                    net, {{wl::msft1T(net.npus()), 1.0}},
+                    OptimizationObjective::PerfPerCostOpt, bw));
+            }
+        }
+        return points;
+    };
+    s.format = [](const std::vector<LibraInputs>& points,
+                  const std::vector<LibraReport>& reports) {
+        ScenarioOutput out;
+        std::vector<topo::NamedNetwork> nets = fig16Nets();
+        for (std::size_t i = 0; i + 1 < points.size(); i += 2) {
+            const LibraReport& perf = reports[i];
+            const LibraReport& ppc = reports[i + 1];
+            ScenarioRow row;
+            row.label("net", nets[i / (2 * bwSweep().size())].label);
+            row.label("bw_per_npu", bwLabel(points[i].config.totalBw));
+            row.metric("speedup_perfopt", perf.speedup);
+            row.metric("speedup_perfpercost", ppc.speedup);
+            row.metric("ppc_gain_perfopt", perf.perfPerCostGain);
+            row.metric("ppc_gain_perfpercost", ppc.perfPerCostGain);
+            out.rows.push_back(std::move(row));
+        }
+        out.notes.push_back(
+            "Claim check: PerfOpt speedup >= 1x and PerfPerCost ppc > "
+            "1x on every topology shape/scale — LIBRA generalizes "
+            "across network shapes, sizes, and dimensionalities.");
+        return out;
+    };
+    return s;
+}
+
+// --- Fig. 17 -----------------------------------------------------------
+
+/** The two Fig. 17 ensembles; index members.size() is the group point. */
+std::vector<std::vector<Workload>>
+fig17Studies()
+{
+    long n = topo::fourD4K().npus();
+    return {{wl::turingNlg(n), wl::gpt3(n), wl::msft1T(n)},
+            {wl::msft1T(n), wl::dlrm(n), wl::resnet50(n)}};
+}
+
+Scenario
+fig17Scenario()
+{
+    Scenario s;
+    s.name = "fig17";
+    s.title = "single-target vs group network optimization (4D-4K @ "
+              "1,000 GB/s)";
+    s.build = [] {
+        Network net = topo::fourD4K();
+        std::vector<LibraInputs> points;
+        for (const auto& members : fig17Studies()) {
+            for (const auto& w : members) {
+                points.push_back(makePoint(
+                    net, {{w, 1.0}}, OptimizationObjective::PerfOpt,
+                    1000.0));
+            }
+            std::vector<TargetWorkload> group;
+            for (const auto& w : members)
+                group.push_back({w, 1.0});
+            LibraInputs p =
+                makePoint(net, std::move(group),
+                          OptimizationObjective::PerfOpt, 1000.0);
+            p.normalizeTargetWeights = true;
+            points.push_back(std::move(p));
+        }
+        return points;
+    };
+    s.format = [](const std::vector<LibraInputs>&,
+                  const std::vector<LibraReport>& reports) {
+        ScenarioOutput out;
+        Network net = topo::fourD4K();
+        TrainingEstimator est(net);
+        BwConfig equal = net.equalBw(1000.0);
+        const std::vector<std::string> studyKeys{"a", "b"};
+
+        std::size_t base = 0;
+        std::size_t study = 0;
+        for (const auto& members : fig17Studies()) {
+            std::vector<Seconds> tEq, tOwn;
+            for (std::size_t i = 0; i < members.size(); ++i) {
+                tEq.push_back(est.estimate(members[i], equal));
+                tOwn.push_back(est.estimate(
+                    members[i], reports[base + i].optimized.bw));
+            }
+
+            double groupSlowdownSum = 0.0, maxCross = 1.0;
+            auto evalRows = [&](const std::string& target,
+                                const BwConfig& bw, bool isGroup) {
+                for (std::size_t i = 0; i < members.size(); ++i) {
+                    Seconds tX = est.estimate(members[i], bw);
+                    double slowdown = tX / tOwn[i];
+                    if (isGroup)
+                        groupSlowdownSum += slowdown;
+                    else
+                        maxCross = std::max(maxCross, slowdown);
+                    ScenarioRow row;
+                    row.label("study", studyKeys[study]);
+                    row.label("opt_target", target);
+                    row.label("workload", members[i].name);
+                    row.metric("speedup_vs_equalbw", tEq[i] / tX);
+                    row.metric("slowdown_vs_own_opt", slowdown);
+                    out.rows.push_back(std::move(row));
+                }
+            };
+            for (std::size_t i = 0; i < members.size(); ++i) {
+                evalRows(members[i].name,
+                         reports[base + i].optimized.bw, false);
+            }
+            evalRows("Group-Opt",
+                     reports[base + members.size()].optimized.bw,
+                     true);
+
+            out.summarize(studyKeys[study] + "_max_cross_slowdown",
+                          maxCross);
+            out.summarize(
+                studyKeys[study] + "_group_avg_slowdown",
+                groupSlowdownSum /
+                    static_cast<double>(members.size()));
+            base += members.size() + 1;
+            ++study;
+        }
+        out.notes.push_back(
+            "Claim check: single-target networks can slow other "
+            "workloads down (paper: up to 1.77x); the group-optimized "
+            "network is near-optimal for every member (paper: avg "
+            "slowdown 1.01x). Study (a) group-optimizes LLMs, (b) a "
+            "DNN mixture.");
+        return out;
+    };
+    return s;
+}
+
+// --- Fig. 18 -----------------------------------------------------------
+
+Scenario
+fig18Scenario()
+{
+    Scenario s;
+    s.name = "fig18";
+    s.title = "inter-Package link cost sweep ($1-$5/GBps, 4D-4K @ "
+              "1,000 GB/s)";
+    s.build = [] {
+        Network net = topo::fourD4K();
+        Workload w = wl::msft1T(net.npus());
+        std::vector<LibraInputs> points;
+        for (double price : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+            LibraInputs p =
+                makePoint(net, {{w, 1.0}},
+                          OptimizationObjective::PerfPerCostOpt,
+                          1000.0);
+            ComponentCost pkg =
+                p.costModel.levelCost(PhysicalLevel::Package);
+            pkg.link = price;
+            p.costModel.setLevelCost(PhysicalLevel::Package, pkg);
+            points.push_back(std::move(p));
+        }
+        return points;
+    };
+    s.format = [](const std::vector<LibraInputs>& points,
+                  const std::vector<LibraReport>& reports) {
+        ScenarioOutput out;
+        double sum = 0.0, best = 0.0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            double price =
+                points[i]
+                    .costModel.levelCost(PhysicalLevel::Package)
+                    .link;
+            double gain = reports[i].perfPerCostGain;
+            sum += gain;
+            best = std::max(best, gain);
+            ScenarioRow row;
+            row.label("pkg_link_cost", Table::num(price, 0));
+            row.label("bw_config",
+                      bwConfigToString(reports[i].optimized.bw, 0));
+            row.metric("ppc_gain", gain);
+            row.metric("network_cost", reports[i].optimized.cost);
+            out.rows.push_back(std::move(row));
+        }
+        out.summarize("avg_ppc_gain",
+                      sum / static_cast<double>(points.size()));
+        out.summarize("max_ppc_gain", best);
+        out.notes.push_back(
+            "Claim check: the benefit persists across the sweep "
+            "(paper avg 4.06x, max 5.59x) — the user-defined cost "
+            "model is a first-class input.");
+        return out;
+    };
+    return s;
+}
+
+// --- Fig. 21 -----------------------------------------------------------
+
+Scenario
+fig21Scenario()
+{
+    Scenario s;
+    s.name = "fig21";
+    s.title = "network + parallelization co-design (MSFT-1T, 4D-4K @ "
+              "1,000 GB/s)";
+    s.build = [] {
+        Network net = topo::fourD4K();
+        std::vector<LibraInputs> points;
+        for (long tp : {8L, 16L, 32L, 64L, 128L, 256L}) {
+            points.push_back(makePoint(
+                net,
+                {{wl::msft1TWithStrategy(tp, net.npus() / tp), 1.0}},
+                OptimizationObjective::PerfOpt, 1000.0));
+        }
+        return points;
+    };
+    s.format = [](const std::vector<LibraInputs>& points,
+                  const std::vector<LibraReport>& reports) {
+        ScenarioOutput out;
+        // Baseline: EqualBW under the Table II default HP-(128, 32) —
+        // the tp == 128 point's own EqualBW result.
+        Seconds tBase = 0.0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (points[i].targets[0].workload.strategy.tp == 128)
+                tBase = reports[i].equalBw.weightedTime;
+        }
+
+        double bestSpeedup = 0.0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const Workload& w = points[i].targets[0].workload;
+            double speedupEq =
+                tBase / reports[i].equalBw.weightedTime;
+            double speedupCo =
+                tBase / reports[i].optimized.weightedTime;
+            bestSpeedup = std::max(bestSpeedup, speedupCo);
+            ScenarioRow row;
+            row.label("strategy", w.strategy.name());
+            row.label("codesigned_bw_config",
+                      bwConfigToString(reports[i].optimized.bw, 0));
+            row.metric("speedup_equalbw", speedupEq);
+            row.metric("speedup_codesign", speedupCo);
+            out.rows.push_back(std::move(row));
+        }
+        out.summarize("best_codesign_speedup", bestSpeedup);
+        out.notes.push_back(
+            "Claim check: a mid-range TP (paper: HP-(64,64)) with its "
+            "co-optimized network is fastest (paper: 1.19x over the "
+            "HP-(128,32)+EqualBW baseline); performance degrades "
+            "sharply once TP drops below 32.");
+        return out;
+    };
+    return s;
+}
+
+} // namespace
+
+void
+registerBuiltinScenarios(ScenarioRegistry& registry)
+{
+    registry.add(tbl1Scenario());
+    registry.add(tbl2Scenario());
+    registry.add(tbl3Scenario());
+    registry.add(fig09Scenario());
+    registry.add(fig10Scenario());
+    registry.add(fig13Scenario());
+    registry.add(fig14Scenario());
+    registry.add(fig15Scenario());
+    registry.add(fig16Scenario());
+    registry.add(fig17Scenario());
+    registry.add(fig18Scenario());
+    registry.add(fig21Scenario());
+}
+
+} // namespace libra

@@ -1,5 +1,6 @@
 #include "workload/workload.hh"
 
+#include "common/json.hh"
 #include "common/logging.hh"
 
 namespace libra {
@@ -58,6 +59,61 @@ Workload::allOps(const Layer& layer)
     ops.insert(ops.end(), layer.igComm.begin(), layer.igComm.end());
     ops.insert(ops.end(), layer.wgComm.begin(), layer.wgComm.end());
     return ops;
+}
+
+namespace {
+
+void
+appendOps(std::string& out, const std::vector<CommOp>& ops)
+{
+    out += std::to_string(ops.size());
+    out += '[';
+    for (const auto& op : ops) {
+        out += std::to_string(static_cast<int>(op.type));
+        out += ',';
+        out += std::to_string(static_cast<int>(op.scope));
+        out += ',';
+        appendCanonicalNumber(out, op.size);
+    }
+    out += ']';
+}
+
+} // namespace
+
+void
+appendCanonicalText(std::string& out, const Workload& w)
+{
+    appendCanonicalString(out, w.name);
+    appendCanonicalNumber(out, w.parameters);
+    out += "hp(";
+    out += std::to_string(w.strategy.tp);
+    out += ',';
+    out += std::to_string(w.strategy.pp);
+    out += ',';
+    out += std::to_string(w.strategy.dp);
+    out += ") ";
+    out += std::to_string(w.layers.size());
+    out += "layers ";
+    for (const auto& layer : w.layers) {
+        appendCanonicalString(out, layer.name);
+        appendCanonicalNumber(out, layer.fwdCompute);
+        appendCanonicalNumber(out, layer.igCompute);
+        appendCanonicalNumber(out, layer.wgCompute);
+        appendOps(out, layer.fwdComm);
+        appendOps(out, layer.igComm);
+        appendOps(out, layer.wgComm);
+    }
+}
+
+bool
+workloadsEqual(const Workload& a, const Workload& b)
+{
+    // Canonical text is injective on content (length-prefixed strings,
+    // shortest round-trip doubles), so text equality is deep equality.
+    std::string ta, tb;
+    appendCanonicalText(ta, a);
+    appendCanonicalText(tb, b);
+    return ta == tb;
 }
 
 } // namespace libra

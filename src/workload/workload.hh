@@ -97,6 +97,21 @@ struct Workload
     static std::vector<CommOp> allOps(const Layer& layer);
 };
 
+/**
+ * Append a canonical, collision-safe text form of @p w to @p out:
+ * every content field (name, parameters, strategy, per-layer compute
+ * and collectives) in a fixed order, with length-prefixed strings and
+ * shortest round-trip doubles. This is the single source of truth for
+ * workload content identity — the study result cache keys on it, and
+ * deep equality (workloadsEqual) is defined as equal canonical text —
+ * so a new result-relevant Workload/Layer/CommOp field must be added
+ * here (and only here) to reach both.
+ */
+void appendCanonicalText(std::string& out, const Workload& w);
+
+/** Deep content equality via canonical text. */
+bool workloadsEqual(const Workload& a, const Workload& b);
+
 } // namespace libra
 
 #endif // LIBRA_WORKLOAD_WORKLOAD_HH

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Cross-validation of the analytical CollectiveTiming model
+ * (multiRailTime) against the data-carrying CollectiveSim, across a
+ * topology zoo x {Reduce-Scatter, All-Gather, All-Reduce} x in-network
+ * on/off.
+ *
+ * Agreement contract (the "latency-model tolerance" documented in
+ * docs/STUDIES.md): CollectiveSim charges each per-dimension stage
+ *
+ *     t_stage = traffic_d / B_d + steps_d * link_latency
+ *
+ * while the analytical model is bandwidth-only (t_d = traffic_d / B_d).
+ * The two therefore agree per stage to within exactly
+ * steps_d * link_latency — bit-exactly at zero latency (tolerance
+ * kRelTol covers floating-point summation order only), and within the
+ * per-stage latency correction otherwise.
+ *
+ * In-network offload changes only the All-Reduce traffic (the sim has
+ * no switch-reduction mode), so the ON axis is validated analytically:
+ * RS/AG timings are unchanged by the flag, the offloaded AR traffic
+ * matches its closed form m / q_{i-1} per dimension, it never exceeds
+ * the (sim-validated) multi-rail AR traffic, and the two coincide
+ * exactly on size-2 dimensions where 2m(g-1)/q_i == m*g/q_i.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "collective/mapping.hh"
+#include "collective/multi_rail.hh"
+#include "sim/collective_sim.hh"
+#include "topology/zoo.hh"
+
+namespace libra {
+namespace {
+
+constexpr double kRelTol = 1e-12;
+
+/** Networks the sim can execute in test time (full-dimension groups). */
+std::vector<topo::NamedNetwork>
+crossvalZoo()
+{
+    std::vector<topo::NamedNetwork> zoo{
+        {"3D-Torus", topo::threeDTorus()},
+        {"3D-512", topo::threeD512()},
+        {"3D-mixed", Network::parse("SW(4)_FC(4)_RI(4)")},
+        {"2D-mixed", Network::parse("FC(8)_RI(8)")},
+    };
+    for (auto& named : topo::realSystems())
+        zoo.push_back(std::move(named));
+    return zoo;
+}
+
+/** Deterministic non-uniform per-dimension bandwidth. */
+BwConfig
+bwFor(const Network& net)
+{
+    BwConfig bw;
+    for (std::size_t d = 0; d < net.numDims(); ++d)
+        bw.push_back(120.0 / static_cast<double>(d + 1) + 7.5);
+    return bw;
+}
+
+void
+initSim(CollectiveSim& sim, const Network& net, std::size_t elems)
+{
+    sim.init(elems, [](long npu, std::size_t i) {
+        return static_cast<double>((npu * 31 + static_cast<long>(i) * 7) %
+                                   97) /
+               9.7;
+    });
+}
+
+void
+expectNear(Seconds actual, Seconds expected, const std::string& what)
+{
+    EXPECT_NEAR(actual, expected,
+                std::abs(expected) * kRelTol + 1e-18)
+        << what;
+}
+
+TEST(SimCrossval, ReduceScatterStageTimesMatchAnalyticalModel)
+{
+    for (const auto& [label, net] : crossvalZoo()) {
+        SCOPED_TRACE(label);
+        const std::size_t elems =
+            static_cast<std::size_t>(net.npus()) * 8;
+        const Bytes m = static_cast<double>(elems) * kFp32Bytes;
+        auto spans = mapGroupToDims(net, 1, net.npus());
+        BwConfig bw = bwFor(net);
+
+        CollectiveSim sim(net, bw);
+        initSim(sim, net, elems);
+        sim.runReduceScatter();
+        ASSERT_TRUE(sim.verifyReduceScatter());
+
+        CollectiveTiming analytic = multiRailTime(
+            CollectiveType::ReduceScatter, m, spans, bw);
+        ASSERT_EQ(sim.stages().size(), net.numDims());
+        for (std::size_t i = 0; i < spans.size(); ++i) {
+            const StageResult& stage = sim.stages()[i];
+            EXPECT_EQ(stage.dim, spans[i].dim);
+            expectNear(stage.bytesPerNpu, analytic.trafficPerDim[i],
+                       label + " RS traffic dim " +
+                           std::to_string(stage.dim));
+            expectNear(stage.time, analytic.timePerDim[i],
+                       label + " RS time dim " +
+                           std::to_string(stage.dim));
+        }
+    }
+}
+
+TEST(SimCrossval, AllGatherStageTimesMatchAnalyticalModel)
+{
+    for (const auto& [label, net] : crossvalZoo()) {
+        SCOPED_TRACE(label);
+        const std::size_t elems =
+            static_cast<std::size_t>(net.npus()) * 8;
+        const Bytes m = static_cast<double>(elems) * kFp32Bytes;
+        auto spans = mapGroupToDims(net, 1, net.npus());
+        BwConfig bw = bwFor(net);
+
+        // All-Gather redistributes the Reduce-Scatter partition, so it
+        // runs on post-RS state; its stages are the allGather records.
+        CollectiveSim sim(net, bw);
+        initSim(sim, net, elems);
+        sim.runReduceScatter();
+        sim.runAllGather();
+        ASSERT_TRUE(sim.verifyAllReduce());
+
+        CollectiveTiming analytic =
+            multiRailTime(CollectiveType::AllGather, m, spans, bw);
+        std::size_t checked = 0;
+        for (const StageResult& stage : sim.stages()) {
+            if (!stage.allGather)
+                continue;
+            // AG visits dims descending; span index == dim index for
+            // these whole-network groups.
+            std::size_t i = stage.dim;
+            expectNear(stage.bytesPerNpu, analytic.trafficPerDim[i],
+                       label + " AG traffic dim " +
+                           std::to_string(stage.dim));
+            expectNear(stage.time, analytic.timePerDim[i],
+                       label + " AG time dim " +
+                           std::to_string(stage.dim));
+            ++checked;
+        }
+        EXPECT_EQ(checked, net.numDims());
+    }
+}
+
+TEST(SimCrossval, AllReducePerDimBusyMatchesAnalyticalModel)
+{
+    for (const auto& [label, net] : crossvalZoo()) {
+        SCOPED_TRACE(label);
+        const std::size_t elems =
+            static_cast<std::size_t>(net.npus()) * 8;
+        const Bytes m = static_cast<double>(elems) * kFp32Bytes;
+        auto spans = mapGroupToDims(net, 1, net.npus());
+        BwConfig bw = bwFor(net);
+
+        CollectiveSim sim(net, bw);
+        initSim(sim, net, elems);
+        Seconds total = sim.runAllReduce();
+        ASSERT_TRUE(sim.verifyAllReduce());
+
+        CollectiveTiming analytic =
+            multiRailTime(CollectiveType::AllReduce, m, spans, bw);
+
+        // Per-dimension: RS + AG stage time == the analytical AR
+        // bottleneck traffic for that dimension.
+        std::vector<Seconds> dimTime(net.numDims(), 0.0);
+        for (const StageResult& stage : sim.stages())
+            dimTime[stage.dim] += stage.time;
+        Seconds simSum = 0.0;
+        for (std::size_t i = 0; i < spans.size(); ++i) {
+            expectNear(dimTime[i], analytic.timePerDim[i],
+                       label + " AR busy dim " + std::to_string(i));
+            simSum += dimTime[i];
+        }
+
+        // The sequential sim's makespan is the stage-time sum; the
+        // pipelined analytical makespan is the bottleneck dim. The
+        // analytical time can only be shorter.
+        expectNear(total, simSum, label + " AR makespan");
+        EXPECT_LE(analytic.time, total * (1.0 + kRelTol)) << label;
+        EXPECT_GE(analytic.time,
+                  *std::max_element(analytic.timePerDim.begin(),
+                                    analytic.timePerDim.end()) *
+                      (1.0 - kRelTol))
+            << label;
+    }
+}
+
+TEST(SimCrossval, LatencyTermIsExactlyStepsTimesLinkLatency)
+{
+    const Seconds latency = 2.5e-6;
+    for (const auto& [label, net] : crossvalZoo()) {
+        SCOPED_TRACE(label);
+        const std::size_t elems =
+            static_cast<std::size_t>(net.npus()) * 8;
+        const Bytes m = static_cast<double>(elems) * kFp32Bytes;
+        auto spans = mapGroupToDims(net, 1, net.npus());
+        BwConfig bw = bwFor(net);
+
+        CollectiveSim sim(net, bw, latency);
+        initSim(sim, net, elems);
+        sim.runAllReduce();
+
+        CollectiveTiming analytic =
+            multiRailTime(CollectiveType::AllReduce, m, spans, bw);
+        std::vector<Seconds> dimTime(net.numDims(), 0.0);
+        std::vector<int> dimSteps(net.numDims(), 0);
+        for (const StageResult& stage : sim.stages()) {
+            dimTime[stage.dim] += stage.time;
+            dimSteps[stage.dim] += stage.steps;
+        }
+        // Documented tolerance: the analytical (bandwidth-only) model
+        // differs from the sim by exactly steps * link_latency.
+        for (std::size_t i = 0; i < spans.size(); ++i) {
+            expectNear(dimTime[i],
+                       analytic.timePerDim[i] +
+                           dimSteps[i] * latency,
+                       label + " latency-corrected dim " +
+                           std::to_string(i));
+        }
+    }
+}
+
+TEST(SimCrossval, InNetworkOffloadInvariants)
+{
+    for (const auto& [label, net] : crossvalZoo()) {
+        SCOPED_TRACE(label);
+        const std::size_t elems =
+            static_cast<std::size_t>(net.npus()) * 8;
+        const Bytes m = static_cast<double>(elems) * kFp32Bytes;
+        auto spans = mapGroupToDims(net, 1, net.npus());
+        BwConfig bw = bwFor(net);
+
+        // The flag only affects All-Reduce: RS/AG timings (validated
+        // against the sim above) are identical with it on.
+        for (CollectiveType type : {CollectiveType::ReduceScatter,
+                                    CollectiveType::AllGather}) {
+            CollectiveTiming off =
+                multiRailTime(type, m, spans, bw, false);
+            CollectiveTiming on =
+                multiRailTime(type, m, spans, bw, true);
+            EXPECT_EQ(off.trafficPerDim, on.trafficPerDim);
+            EXPECT_EQ(off.timePerDim, on.timePerDim);
+        }
+
+        CollectiveTiming ring = multiRailTime(
+            CollectiveType::AllReduce, m, spans, bw, false);
+        CollectiveTiming offload = multiRailTime(
+            CollectiveType::AllReduce, m, spans, bw, true);
+
+        double prefix = 1.0;
+        for (std::size_t i = 0; i < spans.size(); ++i) {
+            double g = static_cast<double>(spans[i].groupSize);
+            // Closed form: dim i forwards the locally reduced payload
+            // m / q_{i-1} once into the switch fabric.
+            expectNear(offload.trafficPerDim[i], m / prefix,
+                       label + " in-network traffic dim " +
+                           std::to_string(i));
+            // Offload can never move more bytes than multi-rail AR
+            // (2(g-1) >= g for g >= 2) and coincides exactly at g=2.
+            EXPECT_LE(offload.trafficPerDim[i],
+                      ring.trafficPerDim[i] * (1.0 + kRelTol))
+                << label;
+            if (spans[i].groupSize == 2) {
+                expectNear(offload.trafficPerDim[i],
+                           ring.trafficPerDim[i],
+                           label + " g=2 equivalence dim " +
+                               std::to_string(i));
+            }
+            prefix *= g;
+        }
+    }
+}
+
+} // namespace
+} // namespace libra

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Round-trip property test for the study-file language: for a corpus
+ * covering every directive in study_config.hh, serializing the parsed
+ * LibraInputs back to text and reparsing must reproduce the inputs
+ * exactly (parse ∘ serialize ∘ parse == parse), and the serializer
+ * must be a fixpoint (serialize ∘ parse ∘ serialize == serialize).
+ *
+ * WORKLOAD_FILE is the one deliberately unserializable directive — a
+ * file-loaded workload has no study-file name — and is pinned as such.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/study_config.hh"
+
+namespace libra {
+namespace {
+
+/**
+ * The directive corpus. Every keyword the parser understands appears
+ * in at least one entry: NETWORK, TOTAL_BW, OBJECTIVE, LOOP,
+ * CONSTRAINT, WORKLOAD (+WEIGHT), NORMALIZE_WEIGHTS, IN_NETWORK,
+ * DOLLAR_CAP, THREADS, SEED, STARTS, and COST.
+ */
+const char* kCorpus[] = {
+    // Minimal study.
+    "NETWORK RI(4)_SW(8)\nWORKLOAD resnet50\n",
+    // Objectives and loops.
+    "NETWORK RI(16)_FC(8)_SW(32)\n"
+    "TOTAL_BW 400\n"
+    "OBJECTIVE PERF_PER_COST\n"
+    "LOOP TP_DP_OVERLAP\n"
+    "WORKLOAD gpt3\n",
+    "NETWORK SW(16)_SW(8)_SW(4)\n"
+    "OBJECTIVE PERF\n"
+    "LOOP NO_OVERLAP\n"
+    "WORKLOAD msft1t\n",
+    // Constraints (absolute, relational, odd spacing).
+    "NETWORK RI(4)_FC(8)_RI(4)_SW(32)\n"
+    "TOTAL_BW 500\n"
+    "CONSTRAINT B4 <= 50\n"
+    "CONSTRAINT   B1 >= B2\n"
+    "CONSTRAINT B2  ==  2 * B3\n"
+    "WORKLOAD turing-nlg\n",
+    // Weights, normalization, multiple targets.
+    "NETWORK RI(16)_FC(8)_SW(32)\n"
+    "WORKLOAD gpt3 WEIGHT 2.5\n"
+    "WORKLOAD msft1t WEIGHT 0.125\n"
+    "WORKLOAD dlrm\n"
+    "NORMALIZE_WEIGHTS\n",
+    // In-network collectives plus search knobs.
+    "NETWORK FC(8)_RI(16)_SW(8)\n"
+    "IN_NETWORK\n"
+    "SEED 7\n"
+    "STARTS 5\n"
+    "WORKLOAD msft1t\n",
+    // Dollar cap (implies a relaxed BW budget) and threads.
+    "NETWORK RI(4)_SW(4)_SW(8)_SW(16)\n"
+    "TOTAL_BW 800\n"
+    "DOLLAR_CAP 1.5e7\n"
+    "THREADS 8\n"
+    "WORKLOAD msft1t WEIGHT 1.0\n",
+    // Cost-model overrides at several levels, non-integral prices.
+    "NETWORK RI(4)_FC(8)_RI(4)_SW(32)\n"
+    "COST Pod LINK 9.9 SWITCH 21.5 NIC 40.0\n"
+    "COST Package LINK 3.25\n"
+    "COST Chiplet LINK 1.75\n"
+    "WORKLOAD gpt3\n",
+    // Everything at once.
+    "NETWORK RI(16)_FC(8)_SW(32)\n"
+    "TOTAL_BW 123.456\n"
+    "OBJECTIVE PERF_PER_COST\n"
+    "LOOP TP_DP_OVERLAP\n"
+    "CONSTRAINT B3 <= 50\n"
+    "CONSTRAINT B1 >= B2\n"
+    "WORKLOAD gpt3 WEIGHT 0.3333333333333333\n"
+    "WORKLOAD turing-nlg WEIGHT 3\n"
+    "NORMALIZE_WEIGHTS\n"
+    "IN_NETWORK\n"
+    "DOLLAR_CAP 2.75e6\n"
+    "THREADS 3\n"
+    "SEED 42\n"
+    "STARTS 4\n"
+    "COST Node LINK 5.5 SWITCH 14.25\n",
+};
+
+TEST(StudyRoundTrip, ParseSerializeParseIsIdentity)
+{
+    for (const char* text : kCorpus) {
+        SCOPED_TRACE(text);
+        LibraInputs first = parseStudyConfigString(text);
+        std::string serialized = studyConfigToString(first);
+        LibraInputs second = parseStudyConfigString(serialized);
+        EXPECT_TRUE(studyInputsEqual(first, second)) << serialized;
+    }
+}
+
+TEST(StudyRoundTrip, SerializeIsAFixpoint)
+{
+    for (const char* text : kCorpus) {
+        SCOPED_TRACE(text);
+        std::string once =
+            studyConfigToString(parseStudyConfigString(text));
+        std::string twice =
+            studyConfigToString(parseStudyConfigString(once));
+        EXPECT_EQ(once, twice);
+    }
+}
+
+TEST(StudyRoundTrip, EqualityIsDiscriminating)
+{
+    LibraInputs base = parseStudyConfigString(
+        "NETWORK RI(4)_SW(8)\nTOTAL_BW 300\nWORKLOAD resnet50\n");
+    EXPECT_TRUE(studyInputsEqual(base, base));
+
+    auto variant = [](const char* text) {
+        return parseStudyConfigString(text);
+    };
+    EXPECT_FALSE(studyInputsEqual(
+        base,
+        variant("NETWORK RI(4)_SW(8)\nTOTAL_BW 301\n"
+                "WORKLOAD resnet50\n")));
+    EXPECT_FALSE(studyInputsEqual(
+        base, variant("NETWORK RI(4)_SW(8)\nTOTAL_BW 300\n"
+                      "WORKLOAD dlrm\n")));
+    EXPECT_FALSE(studyInputsEqual(
+        base, variant("NETWORK RI(4)_SW(8)\nTOTAL_BW 300\n"
+                      "WORKLOAD resnet50 WEIGHT 2\n")));
+    EXPECT_FALSE(studyInputsEqual(
+        base, variant("NETWORK RI(4)_SW(8)\nTOTAL_BW 300\n"
+                      "WORKLOAD resnet50\nIN_NETWORK\n")));
+    EXPECT_FALSE(studyInputsEqual(
+        base, variant("NETWORK RI(4)_SW(8)\nTOTAL_BW 300\n"
+                      "WORKLOAD resnet50\nCOST Pod LINK 9\n")));
+}
+
+TEST(StudyRoundTrip, SerializedNumbersSurviveExactly)
+{
+    // Shortest round-trip formatting must reproduce awkward doubles
+    // bit-exactly through serialize -> parse.
+    LibraInputs in = parseStudyConfigString(
+        "NETWORK RI(4)_SW(8)\nTOTAL_BW 0.30000000000000004\n"
+        "WORKLOAD resnet50 WEIGHT 0.1\nDOLLAR_CAP 12345678.901234567\n");
+    LibraInputs back =
+        parseStudyConfigString(studyConfigToString(in));
+    EXPECT_EQ(back.config.totalBw, 0.30000000000000004);
+    EXPECT_EQ(back.targets[0].weight, 0.1);
+    EXPECT_EQ(back.config.budgetCap, 12345678.901234567);
+}
+
+TEST(StudyRoundTrip, UnserializableInputsAreReported)
+{
+    // WORKLOAD_FILE / programmatic workloads have no study-file name.
+    LibraInputs custom = parseStudyConfigString(
+        "NETWORK RI(4)_SW(8)\nWORKLOAD resnet50\n");
+    custom.targets[0].workload.layers[0].fwdCompute += 1.0;
+    EXPECT_THROW(studyConfigToString(custom), FatalError);
+
+    LibraInputs fn = parseStudyConfigString(
+        "NETWORK RI(4)_SW(8)\nWORKLOAD resnet50\n");
+    fn.config.estimator.commTimeFn =
+        [](CollectiveType, Bytes, const std::vector<DimSpan>&,
+           const BwConfig&, bool) { return CollectiveTiming{}; };
+    EXPECT_THROW(studyConfigToString(fn), FatalError);
+
+    LibraInputs relax = parseStudyConfigString(
+        "NETWORK RI(4)_SW(8)\nWORKLOAD resnet50\n");
+    relax.config.relaxTotalBw = true; // No DOLLAR_CAP to imply it.
+    EXPECT_THROW(studyConfigToString(relax), FatalError);
+}
+
+} // namespace
+} // namespace libra

@@ -1,31 +1,43 @@
 /**
  * @file
- * libra_cli — run a complete LIBRA design study from a config file.
+ * libra_cli — run LIBRA design studies: single study files or whole
+ * scenario matrices.
  *
  * Usage:
  *   libra_cli [--threads N] <study-file>
  *   libra_cli --example        # print a template study file and exit
+ *   libra_cli list             # list registered paper scenarios
+ *   libra_cli run-matrix <names...|all|golden> [options]
+ *
+ * run-matrix options:
+ *   --cache-dir DIR    content-addressed result cache: re-running a
+ *                      matrix recomputes only changed design points
+ *   --emit json|csv    structured emission instead of tables (stats go
+ *                      to stderr; stdout is byte-stable across runs)
+ *   --out FILE         write the emission/tables to FILE
+ *   --update-golden    rewrite the golden-figure files for the golden
+ *                      scenarios included in this run
+ *   --golden-dir DIR   golden file directory (default: tests/golden)
  *
  * --threads N (or the LIBRA_THREADS environment variable, or a THREADS
  * line in the study file; flag wins) sizes the parallel evaluation
- * engine. Results are bit-identical at any thread count.
- *
- * The study file bundles every Fig. 3 input: network shape, BW budget,
- * objective, training loop, constraints, cost-model overrides, and the
- * target workloads (zoo names or profiled workload files). Output is
- * the optimized design point next to the EqualBW baseline.
+ * engine. Results are bit-identical at any thread count, and matrix
+ * JSON is byte-identical whether points were computed or cached.
  */
 
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "common/thread_pool.hh"
 #include "core/report.hh"
 #include "core/study_config.hh"
+#include "study/matrix.hh"
 
 namespace {
 
@@ -45,7 +57,7 @@ NORMALIZE_WEIGHTS
 )";
 
 int
-runStudy(const char* path, int threads)
+runStudy(const std::string& path, int threads)
 {
     using namespace libra;
 
@@ -94,45 +106,244 @@ runStudy(const char* path, int threads)
     return 0;
 }
 
+int
+listScenarios()
+{
+    using namespace libra;
+    Table t("registered scenarios");
+    t.header({"Name", "Points", "Title"});
+    const ScenarioRegistry& registry = ScenarioRegistry::global();
+    for (const auto& name : registry.names()) {
+        const Scenario* s = registry.find(name);
+        std::size_t points = s->build ? s->build().size() : 0;
+        t.row({name, std::to_string(points), s->title});
+    }
+    t.print(std::cout);
+    std::cout << "\nGroups: 'all' = every scenario; 'golden' = the "
+                 "golden-figure set (";
+    bool first = true;
+    for (const auto& name : goldenScenarioNames()) {
+        std::cout << (first ? "" : ", ") << name;
+        first = false;
+    }
+    std::cout << ").\n";
+    return 0;
+}
+
+struct MatrixCliOptions
+{
+    std::vector<std::string> names;
+    std::string cacheDir;
+    std::string emit;      // "", "json", or "csv".
+    std::string outPath;
+    bool updateGolden = false;
+    std::string goldenDir = "tests/golden";
+    int threads = 0;
+};
+
+int
+runMatrixCommand(const MatrixCliOptions& cli)
+{
+    using namespace libra;
+
+    // Expand the name groups against the registry.
+    std::vector<std::string> names;
+    for (const auto& name : cli.names) {
+        if (name == "all") {
+            for (const auto& n : ScenarioRegistry::global().names())
+                names.push_back(n);
+        } else if (name == "golden") {
+            for (const auto& n : goldenScenarioNames())
+                names.push_back(n);
+        } else {
+            names.push_back(name);
+        }
+    }
+    if (names.empty()) {
+        std::cerr << "libra_cli: run-matrix needs scenario names "
+                     "('libra_cli list'), 'all', or 'golden'\n";
+        return 1;
+    }
+
+    if (cli.threads > 0)
+        ThreadPool::setGlobalThreads(
+            static_cast<std::size_t>(cli.threads));
+
+    MatrixOptions options;
+    options.cacheDir = cli.cacheDir;
+    MatrixResult result = runScenarioMatrix(names, options);
+
+    std::ofstream outFile;
+    std::ostream* out = &std::cout;
+    if (!cli.outPath.empty()) {
+        outFile.open(cli.outPath);
+        if (!outFile) {
+            std::cerr << "libra_cli: cannot write '" << cli.outPath
+                      << "'\n";
+            return 1;
+        }
+        out = &outFile;
+    }
+
+    if (cli.emit == "json") {
+        emitMatrixJson(result, *out);
+    } else if (cli.emit == "csv") {
+        emitMatrixCsv(result, *out);
+    } else {
+        printMatrixHuman(result, *out);
+    }
+
+    // Structured emission keeps stdout byte-stable; provenance goes to
+    // stderr (also when tables went to a file).
+    if (!cli.emit.empty() || out != &std::cout) {
+        std::cerr << "matrix: " << result.scenarios.size()
+                  << " scenarios, " << result.points
+                  << " design points (" << result.unique << " unique, "
+                  << result.fromCache << " from cache, "
+                  << result.computed << " computed)\n";
+    }
+
+    if (cli.updateGolden) {
+        std::size_t written = 0;
+        for (const ScenarioRun& run : result.scenarios) {
+            bool golden = false;
+            for (const auto& g : goldenScenarioNames())
+                golden |= g == run.name;
+            if (!golden)
+                continue;
+            std::string path = cli.goldenDir + "/" + run.name + ".json";
+            std::ofstream file(path);
+            if (!file) {
+                std::cerr << "libra_cli: cannot write golden file '"
+                          << path << "'\n";
+                return 1;
+            }
+            file << scenarioRunToJson(run).dump(1) << "\n";
+            ++written;
+            std::cerr << "golden: wrote " << path << "\n";
+        }
+        if (written < goldenScenarioNames().size()) {
+            std::cerr << "golden: warning: only " << written << " of "
+                      << goldenScenarioNames().size()
+                      << " golden scenarios were in this run (use "
+                         "'run-matrix golden --update-golden')\n";
+        }
+    }
+    return 0;
+}
+
+int
+parseThreads(const char* text)
+{
+    char* end = nullptr;
+    long v = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || v < 1 || v > 4096) {
+        std::cerr << "libra_cli: bad thread count '" << text
+                  << "' (expected 1..4096)\n";
+        return -1;
+    }
+    return static_cast<int>(v);
+}
+
+void
+usage()
+{
+    std::cerr
+        << "usage: libra_cli [--threads N] <study-file>\n"
+        << "       libra_cli --example\n"
+        << "       libra_cli list\n"
+        << "       libra_cli run-matrix <names...|all|golden> "
+           "[--threads N]\n"
+        << "                 [--cache-dir DIR] [--emit json|csv] "
+           "[--out FILE]\n"
+        << "                 [--update-golden] [--golden-dir DIR]\n";
+}
+
 } // namespace
 
 int
 main(int argc, char** argv)
 {
-    int threads = 0;
-    const char* studyPath = nullptr;
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        if (arg == "--example") {
-            std::cout << kTemplate;
-            return 0;
-        }
-        if (arg == "--threads") {
-            if (i + 1 >= argc) {
-                std::cerr << "libra_cli: --threads needs a count\n";
-                return 1;
-            }
-            char* end = nullptr;
-            long v = std::strtol(argv[++i], &end, 10);
-            if (end == argv[i] || *end != '\0' || v < 1 || v > 4096) {
-                std::cerr << "libra_cli: bad thread count '" << argv[i]
-                          << "' (expected 1..4096)\n";
-                return 1;
-            }
-            threads = static_cast<int>(v);
-        } else if (!studyPath) {
-            studyPath = argv[i];
-        } else {
-            studyPath = nullptr;
-            break;
-        }
+    std::vector<std::string> args(argv + 1, argv + argc);
+
+    if (!args.empty() && args[0] == "--example") {
+        std::cout << kTemplate;
+        return 0;
     }
-    if (!studyPath) {
-        std::cerr << "usage: libra_cli [--threads N] <study-file> | "
-                     "--example\n";
-        return 1;
-    }
+
     try {
+        if (!args.empty() && args[0] == "list")
+            return listScenarios();
+        if (!args.empty() && args[0] == "run-matrix") {
+            MatrixCliOptions cli;
+            for (std::size_t i = 1; i < args.size(); ++i) {
+                const std::string& arg = args[i];
+                auto value = [&](const char* what) -> std::string {
+                    if (i + 1 >= args.size()) {
+                        std::cerr << "libra_cli: " << arg << " needs "
+                                  << what << "\n";
+                        std::exit(1);
+                    }
+                    return args[++i];
+                };
+                if (arg == "--cache-dir") {
+                    cli.cacheDir = value("a directory");
+                } else if (arg == "--emit") {
+                    cli.emit = value("json or csv");
+                    if (cli.emit != "json" && cli.emit != "csv") {
+                        std::cerr << "libra_cli: --emit expects json "
+                                     "or csv\n";
+                        return 1;
+                    }
+                } else if (arg == "--out") {
+                    cli.outPath = value("a file path");
+                } else if (arg == "--update-golden") {
+                    cli.updateGolden = true;
+                } else if (arg == "--golden-dir") {
+                    cli.goldenDir = value("a directory");
+                } else if (arg == "--threads") {
+                    cli.threads =
+                        parseThreads(value("a count").c_str());
+                    if (cli.threads < 0)
+                        return 1;
+                } else if (!arg.empty() && arg[0] == '-') {
+                    std::cerr << "libra_cli: unknown run-matrix flag '"
+                              << arg << "'\n";
+                    return 1;
+                } else {
+                    cli.names.push_back(arg);
+                }
+            }
+            return runMatrixCommand(cli);
+        }
+
+        // Legacy single-study mode.
+        int threads = 0;
+        std::string studyPath;
+        for (std::size_t i = 0; i < args.size(); ++i) {
+            if (args[i] == "--example") {
+                std::cout << kTemplate;
+                return 0;
+            }
+            if (args[i] == "--threads") {
+                if (i + 1 >= args.size()) {
+                    std::cerr << "libra_cli: --threads needs a count\n";
+                    return 1;
+                }
+                threads = parseThreads(args[++i].c_str());
+                if (threads < 0)
+                    return 1;
+            } else if (studyPath.empty()) {
+                studyPath = args[i];
+            } else {
+                usage();
+                return 1;
+            }
+        }
+        if (studyPath.empty()) {
+            usage();
+            return 1;
+        }
         return runStudy(studyPath, threads);
     } catch (const libra::FatalError& e) {
         std::cerr << "libra_cli: " << e.what() << "\n";

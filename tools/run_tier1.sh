@@ -1,11 +1,61 @@
 #!/usr/bin/env bash
 # Minimal CI entry point: configure, build, and run the tier-1 suite.
-# Usage: tools/run_tier1.sh [extra cmake args...]
+#
+# Usage: tools/run_tier1.sh [--tsan|--asan] [extra cmake args...]
+#
+#   (default)  Release build in build/, full ctest suite.
+#   --tsan     ThreadSanitizer build in build-tsan/; runs the threading
+#              contract tests (thread pool, parallel determinism, and
+#              the scenario-matrix engine, whose sweeps exercise
+#              runLibraSweep) under TSan.
+#   --asan     AddressSanitizer (+UBSan) build in build-asan/; runs the
+#              full suite.
+#
+# Sanitizer builds use a separate build directory so they never poison
+# the Release object cache, and -O1 -g for usable stacks.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-cmake -B build -S . "$@"
-cmake --build build -j"${JOBS}"
-ctest --test-dir build --output-on-failure -j"${JOBS}"
+MODE=""
+ARGS=()
+for arg in "$@"; do
+  case "${arg}" in
+    --tsan) MODE="tsan" ;;
+    --asan) MODE="asan" ;;
+    *) ARGS+=("${arg}") ;;
+  esac
+done
+
+BUILD_DIR="build"
+CMAKE_EXTRA=()
+CTEST_EXTRA=()
+case "${MODE}" in
+  tsan)
+    BUILD_DIR="build-tsan"
+    CMAKE_EXTRA+=(
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+      "-DCMAKE_CXX_FLAGS=-fsanitize=thread -g -O1 -fno-omit-frame-pointer"
+      -DLIBRA_BUILD_BENCH=OFF
+      -DLIBRA_BUILD_EXAMPLES=OFF
+    )
+    # The PR 1 threading contract: pool mechanics, bit-identical
+    # results at any thread count, and the batched matrix sweeps.
+    CTEST_EXTRA+=(-R 'test_thread_pool|test_parallel_determinism|test_study_engine')
+    ;;
+  asan)
+    BUILD_DIR="build-asan"
+    CMAKE_EXTRA+=(
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+      "-DCMAKE_CXX_FLAGS=-fsanitize=address,undefined -g -O1 -fno-omit-frame-pointer"
+      -DLIBRA_BUILD_BENCH=OFF
+      -DLIBRA_BUILD_EXAMPLES=OFF
+    )
+    ;;
+esac
+
+cmake -B "${BUILD_DIR}" -S . "${CMAKE_EXTRA[@]}" ${ARGS+"${ARGS[@]}"}
+cmake --build "${BUILD_DIR}" -j"${JOBS}"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j"${JOBS}" \
+  ${CTEST_EXTRA+"${CTEST_EXTRA[@]}"}
