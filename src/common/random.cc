@@ -18,6 +18,16 @@ Rng::uniformInt(int lo, int hi)
     return dist(engine_);
 }
 
+double
+Rng::normal()
+{
+    // A fresh distribution each call discards the Box-Muller spare,
+    // trading one wasted draw for draw-count independence: the stream
+    // position after n calls never depends on distribution state.
+    std::normal_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+}
+
 std::vector<double>
 Rng::uniformVec(std::size_t n, double lo, double hi)
 {

@@ -26,6 +26,9 @@ class Rng
     /** Uniform integer in [lo, hi] inclusive. */
     int uniformInt(int lo, int hi);
 
+    /** Standard normal draw (CMA-ES sampling). */
+    double normal();
+
     /** Vector of n uniform draws in [lo, hi). */
     std::vector<double> uniformVec(std::size_t n, double lo, double hi);
 

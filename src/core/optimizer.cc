@@ -76,9 +76,11 @@ BwOptimizer::optimize(const std::vector<TargetWorkload>& targets,
     ConstraintSet cs = buildConstraints(config);
 
     MultistartOptions search = config.search;
-    // The pure-performance objective is convex, so subgradient leads;
-    // the perf-per-cost product is not, so rely on the global searches.
-    search.useSubgradient = true;
+    // The pure-performance objective is convex, so subgradient leads
+    // in the default chain; an explicit SOLVER pipeline overrides the
+    // chain toggles entirely.
+    if (search.pipeline.empty())
+        search.useSubgradient = true;
     // A custom collective-timing model may carry internal state the
     // pool would race on; only the built-in analytical model is
     // guaranteed thread-safe. Results are identical either way.

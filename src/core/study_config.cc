@@ -9,6 +9,7 @@
 
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "solver/strategy.hh"
 #include "workload/parser.hh"
 #include "workload/zoo.hh"
 
@@ -186,6 +187,28 @@ parseStudyConfig(std::istream& in)
                       ": THREADS must be an integer in [1, 4096], "
                       "got ", v);
             inputs.threads = static_cast<int>(v);
+        } else if (keyword == "SOLVER") {
+            // Take the whole rest of the line (not one token) so
+            // `SOLVER de cmaes` errors loudly instead of silently
+            // running {de}; spaces around commas are tolerated.
+            std::string rest;
+            std::getline(line, rest);
+            auto first = rest.find_first_not_of(" \t");
+            if (first == std::string::npos)
+                fatal("study line ", lineNo,
+                      ": expected solver pipeline");
+            auto last = rest.find_last_not_of(" \t");
+            try {
+                inputs.config.search.pipeline = parseSolverSpec(
+                    rest.substr(first, last - first + 1));
+            } catch (const FatalError& e) {
+                // Re-wrap with the line number, dropping the inner
+                // "fatal: " prefix fatal() would otherwise nest.
+                std::string msg = e.what();
+                if (msg.rfind("fatal: ", 0) == 0)
+                    msg.erase(0, 7);
+                fatal("study line ", lineNo, ": ", msg);
+            }
         } else if (keyword == "SEED") {
             inputs.config.search.seed = static_cast<std::uint64_t>(
                 parseNumber(wantToken("seed"), lineNo, "seed"));
@@ -306,7 +329,9 @@ studyInputsEqual(const LibraInputs& a, const LibraInputs& b)
         ca.search.starts != cb.search.starts ||
         ca.search.seed != cb.search.seed ||
         ca.search.useSubgradient != cb.search.useSubgradient ||
-        ca.search.useNelderMead != cb.search.useNelderMead) {
+        ca.search.useNelderMead != cb.search.useNelderMead ||
+        ca.search.pipeline != cb.search.pipeline ||
+        ca.search.maxEvalsPerStart != cb.search.maxEvalsPerStart) {
         return false;
     }
     if (a.targets.size() != b.targets.size())
@@ -338,7 +363,9 @@ studyConfigToString(const LibraInputs& inputs)
             defaults.config.search.useSubgradient ||
         cfg.search.useNelderMead !=
             defaults.config.search.useNelderMead ||
-        cfg.search.parallel != defaults.config.search.parallel) {
+        cfg.search.parallel != defaults.config.search.parallel ||
+        cfg.search.maxEvalsPerStart !=
+            defaults.config.search.maxEvalsPerStart) {
         fatal("cannot serialize non-default search-driver toggles (no "
               "study-file directive)");
     }
@@ -376,6 +403,9 @@ studyConfigToString(const LibraInputs& inputs)
         out << "THREADS " << inputs.threads << "\n";
     out << "SEED " << cfg.search.seed << "\n";
     out << "STARTS " << cfg.search.starts << "\n";
+    if (!cfg.search.pipeline.empty())
+        out << "SOLVER " << solverSpecToString(cfg.search.pipeline)
+            << "\n";
     for (const auto& constraint : cfg.constraints)
         out << "CONSTRAINT " << trimmed(constraint) << "\n";
     for (PhysicalLevel level :

@@ -18,6 +18,9 @@
  *     COST Pod LINK 7.8 SWITCH 18.0 NIC 31.6   # cost-model override
  *     THREADS 8                 # solver parallelism (results are
  *                               # identical at any thread count)
+ *     SOLVER cmaes,pattern-search  # search-strategy pipeline
+ *                               # (`libra_cli list-solvers`; default
+ *                               # is the subgradient/pattern/NM chain)
  *
  * Zoo names: turing-nlg, gpt3, msft1t, dlrm, resnet50 (each sized to
  * the network's NPU count).

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * CMA-ES (covariance matrix adaptation evolution strategy) over the
+ * design polyhedron.
+ *
+ * A global, derivative-free search for the non-convex PerfPerCostOptBW
+ * landscape: each generation samples a population from an adapted
+ * multivariate normal, repairs every candidate by Euclidean projection
+ * onto the constraints, and evaluates the whole population in one
+ * batched parallelFor dispatch (per-candidate slots, index-ordered
+ * reduction) so the SoA-compiled objective fast path sees many
+ * candidates per generation. The rank-mu + rank-one covariance update
+ * uses the repaired steps, which keeps the search distribution inside
+ * the feasible cone.
+ *
+ * Deterministic: all sampling comes from the caller's seed on a single
+ * serial stream, evaluation order never feeds back into the state, and
+ * ranking ties break toward the lower candidate index — bit-identical
+ * results at any thread count.
+ */
+
+#ifndef LIBRA_SOLVER_CMAES_HH
+#define LIBRA_SOLVER_CMAES_HH
+
+#include <cstdint>
+
+#include "solver/constraint_set.hh"
+#include "solver/subgradient.hh"
+
+namespace libra {
+
+/** Options for the CMA-ES loop. */
+struct CmaesOptions
+{
+    int populationSize = 0;  ///< 0 = 4 + floor(3 ln n), the CMA default.
+    int generations = 120;   ///< Generation cap.
+    double initialSigma = 0.0; ///< 0 = 0.3 * scale / n.
+    double scale = 1.0;      ///< Coordinate magnitude (~sum of x0).
+    std::uint64_t seed = 0x11BAa;
+    long long maxEvals = 0;  ///< Objective-evaluation cap (0 = none).
+};
+
+/**
+ * Minimize @p f over @p constraints from feasible @p x0. Returns the
+ * best projected (feasible) point ever evaluated — never worse than
+ * the start. SearchResult::iterations counts objective evaluations.
+ */
+SearchResult cmaesSearch(const ScalarObjective& f,
+                         const ConstraintSet& constraints, const Vec& x0,
+                         const CmaesOptions& options = {});
+
+} // namespace libra
+
+#endif // LIBRA_SOLVER_CMAES_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Differential evolution (DE/rand/1/bin) over the design polyhedron.
+ *
+ * The second global strategy next to CMA-ES: a population of feasible
+ * points evolves by scaled difference vectors and binomial crossover,
+ * every trial is repaired by Euclidean projection onto the
+ * constraints, and each generation's trials are evaluated in one
+ * batched parallelFor dispatch (per-candidate slots, index-ordered
+ * greedy selection) — many candidates per dispatch for the
+ * SoA-compiled objective fast path.
+ *
+ * Deterministic: mutation partners and crossover masks are drawn on a
+ * single serial stream from the caller's seed before evaluation fans
+ * out, and selection compares trial i against parent i only —
+ * bit-identical results at any thread count.
+ */
+
+#ifndef LIBRA_SOLVER_DIFFERENTIAL_EVOLUTION_HH
+#define LIBRA_SOLVER_DIFFERENTIAL_EVOLUTION_HH
+
+#include <cstdint>
+
+#include "solver/constraint_set.hh"
+#include "solver/subgradient.hh"
+
+namespace libra {
+
+/** Options for the DE/rand/1/bin loop. */
+struct DifferentialEvolutionOptions
+{
+    int populationSize = 0;     ///< 0 = clamp(8 * n, 16, 48).
+    int generations = 80;       ///< Generation cap.
+    double differentialWeight = 0.7; ///< F, the mutation scale.
+    double crossoverRate = 0.9; ///< CR, per-coordinate inheritance.
+    double scale = 1.0;         ///< Coordinate magnitude (~sum of x0).
+    std::uint64_t seed = 0x11BAa;
+    long long maxEvals = 0;     ///< Objective-evaluation cap (0 = none).
+};
+
+/**
+ * Minimize @p f over @p constraints from feasible @p x0 (always a
+ * population member, so the result is never worse than the start).
+ * SearchResult::iterations counts objective evaluations.
+ */
+SearchResult
+differentialEvolutionSearch(const ScalarObjective& f,
+                            const ConstraintSet& constraints,
+                            const Vec& x0,
+                            const DifferentialEvolutionOptions& options =
+                                {});
+
+} // namespace libra
+
+#endif // LIBRA_SOLVER_DIFFERENTIAL_EVOLUTION_HH

@@ -94,6 +94,18 @@ class Matrix
     std::vector<double> data_;
 };
 
+/**
+ * Eigendecomposition of a symmetric matrix by cyclic Jacobi rotations:
+ * a = eigvecs * diag(eigvals) * eigvecs'. Deterministic (fixed sweep
+ * order) and exact to ~machine precision for the tiny matrices LIBRA
+ * uses; the CMA-ES covariance update is the main client.
+ *
+ * @param a        Symmetric input (only the upper triangle is read).
+ * @param eigvecs  Columns receive the eigenvectors.
+ * @param eigvals  Receives the eigenvalues, aligned with the columns.
+ */
+void symmetricEigen(const Matrix& a, Matrix* eigvecs, Vec* eigvals);
+
 } // namespace libra
 
 #endif // LIBRA_SOLVER_MATRIX_HH

@@ -6,9 +6,9 @@
 
 #include "common/random.hh"
 #include "common/thread_pool.hh"
-#include "solver/nelder_mead.hh"
 #include "solver/pattern_search.hh"
 #include "solver/qp.hh"
+#include "solver/strategy.hh"
 
 namespace libra {
 
@@ -28,7 +28,15 @@ mixSeed(std::uint64_t seed, std::uint64_t stream)
     return z ^ (z >> 31);
 }
 
-/** Outcome of one restart's search chain. */
+/**
+ * Stream ids < `starts` draw the start points; stage streams live in a
+ * disjoint block so a stochastic strategy can never replay a start
+ * point's draws.
+ */
+constexpr std::uint64_t kStageStreamBase = 0x10000;
+constexpr std::uint64_t kStageStreamStride = 64;
+
+/** Outcome of one restart's pipeline. */
 struct StartResult
 {
     Vec x;
@@ -36,31 +44,59 @@ struct StartResult
     bool feasible = false;
 };
 
-/** Subgradient -> pattern search -> Nelder-Mead from one point. */
+/**
+ * Run the strategy pipeline from one point. Every stage receives the
+ * previous stage's result (strategies guarantee "no worse than the
+ * start", so chaining is monotone) plus its own deterministic RNG
+ * stream and the start's shared evaluation budget.
+ */
 StartResult
 searchFromStart(const ScalarObjective& f, const ConstraintSet& constraints,
-                const Vec& x0, const MultistartOptions& options)
+                const std::vector<const SearchStrategy*>& pipeline,
+                const Vec& x0, double scale, std::size_t start_index,
+                const MultistartOptions& options)
 {
+    EvalBudget budget(options.maxEvalsPerStart);
     Vec x = x0;
-    if (options.useSubgradient) {
-        SearchResult sg = projectedSubgradient(f, constraints, x);
-        x = sg.x;
-    }
-    SearchResult ps = patternSearch(f, constraints, x);
-    x = ps.x;
-    if (options.useNelderMead) {
-        SearchResult nm = nelderMead(f, constraints, x);
-        if (nm.value < ps.value)
-            x = nm.x;
+    double value = std::numeric_limits<double>::infinity();
+    for (std::size_t stage = 0; stage < pipeline.size(); ++stage) {
+        StartPoint start;
+        start.x = std::move(x);
+        start.rngSeed = mixSeed(
+            options.seed, kStageStreamBase +
+                              start_index * kStageStreamStride + stage);
+        start.scale = scale;
+        SearchResult r =
+            pipeline[stage]->search(f, constraints, start, budget);
+        x = std::move(r.x);
+        value = r.value;
     }
     StartResult r;
     r.x = std::move(x);
-    r.value = f(r.x);
+    // Strategies return a value consistent with their point (f is
+    // pure), so the last stage's value is exactly f(r.x) — no
+    // re-evaluation needed.
+    r.value = value;
     r.feasible = constraints.feasible(r.x, 1e-5);
     return r;
 }
 
 } // namespace
+
+std::vector<std::string>
+multistartPipelineNames(const MultistartOptions& options)
+{
+    if (!options.pipeline.empty())
+        return options.pipeline;
+    // The historical hard-wired chain, expressed as a pipeline.
+    std::vector<std::string> names;
+    if (options.useSubgradient)
+        names.push_back("subgradient");
+    names.push_back("pattern-search");
+    if (options.useNelderMead)
+        names.push_back("nelder-mead");
+    return names;
+}
 
 SearchResult
 multistartMinimize(const ScalarObjective& f,
@@ -68,6 +104,9 @@ multistartMinimize(const ScalarObjective& f,
                    MultistartOptions options)
 {
     const std::size_t n = constraints.numVars();
+    const std::vector<const SearchStrategy*> pipeline =
+        resolveStrategyPipeline(multistartPipelineNames(options));
+
     double total = 0.0;
     for (double v : hint)
         total += std::abs(v);
@@ -88,7 +127,8 @@ multistartMinimize(const ScalarObjective& f,
     // per-start slots, so the reduction below is order-independent.
     std::vector<StartResult> results(starts.size());
     auto runOne = [&](std::size_t i) {
-        results[i] = searchFromStart(f, constraints, starts[i], options);
+        results[i] = searchFromStart(f, constraints, pipeline,
+                                     starts[i], total, i, options);
     };
     if (options.parallel) {
         ThreadPool::global().parallelFor(starts.size(), runOne);
@@ -108,9 +148,15 @@ multistartMinimize(const ScalarObjective& f,
         }
     }
 
-    // Final polish from the overall winner.
+    // Final polish from the overall winner. The polish is one extra
+    // budgeted stage: without the cap it could spend up to its 4000
+    // default polls, dwarfing tightly budgeted pipelines.
     PatternSearchOptions polish;
     polish.initialStep = 0.02;
+    if (options.maxEvalsPerStart > 0) {
+        polish.maxIterations = static_cast<int>(std::min<long long>(
+            polish.maxIterations, options.maxEvalsPerStart));
+    }
     SearchResult final = patternSearch(f, constraints, best.x, polish);
     if (final.value < best.value) {
         best.value = final.value;

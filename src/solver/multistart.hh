@@ -1,24 +1,32 @@
 /**
  * @file
- * Deterministic multistart driver combining the individual searches.
+ * Deterministic multistart driver over an ordered strategy pipeline.
  *
- * PerfPerCostOptBW (time x dollars) is non-convex, so a single descent can
- * land in a local minimum; the driver seeds pattern search + Nelder-Mead
- * from several deterministic random feasible points (plus the caller's
- * hint) and keeps the best feasible result.
+ * PerfPerCostOptBW (time x dollars) is non-convex, so a single descent
+ * can land in a local minimum; the driver seeds a pipeline of
+ * registered search strategies (see solver/strategy.hh) from several
+ * deterministic random feasible points (plus the caller's hint) and
+ * keeps the best feasible result. The default pipeline is the classic
+ * subgradient -> pattern-search -> Nelder-Mead chain; study files and
+ * the CLI can select any registered pipeline (e.g. "cmaes" or
+ * "de,pattern-search") without touching the driver.
  *
  * Restarts are independent, so they run concurrently on the global
  * thread pool. Each start draws its point from its own seeded RNG
- * stream (derived from `seed` and the start index), every start's
- * search is deterministic given its point, and the winner is selected
- * in start-index order with ties broken toward the lower index — so
- * the result is bit-identical at any thread count. Requires the
- * objective to be const-callable from multiple threads (true for all
- * built-in objectives).
+ * stream (derived from `seed` and the start index), every pipeline
+ * stage is deterministic given its StartPoint (stochastic strategies
+ * seed from the same stream scheme), and the winner is selected in
+ * start-index order with ties broken toward the lower index — so the
+ * result is bit-identical at any thread count. Requires the objective
+ * to be const-callable from multiple threads (true for all built-in
+ * objectives).
  */
 
 #ifndef LIBRA_SOLVER_MULTISTART_HH
 #define LIBRA_SOLVER_MULTISTART_HH
+
+#include <string>
+#include <vector>
 
 #include "solver/constraint_set.hh"
 #include "solver/subgradient.hh"
@@ -39,7 +47,27 @@ struct MultistartOptions
      * either way.
      */
     bool parallel = true;
+
+    /**
+     * Ordered strategy-pipeline spec (registry names, run in order
+     * from each start). Empty selects the default chain implied by
+     * useSubgradient / useNelderMead — exactly the historical
+     * behavior, bit for bit.
+     */
+    std::vector<std::string> pipeline;
+
+    /**
+     * Objective-evaluation budget per start, shared by that start's
+     * pipeline stages (see EvalBudget); it also caps the driver's
+     * final polish stage. 0 = unlimited: the strategies' own
+     * iteration caps bind first.
+     */
+    long long maxEvalsPerStart = 0;
 };
+
+/** The pipeline names `options` resolves to (default chain if empty). */
+std::vector<std::string>
+multistartPipelineNames(const MultistartOptions& options);
 
 /**
  * Minimize @p f over @p constraints. @p hint provides both the first

@@ -1,0 +1,285 @@
+#include "solver/strategy.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+#include "solver/cmaes.hh"
+#include "solver/differential_evolution.hh"
+#include "solver/nelder_mead.hh"
+#include "solver/pattern_search.hh"
+
+namespace libra {
+
+namespace {
+
+/** Projected subgradient descent; its result tracks the best feasible
+ *  iterate including the start, so it is never worse than the start. */
+class SubgradientStrategy final : public SearchStrategy
+{
+  public:
+    std::string name() const override { return "subgradient"; }
+
+    std::string
+    description() const override
+    {
+        return "projected subgradient descent (global optimum on the "
+               "convex PerfOpt objective)";
+    }
+
+    SearchResult
+    search(const ScalarObjective& f, const ConstraintSet& constraints,
+           const StartPoint& start, EvalBudget& budget) const override
+    {
+        // Each iteration costs a central-difference gradient (2n
+        // evals) plus the step evaluation, after one initial f(x0)
+        // score; clamp the iteration count so the worst case fits the
+        // remaining budget exactly.
+        const long long perIter =
+            2 * static_cast<long long>(start.x.size()) + 1;
+        SubgradientOptions opt;
+        opt.maxIterations = static_cast<int>(std::clamp<long long>(
+            (budget.remaining() - 1) / perIter, 0,
+            opt.maxIterations));
+        if (opt.maxIterations == 0)
+            return SearchResult{start.x, f(start.x), 0};
+        SearchResult r =
+            projectedSubgradient(f, constraints, start.x, opt);
+        budget.charge(static_cast<long long>(r.iterations) * perIter +
+                      1);
+        return r;
+    }
+};
+
+/** Projected compass search; never worse than its start by design. */
+class PatternSearchStrategy final : public SearchStrategy
+{
+  public:
+    std::string name() const override { return "pattern-search"; }
+
+    std::string
+    description() const override
+    {
+        return "projected compass search (derivative-free local "
+               "polish, monotone improvement)";
+    }
+
+    SearchResult
+    search(const ScalarObjective& f, const ConstraintSet& constraints,
+           const StartPoint& start, EvalBudget& budget) const override
+    {
+        // One initial f(x0) score, then iterations == poll evals.
+        // patternSearch can overshoot its cap by one poll (the +/-
+        // pair only re-checks between coordinates), so reserve two.
+        PatternSearchOptions opt;
+        opt.maxIterations = static_cast<int>(std::clamp<long long>(
+            budget.remaining() - 2, 0, opt.maxIterations));
+        if (opt.maxIterations == 0)
+            return SearchResult{start.x, f(start.x), 0};
+        SearchResult r = patternSearch(f, constraints, start.x, opt);
+        budget.charge(r.iterations + 1);
+        return r;
+    }
+};
+
+/**
+ * Penalized Nelder-Mead. The simplex can wander, so the wrapper keeps
+ * the historical chain semantics: accept the simplex result only when
+ * it beats the start's objective value, otherwise return the start.
+ */
+class NelderMeadStrategy final : public SearchStrategy
+{
+  public:
+    std::string name() const override { return "nelder-mead"; }
+
+    std::string
+    description() const override
+    {
+        return "penalized Nelder-Mead simplex (escapes valleys "
+               "axis-aligned polling cannot)";
+    }
+
+    SearchResult
+    search(const ScalarObjective& f, const ConstraintSet& constraints,
+           const StartPoint& start, EvalBudget& budget) const override
+    {
+        double startValue = f(start.x);
+        // Worst case: the start comparison, n + 1 initial vertices,
+        // up to 2 + n penalized evaluations per iteration (a shrink
+        // re-scores every vertex), and the final projection's score.
+        const long long n = static_cast<long long>(start.x.size());
+        const long long fixed = n + 3;
+        const long long perIter = n + 2;
+        NelderMeadOptions opt;
+        opt.maxIterations = static_cast<int>(std::clamp<long long>(
+            (budget.remaining() - fixed) / perIter, 0,
+            opt.maxIterations));
+        if (opt.maxIterations == 0)
+            return SearchResult{start.x, startValue, 0};
+        SearchResult r = nelderMead(f, constraints, start.x, opt);
+        budget.charge(static_cast<long long>(r.iterations) * perIter +
+                      fixed);
+        if (r.value < startValue)
+            return r;
+        return SearchResult{start.x, startValue, r.iterations};
+    }
+};
+
+/** CMA-ES with batched per-generation evaluation. */
+class CmaesStrategy final : public SearchStrategy
+{
+  public:
+    std::string name() const override { return "cmaes"; }
+
+    std::string
+    description() const override
+    {
+        return "CMA-ES global search (batched population evaluation, "
+               "repair by projection)";
+    }
+
+    SearchResult
+    search(const ScalarObjective& f, const ConstraintSet& constraints,
+           const StartPoint& start, EvalBudget& budget) const override
+    {
+        CmaesOptions opt;
+        opt.scale = start.scale;
+        opt.seed = start.rngSeed;
+        opt.maxEvals = budget.remaining();
+        if (opt.maxEvals == 0)
+            return SearchResult{start.x, f(start.x), 0};
+        SearchResult r = cmaesSearch(f, constraints, start.x, opt);
+        budget.charge(r.iterations); // iterations == evaluations.
+        return r;
+    }
+};
+
+/** Differential evolution with batched per-generation evaluation. */
+class DifferentialEvolutionStrategy final : public SearchStrategy
+{
+  public:
+    std::string name() const override { return "de"; }
+
+    std::string
+    description() const override
+    {
+        return "differential evolution rand/1/bin (batched trial "
+               "evaluation, repair by projection)";
+    }
+
+    SearchResult
+    search(const ScalarObjective& f, const ConstraintSet& constraints,
+           const StartPoint& start, EvalBudget& budget) const override
+    {
+        DifferentialEvolutionOptions opt;
+        opt.scale = start.scale;
+        opt.seed = start.rngSeed;
+        opt.maxEvals = budget.remaining();
+        if (opt.maxEvals == 0)
+            return SearchResult{start.x, f(start.x), 0};
+        SearchResult r =
+            differentialEvolutionSearch(f, constraints, start.x, opt);
+        budget.charge(r.iterations); // iterations == evaluations.
+        return r;
+    }
+};
+
+} // namespace
+
+StrategyRegistry&
+StrategyRegistry::global()
+{
+    static StrategyRegistry* registry = [] {
+        auto* r = new StrategyRegistry;
+        r->add(std::make_unique<SubgradientStrategy>());
+        r->add(std::make_unique<PatternSearchStrategy>());
+        r->add(std::make_unique<NelderMeadStrategy>());
+        r->add(std::make_unique<CmaesStrategy>());
+        r->add(std::make_unique<DifferentialEvolutionStrategy>());
+        return r;
+    }();
+    return *registry;
+}
+
+void
+StrategyRegistry::add(std::unique_ptr<const SearchStrategy> strategy)
+{
+    if (!strategy)
+        fatal("cannot register a null search strategy");
+    if (find(strategy->name()))
+        fatal("search strategy '", strategy->name(),
+              "' is already registered");
+    strategies_.push_back(std::move(strategy));
+}
+
+const SearchStrategy*
+StrategyRegistry::find(const std::string& name) const
+{
+    for (const auto& s : strategies_)
+        if (s->name() == name)
+            return s.get();
+    return nullptr;
+}
+
+std::vector<std::string>
+StrategyRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(strategies_.size());
+    for (const auto& s : strategies_)
+        out.push_back(s->name());
+    return out;
+}
+
+std::vector<const SearchStrategy*>
+resolveStrategyPipeline(const std::vector<std::string>& names)
+{
+    if (names.empty())
+        fatal("solver pipeline is empty");
+    std::vector<const SearchStrategy*> pipeline;
+    pipeline.reserve(names.size());
+    for (const auto& name : names) {
+        const SearchStrategy* s = StrategyRegistry::global().find(name);
+        if (!s) {
+            std::string known;
+            for (const auto& k : StrategyRegistry::global().names())
+                known += (known.empty() ? "" : ", ") + k;
+            fatal("unknown search strategy '", name, "' (registered: ",
+                  known, ")");
+        }
+        pipeline.push_back(s);
+    }
+    return pipeline;
+}
+
+std::vector<std::string>
+parseSolverSpec(const std::string& spec)
+{
+    std::vector<std::string> names;
+    std::size_t begin = 0;
+    while (begin <= spec.size()) {
+        std::size_t comma = spec.find(',', begin);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string token = spec.substr(begin, comma - begin);
+        auto first = token.find_first_not_of(" \t");
+        if (first == std::string::npos)
+            fatal("empty strategy name in solver spec '", spec, "'");
+        auto last = token.find_last_not_of(" \t");
+        names.push_back(token.substr(first, last - first + 1));
+        begin = comma + 1;
+    }
+    resolveStrategyPipeline(names); // Validate every name.
+    return names;
+}
+
+std::string
+solverSpecToString(const std::vector<std::string>& names)
+{
+    std::string out;
+    for (const auto& name : names)
+        out += (out.empty() ? "" : ",") + name;
+    return out;
+}
+
+} // namespace libra

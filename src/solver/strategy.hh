@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Pluggable search-strategy layer for the bandwidth optimizer.
+ *
+ * Every iterative search LIBRA knows — the classic subgradient /
+ * pattern-search / Nelder-Mead chain plus the global CMA-ES and
+ * differential-evolution solvers — implements one interface:
+ *
+ *     search(objective, constraints, start, budget) -> SearchResult
+ *
+ * and registers itself in the process-wide StrategyRegistry under a
+ * stable name ("subgradient", "pattern-search", "nelder-mead",
+ * "cmaes", "de"). The multistart driver is generic over an ordered
+ * pipeline of registered strategies, so adding a solver or comparing
+ * solver quality per scenario never touches the driver again: study
+ * files select pipelines with `SOLVER <name>[,<name>...]` and the CLI
+ * with `--solver`.
+ *
+ * Determinism contract (see docs/SOLVERS.md): a strategy must be
+ * a pure function of (objective, constraints, start) — including
+ * start.rngSeed for stochastic strategies — and must be bit-identical
+ * at any thread count. Strategies are shared across concurrently
+ * running starts, so search() must be const and carry no mutable
+ * state; population evaluations may fan out on the global thread pool
+ * but must write into per-candidate slots and reduce in index order.
+ */
+
+#ifndef LIBRA_SOLVER_STRATEGY_HH
+#define LIBRA_SOLVER_STRATEGY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "solver/constraint_set.hh"
+#include "solver/subgradient.hh"
+
+namespace libra {
+
+/** One restart's starting state, handed to every pipeline stage. */
+struct StartPoint
+{
+    Vec x;                      ///< Feasible starting point.
+    std::uint64_t rngSeed = 0;  ///< Deterministic per-start stream.
+    double scale = 1.0;         ///< Magnitude for sampling (~sum |x|).
+};
+
+/**
+ * Objective-evaluation budget shared by the stages of one start's
+ * pipeline. A strategy caps its own iteration count by remaining()
+ * before running and charges what it actually spent afterwards, so a
+ * later stage sees what an earlier one used. The budget is per start
+ * (never shared across threads), which keeps results independent of
+ * scheduling. A zero limit means unlimited — the strategies' own
+ * iteration caps bind first, preserving historical behavior.
+ */
+class EvalBudget
+{
+  public:
+    explicit EvalBudget(long long limit = 0)
+        : limit_(limit > 0 ? limit : kUnlimited)
+    {}
+
+    /** Evaluations left before the budget is exhausted. */
+    long long
+    remaining() const
+    {
+        return used_ >= limit_ ? 0 : limit_ - used_;
+    }
+
+    bool exhausted() const { return remaining() == 0; }
+
+    /** Record @p evals objective evaluations. */
+    void charge(long long evals) { used_ += evals; }
+
+    long long used() const { return used_; }
+
+  private:
+    static constexpr long long kUnlimited = 1ll << 62;
+
+    long long limit_;
+    long long used_ = 0;
+};
+
+/** One registered search algorithm; see the file comment's contract. */
+class SearchStrategy
+{
+  public:
+    virtual ~SearchStrategy() = default;
+
+    /** Registry key, e.g. "pattern-search". */
+    virtual std::string name() const = 0;
+
+    /** One-line description for `libra_cli list-solvers`. */
+    virtual std::string description() const = 0;
+
+    /**
+     * Minimize @p f over @p constraints from @p start within
+     * @p budget. Must return a feasible point no worse than the start
+     * (strategies that can wander, like Nelder-Mead, compare against
+     * f(start.x) internally and fall back to the start).
+     */
+    virtual SearchResult search(const ScalarObjective& f,
+                                const ConstraintSet& constraints,
+                                const StartPoint& start,
+                                EvalBudget& budget) const = 0;
+};
+
+/** Name-keyed strategy collection, iterated in registration order. */
+class StrategyRegistry
+{
+  public:
+    /**
+     * The process-wide registry with every built-in strategy
+     * registered on first use. Do not mutate concurrently with
+     * running searches (registration happens at startup in practice).
+     */
+    static StrategyRegistry& global();
+
+    /** Register a strategy. @throws FatalError on a duplicate name. */
+    void add(std::unique_ptr<const SearchStrategy> strategy);
+
+    /** Look up by name; nullptr when absent. */
+    const SearchStrategy* find(const std::string& name) const;
+
+    /** All names in registration order. */
+    std::vector<std::string> names() const;
+
+    std::size_t size() const { return strategies_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<const SearchStrategy>> strategies_;
+};
+
+/**
+ * Resolve an ordered pipeline spec against the global registry.
+ * @throws FatalError naming the unknown strategy and the known ones.
+ */
+std::vector<const SearchStrategy*>
+resolveStrategyPipeline(const std::vector<std::string>& names);
+
+/**
+ * Parse a comma-separated solver spec ("cmaes,pattern-search") into
+ * pipeline names. Validates every name against the global registry.
+ * @throws FatalError on an empty spec or an unknown name.
+ */
+std::vector<std::string> parseSolverSpec(const std::string& spec);
+
+/** Join pipeline names back into the comma-separated spec form. */
+std::string solverSpecToString(const std::vector<std::string>& names);
+
+} // namespace libra
+
+#endif // LIBRA_SOLVER_STRATEGY_HH

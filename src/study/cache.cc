@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "solver/strategy.hh"
 
 namespace libra {
 
@@ -64,6 +65,19 @@ canonicalStudyKey(const LibraInputs& inputs)
     out += ',';
     out += cfg.search.useNelderMead ? '1' : '0';
     out += ") ";
+    // The solver pipeline and eval budget are appended only when
+    // non-default so every pre-existing cache key (and the golden
+    // figures pinned against version 1) stays byte-identical.
+    if (!cfg.search.pipeline.empty()) {
+        out += "solver(";
+        out += solverSpecToString(cfg.search.pipeline);
+        out += ") ";
+    }
+    if (cfg.search.maxEvalsPerStart != 0) {
+        out += "evals(";
+        out += std::to_string(cfg.search.maxEvalsPerStart);
+        out += ") ";
+    }
     // search.parallel and inputs.threads are deliberately excluded:
     // results are bit-identical at any thread count (see docs/PERF.md).
 

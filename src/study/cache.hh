@@ -5,9 +5,11 @@
  * A study point is cached under a key derived from the *content* of its
  * LibraInputs — everything that can influence the resulting LibraReport:
  * the canonicalized network shape, budget/objective/loop/constraint
- * configuration, search options, the full cost model, and the complete
- * workload IR of every target (not just names — programmatic scenarios
- * build workloads with custom strategies). Fields that provably do not
+ * configuration, search options (including a non-default SOLVER
+ * pipeline, appended next to the search block so default-pipeline keys
+ * are unchanged), the full cost model, and the complete workload IR of
+ * every target (not just names — programmatic scenarios build
+ * workloads with custom strategies). Fields that provably do not
  * affect results are excluded: `threads` and `search.parallel` (the
  * engine's determinism contract guarantees bit-identical results at any
  * thread count).

@@ -8,6 +8,7 @@
 
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "solver/strategy.hh"
 #include "study/cache.hh"
 
 namespace libra {
@@ -50,6 +51,15 @@ runScenarioMatrix(const std::vector<std::string>& names,
                 points.push_back(std::move(p));
         }
         slices.push_back(slice);
+    }
+
+    // A solver override rewrites every point before dedup/caching, so
+    // the cache keys (and therefore the stored reports) are those of
+    // the overridden pipeline.
+    if (!options.solverPipeline.empty()) {
+        resolveStrategyPipeline(options.solverPipeline); // Validate.
+        for (auto& p : points)
+            p.config.search.pipeline = options.solverPipeline;
     }
 
     // Phase 2: deduplicate by content. Scenarios plotting the same

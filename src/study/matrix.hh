@@ -36,6 +36,13 @@ struct MatrixOptions
 
     /** Store freshly computed points back into the cache. */
     bool updateCache = true;
+
+    /**
+     * Solver-pipeline override (registry names) applied to every
+     * design point before dedup/caching — the `--solver` flag. Empty
+     * keeps each point's own pipeline (the scenario default).
+     */
+    std::vector<std::string> solverPipeline;
 };
 
 /** One executed scenario with its provenance counters. */

@@ -192,9 +192,10 @@ TEST_F(GoldenFigures, HeadlineClaimsHold)
     ASSERT_NE(fig13, nullptr);
     for (const ScenarioRow& row : fig13->output.rows) {
         for (const auto& [k, v] : row.metrics) {
-            if (k == "speedup_perfopt")
+            if (k == "speedup_perfopt") {
                 EXPECT_GE(v, 1.0 - 1e-9) << "PerfOpt slower than "
                                             "EqualBW";
+            }
         }
     }
 
@@ -202,18 +203,20 @@ TEST_F(GoldenFigures, HeadlineClaimsHold)
     ASSERT_NE(fig14, nullptr);
     for (const ScenarioRow& row : fig14->output.rows) {
         for (const auto& [k, v] : row.metrics) {
-            if (k == "ppc_gain_perfpercost")
+            if (k == "ppc_gain_perfpercost") {
                 EXPECT_GT(v, 1.0) << "PerfPerCostOpt lost to EqualBW "
                                      "on perf-per-cost";
+            }
         }
     }
 
     const ScenarioRun* tbl1 = runOf("tbl1");
     ASSERT_NE(tbl1, nullptr);
     for (const auto& [k, v] : tbl1->output.summary) {
-        if (k == "fig12_matches_paper")
+        if (k == "fig12_matches_paper") {
             EXPECT_EQ(v, 1.0) << "Fig. 12 worked example no longer "
                                  "matches $1,722";
+        }
     }
 }
 

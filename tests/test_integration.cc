@@ -30,7 +30,10 @@ randomWorkload(Rng& rng, long tp, long dp)
     int layers = rng.uniformInt(1, 6);
     for (int l = 0; l < layers; ++l) {
         Layer layer;
-        layer.name = "L" + std::to_string(l);
+        // Append instead of `"L" + to_string(...)`: GCC 12's
+        // -Wrestrict false-positives on that operator+ overload.
+        layer.name = "L";
+        layer.name += std::to_string(l);
         layer.fwdCompute = rng.uniform(0.0, 5e-3);
         layer.igCompute = rng.uniform(0.0, 5e-3);
         layer.wgCompute = rng.uniform(0.0, 5e-3);

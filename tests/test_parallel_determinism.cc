@@ -79,6 +79,30 @@ TEST(ParallelDeterminism, Fig16StyleTopologyPoint)
     });
 }
 
+/**
+ * The new global strategies batch population evaluations on the pool,
+ * so they must uphold the same contract: selecting them via the
+ * pipeline spec yields bit-identical designs at any thread count.
+ */
+TEST(ParallelDeterminism, CmaesAndDePipelinesAreThreadCountInvariant)
+{
+    Network net = Network::parse("RI(4)_FC(4)_SW(4)");
+    Workload w = wl::resnet50(net.npus());
+
+    for (const char* solver : {"cmaes", "de"}) {
+        SCOPED_TRACE(solver);
+        expectIdenticalAcrossThreadCounts([&] {
+            BwOptimizer opt(net, CostModel::defaultModel());
+            OptimizerConfig cfg;
+            cfg.totalBw = 300.0;
+            cfg.search.starts = 2;
+            cfg.search.pipeline = {solver, "pattern-search"};
+            cfg.objective = OptimizationObjective::PerfPerCostOpt;
+            return opt.optimize({{w, 1.0}}, cfg);
+        });
+    }
+}
+
 /** A parallel sweep must match point-by-point serial runs exactly. */
 TEST(ParallelDeterminism, SweepMatchesStandaloneRuns)
 {

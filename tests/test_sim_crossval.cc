@@ -65,7 +65,7 @@ bwFor(const Network& net)
 }
 
 void
-initSim(CollectiveSim& sim, const Network& net, std::size_t elems)
+initSim(CollectiveSim& sim, const Network& /*net*/, std::size_t elems)
 {
     sim.init(elems, [](long npu, std::size_t i) {
         return static_cast<double>((npu * 31 + static_cast<long>(i) * 7) %

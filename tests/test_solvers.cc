@@ -8,10 +8,14 @@
 
 #include <cmath>
 
+#include "common/logging.hh"
+#include "solver/cmaes.hh"
+#include "solver/differential_evolution.hh"
 #include "solver/multistart.hh"
 #include "solver/nelder_mead.hh"
 #include "solver/pattern_search.hh"
 #include "solver/qp.hh"
+#include "solver/strategy.hh"
 #include "solver/subgradient.hh"
 
 namespace libra {
@@ -143,6 +147,178 @@ TEST(Multistart, DeterministicAcrossRuns)
     for (int i = 0; i < 3; ++i)
         EXPECT_DOUBLE_EQ(r1.x[static_cast<std::size_t>(i)],
                          r2.x[static_cast<std::size_t>(i)]);
+}
+
+TEST(Cmaes, FindsConstrainedMinimum)
+{
+    Vec a{16.0, 4.0, 1.0};
+    ConstraintSet cs(3);
+    cs.addTotalBw(70.0);
+    cs.addLowerBounds(0.1);
+    CmaesOptions opt;
+    opt.scale = 70.0;
+    SearchResult r =
+        cmaesSearch(inverseSum(a), cs, {70.0 / 3, 70.0 / 3, 70.0 / 3},
+                    opt);
+    Vec want = inverseSumOptimum(a, 70.0); // (40, 20, 10).
+    auto f = inverseSum(a);
+    EXPECT_NEAR(r.value, f(want), f(want) * 0.01);
+    EXPECT_TRUE(cs.feasible(r.x, 1e-5));
+}
+
+TEST(Cmaes, IsDeterministicPerSeedAndNeverWorseThanStart)
+{
+    Vec a{5.0, 1.0};
+    ConstraintSet cs(2);
+    cs.addTotalBw(40.0);
+    cs.addLowerBounds(0.1);
+    auto f = inverseSum(a);
+    CmaesOptions opt;
+    opt.scale = 40.0;
+    opt.seed = 77;
+    SearchResult r1 = cmaesSearch(f, cs, {20.0, 20.0}, opt);
+    SearchResult r2 = cmaesSearch(f, cs, {20.0, 20.0}, opt);
+    EXPECT_EQ(r1.value, r2.value);
+    EXPECT_EQ(r1.x, r2.x);
+    EXPECT_LE(r1.value, f({20.0, 20.0}) + 1e-12);
+}
+
+TEST(DifferentialEvolution, FindsConstrainedMinimum)
+{
+    Vec a{16.0, 4.0, 1.0};
+    ConstraintSet cs(3);
+    cs.addTotalBw(70.0);
+    cs.addLowerBounds(0.1);
+    DifferentialEvolutionOptions opt;
+    opt.scale = 70.0;
+    SearchResult r = differentialEvolutionSearch(
+        inverseSum(a), cs, {70.0 / 3, 70.0 / 3, 70.0 / 3}, opt);
+    Vec want = inverseSumOptimum(a, 70.0);
+    auto f = inverseSum(a);
+    EXPECT_NEAR(r.value, f(want), f(want) * 0.01);
+    EXPECT_TRUE(cs.feasible(r.x, 1e-5));
+}
+
+TEST(DifferentialEvolution, EscapesLocalMinimaOnNonconvex)
+{
+    // The Multistart bump landscape, solved by one DE run (no
+    // restarts): the population must not collapse into the poor
+    // basin at (1, 9).
+    auto f = [](const Vec& x) {
+        auto bump = [](double cx, double cy, double depth, const Vec& p) {
+            double dx = p[0] - cx;
+            double dy = p[1] - cy;
+            return -depth * std::exp(-(dx * dx + dy * dy) / 4.0);
+        };
+        return 2.0 + bump(1.0, 9.0, 1.0, x) + bump(9.0, 1.0, 2.0, x);
+    };
+    ConstraintSet cs(2);
+    cs.addTotalBw(10.0);
+    cs.addLowerBounds(0.0);
+    DifferentialEvolutionOptions opt;
+    opt.scale = 10.0;
+    SearchResult r = differentialEvolutionSearch(f, cs, {1.0, 9.0}, opt);
+    EXPECT_NEAR(r.x[0], 9.0, 0.5);
+    EXPECT_NEAR(r.x[1], 1.0, 0.5);
+}
+
+TEST(StrategyRegistry, BuiltinsAreRegisteredInOrder)
+{
+    std::vector<std::string> names = StrategyRegistry::global().names();
+    std::vector<std::string> want{"subgradient", "pattern-search",
+                                  "nelder-mead", "cmaes", "de"};
+    EXPECT_EQ(names, want);
+    for (const auto& name : names) {
+        const SearchStrategy* s = StrategyRegistry::global().find(name);
+        ASSERT_NE(s, nullptr);
+        EXPECT_EQ(s->name(), name);
+        EXPECT_FALSE(s->description().empty());
+    }
+    EXPECT_EQ(StrategyRegistry::global().find("no-such-strategy"),
+              nullptr);
+}
+
+TEST(StrategyRegistry, SolverSpecParsesAndRejectsUnknownNames)
+{
+    std::vector<std::string> spec =
+        parseSolverSpec("cmaes, pattern-search");
+    EXPECT_EQ(spec,
+              (std::vector<std::string>{"cmaes", "pattern-search"}));
+    EXPECT_EQ(solverSpecToString(spec), "cmaes,pattern-search");
+    EXPECT_THROW(parseSolverSpec(""), FatalError);
+    EXPECT_THROW(parseSolverSpec("cmaes,"), FatalError);
+    EXPECT_THROW(parseSolverSpec("gradient-descent"), FatalError);
+}
+
+TEST(StrategyPipeline, ExplicitDefaultChainMatchesImplicitBitExactly)
+{
+    // The refactor contract: spelling the default chain out as a
+    // pipeline must reproduce the hard-wired behavior bit for bit.
+    Vec a{4.0, 2.0, 1.0};
+    ConstraintSet cs(3);
+    cs.addTotalBw(30.0);
+    cs.addLowerBounds(0.1);
+    auto f = inverseSum(a);
+
+    MultistartOptions implicit;
+    SearchResult r1 = multistartMinimize(f, cs, {10, 10, 10}, implicit);
+
+    MultistartOptions explicitChain;
+    explicitChain.pipeline = {"subgradient", "pattern-search",
+                              "nelder-mead"};
+    SearchResult r2 =
+        multistartMinimize(f, cs, {10, 10, 10}, explicitChain);
+    EXPECT_EQ(r1.value, r2.value);
+    EXPECT_EQ(r1.x, r2.x);
+
+    EXPECT_EQ(multistartPipelineNames(implicit),
+              explicitChain.pipeline);
+    MultistartOptions noSubgradient;
+    noSubgradient.useSubgradient = false;
+    EXPECT_EQ(multistartPipelineNames(noSubgradient),
+              (std::vector<std::string>{"pattern-search",
+                                        "nelder-mead"}));
+}
+
+TEST(StrategyPipeline, UnknownStrategyInDriverIsAFatalError)
+{
+    Vec a{1.0, 1.0};
+    ConstraintSet cs(2);
+    cs.addTotalBw(10.0);
+    cs.addLowerBounds(0.1);
+    MultistartOptions opt;
+    opt.pipeline = {"not-a-strategy"};
+    EXPECT_THROW(multistartMinimize(inverseSum(a), cs, {5, 5}, opt),
+                 FatalError);
+}
+
+TEST(StrategyPipeline, EvalBudgetCapsThePipeline)
+{
+    Vec a{9.0, 3.0, 1.0};
+    ConstraintSet cs(3);
+    cs.addTotalBw(60.0);
+    cs.addLowerBounds(0.1);
+    auto f = inverseSum(a);
+
+    // A tiny budget must still produce a clean feasible point...
+    MultistartOptions tight;
+    tight.maxEvalsPerStart = 50;
+    SearchResult r = multistartMinimize(f, cs, {20, 20, 20}, tight);
+    EXPECT_TRUE(cs.feasible(r.x, 1e-5));
+
+    // ...and no strategy may charge more than the budget allows —
+    // iteration clamping must account for each strategy's true
+    // per-iteration evaluation cost.
+    for (const auto& name : StrategyRegistry::global().names()) {
+        SCOPED_TRACE(name);
+        const SearchStrategy* s = StrategyRegistry::global().find(name);
+        ASSERT_NE(s, nullptr);
+        EvalBudget budget(40);
+        StartPoint start{{20.0, 20.0, 20.0}, 0xB06ull, 60.0};
+        SearchResult capped = s->search(f, cs, start, budget);
+        EXPECT_TRUE(cs.feasible(capped.x, 1e-5));
+        EXPECT_LE(budget.used(), 40);
+    }
 }
 
 /** Property: multistart respects arbitrary extra linear constraints. */

@@ -121,6 +121,53 @@ TEST(StudyCacheKey, ResultRelevantFieldsChangeTheHash)
     EXPECT_NE(base, studyCacheHash(workload));
 }
 
+TEST(StudyCacheKey, SolverPipelineIsPartOfThePointIdentity)
+{
+    // Different pipelines produce different reports, so they must
+    // never share a cache slot; the same spec must keep hitting.
+    std::uint64_t base = studyCacheHash(miniInputs());
+    std::uint64_t cmaes = studyCacheHash(miniInputs("SOLVER cmaes\n"));
+    std::uint64_t de = studyCacheHash(miniInputs("SOLVER de\n"));
+    std::uint64_t chain = studyCacheHash(
+        miniInputs("SOLVER cmaes,pattern-search\n"));
+    EXPECT_NE(base, cmaes);
+    EXPECT_NE(base, de);
+    EXPECT_NE(cmaes, de);
+    EXPECT_NE(cmaes, chain);
+    EXPECT_EQ(cmaes, studyCacheHash(miniInputs("SOLVER cmaes\n")));
+    EXPECT_EQ(canonicalStudyKey(miniInputs("SOLVER cmaes\n")),
+              canonicalStudyKey(miniInputs("SOLVER cmaes\n")));
+
+    // The default (empty) pipeline must keep the historical key text:
+    // version-1 cache entries and goldens stay valid without a bump.
+    EXPECT_EQ(canonicalStudyKey(miniInputs())
+                  .find("solver("), std::string::npos);
+}
+
+TEST(StudyCacheKey, SolverSpecRoundTripsThroughStoreAndLoad)
+{
+    std::string dir = testing::TempDir() + "libra-cache-solver";
+    std::filesystem::remove_all(dir);
+    ResultCache cache(dir);
+
+    LibraInputs inputs = miniInputs("SOLVER de\n");
+    LibraReport report = runLibra(inputs);
+    std::string canonical = canonicalStudyKey(inputs);
+    std::uint64_t key = studyCacheHash(inputs);
+
+    cache.store(key, canonical, report);
+    LibraReport out;
+    ASSERT_TRUE(cache.load(key, canonical, &out));
+    EXPECT_EQ(report.optimized.bw, out.optimized.bw);
+
+    // A different solver spec is a different canonical text: even a
+    // forced key collision must be detected and treated as a miss.
+    setInformEnabled(false);
+    EXPECT_FALSE(cache.load(
+        key, canonicalStudyKey(miniInputs("SOLVER cmaes\n")), &out));
+    std::filesystem::remove_all(dir);
+}
+
 TEST(StudyCacheKey, ThreadCountDoesNotChangeTheHash)
 {
     // Results are bit-identical at any thread count, so parallelism is

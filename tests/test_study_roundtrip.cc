@@ -22,7 +22,7 @@ namespace {
  * The directive corpus. Every keyword the parser understands appears
  * in at least one entry: NETWORK, TOTAL_BW, OBJECTIVE, LOOP,
  * CONSTRAINT, WORKLOAD (+WEIGHT), NORMALIZE_WEIGHTS, IN_NETWORK,
- * DOLLAR_CAP, THREADS, SEED, STARTS, and COST.
+ * DOLLAR_CAP, THREADS, SEED, STARTS, SOLVER, and COST.
  */
 const char* kCorpus[] = {
     // Minimal study.
@@ -62,6 +62,16 @@ const char* kCorpus[] = {
     "DOLLAR_CAP 1.5e7\n"
     "THREADS 8\n"
     "WORKLOAD msft1t WEIGHT 1.0\n",
+    // Solver pipelines: a single global strategy and a full chain.
+    "NETWORK RI(4)_SW(8)\n"
+    "SOLVER cmaes\n"
+    "WORKLOAD resnet50\n",
+    "NETWORK RI(4)_SW(8)\n"
+    "SOLVER de,pattern-search\n"
+    "WORKLOAD resnet50\n",
+    "NETWORK RI(4)_SW(8)\n"
+    "SOLVER subgradient,pattern-search,nelder-mead\n"
+    "WORKLOAD resnet50\n",
     // Cost-model overrides at several levels, non-integral prices.
     "NETWORK RI(4)_FC(8)_RI(4)_SW(32)\n"
     "COST Pod LINK 9.9 SWITCH 21.5 NIC 40.0\n"
@@ -134,6 +144,31 @@ TEST(StudyRoundTrip, EqualityIsDiscriminating)
     EXPECT_FALSE(studyInputsEqual(
         base, variant("NETWORK RI(4)_SW(8)\nTOTAL_BW 300\n"
                       "WORKLOAD resnet50\nCOST Pod LINK 9\n")));
+    EXPECT_FALSE(studyInputsEqual(
+        base, variant("NETWORK RI(4)_SW(8)\nTOTAL_BW 300\n"
+                      "WORKLOAD resnet50\nSOLVER cmaes\n")));
+    EXPECT_FALSE(studyInputsEqual(
+        variant("NETWORK RI(4)_SW(8)\nTOTAL_BW 300\n"
+                "WORKLOAD resnet50\nSOLVER cmaes\n"),
+        variant("NETWORK RI(4)_SW(8)\nTOTAL_BW 300\n"
+                "WORKLOAD resnet50\nSOLVER de\n")));
+}
+
+TEST(StudyRoundTrip, UnknownSolverIsReportedWithItsLine)
+{
+    try {
+        parseStudyConfigString("NETWORK RI(4)_SW(8)\n"
+                               "SOLVER warp-drive\n"
+                               "WORKLOAD resnet50\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("warp-drive"),
+                  std::string::npos)
+            << e.what();
+    }
 }
 
 TEST(StudyRoundTrip, SerializedNumbersSurviveExactly)

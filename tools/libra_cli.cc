@@ -4,9 +4,10 @@
  * scenario matrices.
  *
  * Usage:
- *   libra_cli [--threads N] <study-file>
+ *   libra_cli [--threads N] [--solver SPEC] <study-file>
  *   libra_cli --example        # print a template study file and exit
  *   libra_cli list             # list registered paper scenarios
+ *   libra_cli list-solvers     # list registered search strategies
  *   libra_cli run-matrix <names...|all|golden> [options]
  *
  * run-matrix options:
@@ -15,9 +16,15 @@
  *   --emit json|csv    structured emission instead of tables (stats go
  *                      to stderr; stdout is byte-stable across runs)
  *   --out FILE         write the emission/tables to FILE
+ *   --solver SPEC      solver-pipeline override for every design point
+ *                      (comma-separated strategy names; see
+ *                      `list-solvers`), e.g. --solver cmaes,pattern-search
  *   --update-golden    rewrite the golden-figure files for the golden
  *                      scenarios included in this run
  *   --golden-dir DIR   golden file directory (default: tests/golden)
+ *
+ * --solver on a single study file overrides its SOLVER line the same
+ * way --threads overrides THREADS.
  *
  * --threads N (or the LIBRA_THREADS environment variable, or a THREADS
  * line in the study file; flag wins) sizes the parallel evaluation
@@ -37,6 +44,7 @@
 #include "common/thread_pool.hh"
 #include "core/report.hh"
 #include "core/study_config.hh"
+#include "solver/strategy.hh"
 #include "study/matrix.hh"
 
 namespace {
@@ -51,13 +59,15 @@ WORKLOAD gpt3
 WORKLOAD msft1t WEIGHT 1.0
 NORMALIZE_WEIGHTS
 # THREADS 8                # solver parallelism (deterministic)
+# SOLVER cmaes,pattern-search  # strategy pipeline (list-solvers)
 # COST Pod LINK 7.8 SWITCH 18.0 NIC 31.6
 # DOLLAR_CAP 1.5e7
 # WORKLOAD_FILE my_profiled_model.wl
 )";
 
 int
-runStudy(const std::string& path, int threads)
+runStudy(const std::string& path, int threads,
+         const std::string& solverSpec)
 {
     using namespace libra;
 
@@ -69,6 +79,8 @@ runStudy(const std::string& path, int threads)
     LibraInputs inputs = parseStudyConfig(file);
     if (threads > 0)
         inputs.threads = threads; // Flag wins over the THREADS line.
+    if (!solverSpec.empty())     // Flag wins over the SOLVER line.
+        inputs.config.search.pipeline = parseSolverSpec(solverSpec);
 
     std::cout << "Study: " << inputs.networkShape << " @ "
               << inputs.config.totalBw << " GB/s per NPU, "
@@ -130,12 +142,30 @@ listScenarios()
     return 0;
 }
 
+int
+listSolvers()
+{
+    using namespace libra;
+    Table t("registered search strategies");
+    t.header({"Name", "Description"});
+    const StrategyRegistry& registry = StrategyRegistry::global();
+    for (const auto& name : registry.names())
+        t.row({name, registry.find(name)->description()});
+    t.print(std::cout);
+    std::cout
+        << "\nPipelines are ordered comma-separated specs (study-file "
+           "`SOLVER a,b` or `--solver a,b`);\nthe default is the "
+           "subgradient,pattern-search,nelder-mead chain.\n";
+    return 0;
+}
+
 struct MatrixCliOptions
 {
     std::vector<std::string> names;
     std::string cacheDir;
     std::string emit;      // "", "json", or "csv".
     std::string outPath;
+    std::string solverSpec; // "" = per-point scenario default.
     bool updateGolden = false;
     std::string goldenDir = "tests/golden";
     int threads = 0;
@@ -165,12 +195,23 @@ runMatrixCommand(const MatrixCliOptions& cli)
         return 1;
     }
 
+    // Goldens pin the default pipeline; rewriting them under another
+    // solver would mask default-chain regressions.
+    if (cli.updateGolden && !cli.solverSpec.empty()) {
+        std::cerr << "libra_cli: --update-golden cannot be combined "
+                     "with --solver (golden figures pin the default "
+                     "pipeline)\n";
+        return 1;
+    }
+
     if (cli.threads > 0)
         ThreadPool::setGlobalThreads(
             static_cast<std::size_t>(cli.threads));
 
     MatrixOptions options;
     options.cacheDir = cli.cacheDir;
+    if (!cli.solverSpec.empty())
+        options.solverPipeline = parseSolverSpec(cli.solverSpec);
     MatrixResult result = runScenarioMatrix(names, options);
 
     std::ofstream outFile;
@@ -249,14 +290,17 @@ void
 usage()
 {
     std::cerr
-        << "usage: libra_cli [--threads N] <study-file>\n"
+        << "usage: libra_cli [--threads N] [--solver SPEC] "
+           "<study-file>\n"
         << "       libra_cli --example\n"
         << "       libra_cli list\n"
+        << "       libra_cli list-solvers\n"
         << "       libra_cli run-matrix <names...|all|golden> "
            "[--threads N]\n"
         << "                 [--cache-dir DIR] [--emit json|csv] "
            "[--out FILE]\n"
-        << "                 [--update-golden] [--golden-dir DIR]\n";
+        << "                 [--solver SPEC] [--update-golden] "
+           "[--golden-dir DIR]\n";
 }
 
 } // namespace
@@ -274,6 +318,8 @@ main(int argc, char** argv)
     try {
         if (!args.empty() && args[0] == "list")
             return listScenarios();
+        if (!args.empty() && args[0] == "list-solvers")
+            return listSolvers();
         if (!args.empty() && args[0] == "run-matrix") {
             MatrixCliOptions cli;
             for (std::size_t i = 1; i < args.size(); ++i) {
@@ -297,6 +343,8 @@ main(int argc, char** argv)
                     }
                 } else if (arg == "--out") {
                     cli.outPath = value("a file path");
+                } else if (arg == "--solver") {
+                    cli.solverSpec = value("a solver spec");
                 } else if (arg == "--update-golden") {
                     cli.updateGolden = true;
                 } else if (arg == "--golden-dir") {
@@ -320,6 +368,7 @@ main(int argc, char** argv)
         // Legacy single-study mode.
         int threads = 0;
         std::string studyPath;
+        std::string solverSpec;
         for (std::size_t i = 0; i < args.size(); ++i) {
             if (args[i] == "--example") {
                 std::cout << kTemplate;
@@ -333,6 +382,12 @@ main(int argc, char** argv)
                 threads = parseThreads(args[++i].c_str());
                 if (threads < 0)
                     return 1;
+            } else if (args[i] == "--solver") {
+                if (i + 1 >= args.size()) {
+                    std::cerr << "libra_cli: --solver needs a spec\n";
+                    return 1;
+                }
+                solverSpec = args[++i];
             } else if (studyPath.empty()) {
                 studyPath = args[i];
             } else {
@@ -344,7 +399,7 @@ main(int argc, char** argv)
             usage();
             return 1;
         }
-        return runStudy(studyPath, threads);
+        return runStudy(studyPath, threads, solverSpec);
     } catch (const libra::FatalError& e) {
         std::cerr << "libra_cli: " << e.what() << "\n";
         return 1;

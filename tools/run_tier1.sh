@@ -13,6 +13,9 @@
 #
 # Sanitizer builds use a separate build directory so they never poison
 # the Release object cache, and -O1 -g for usable stacks.
+#
+# CI builds promote the always-on -Wall -Wextra to -Werror
+# (LIBRA_WERROR), so new warnings fail tier-1 instead of accumulating.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,7 +32,7 @@ for arg in "$@"; do
 done
 
 BUILD_DIR="build"
-CMAKE_EXTRA=()
+CMAKE_EXTRA=(-DLIBRA_WERROR=ON)
 CTEST_EXTRA=()
 case "${MODE}" in
   tsan)
