@@ -1,14 +1,63 @@
 #include "core/estimator.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
+#include "core/timing_backend.hh"
 
 namespace libra {
 
+namespace {
+
+/**
+ * Contract check at the pluggable-timing seam: whatever a custom
+ * commTimeFn or non-default backend returns must be nonnegative and
+ * finite, with per-dimension vectors aligned with the span list (the
+ * detail() accumulators index them by span). The built-in analytical
+ * path skips this — it constructs valid timings by definition.
+ */
+const CollectiveTiming&
+checkedTiming(const CollectiveTiming& t,
+              const std::vector<DimSpan>& spans, const char* source)
+{
+    if (!(std::isfinite(t.time) && t.time >= 0.0)) {
+        fatal("timing model '", source, "' returned invalid collective "
+              "time ", t.time, " (must be nonnegative and finite)");
+    }
+    if (t.timePerDim.size() != spans.size() ||
+        t.trafficPerDim.size() != spans.size()) {
+        fatal("timing model '", source, "' returned ",
+              t.timePerDim.size(), " per-dim times / ",
+              t.trafficPerDim.size(), " per-dim traffics for ",
+              spans.size(), " spans");
+    }
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        if (!(std::isfinite(t.timePerDim[i]) && t.timePerDim[i] >= 0.0 &&
+              std::isfinite(t.trafficPerDim[i]) &&
+              t.trafficPerDim[i] >= 0.0)) {
+            fatal("timing model '", source, "' returned invalid "
+                  "time/traffic for span ", i, " (dim ",
+                  spans[i].dim + 1, "): ", t.timePerDim[i], " s / ",
+                  t.trafficPerDim[i], " bytes");
+        }
+    }
+    return t;
+}
+
+} // namespace
+
 TrainingEstimator::TrainingEstimator(Network net, EstimatorOptions options)
-    : net_(std::move(net)), options_(options)
-{}
+    : net_(std::move(net)), options_(std::move(options))
+{
+    // Resolve (and validate) a non-default backend once up front;
+    // the default keeps backend_ null so the analytical path is
+    // bit-identical to the historical hard-wired one.
+    if (timingBackendOrDefault(options_.timingBackend) !=
+        kAnalyticalTimingBackendName) {
+        backend_ = resolveTimingBackend(options_.timingBackend);
+    }
+}
 
 std::vector<DimSpan>
 TrainingEstimator::spansFor(const Parallelization& strategy,
@@ -46,8 +95,16 @@ TrainingEstimator::timingOf(CollectiveType type, Bytes size,
                             const BwConfig& bw) const
 {
     if (options_.commTimeFn) {
-        return options_.commTimeFn(type, size, spans, bw,
-                                   options_.inNetworkCollectives);
+        return checkedTiming(
+            options_.commTimeFn(type, size, spans, bw,
+                                options_.inNetworkCollectives),
+            spans, "commTimeFn");
+    }
+    if (backend_) {
+        return checkedTiming(
+            backend_->timing(type, size, spans, bw,
+                             options_.inNetworkCollectives),
+            spans, backend_->name().c_str());
     }
     return multiRailTime(type, size, spans, bw,
                          options_.inNetworkCollectives);
@@ -292,6 +349,12 @@ TrainingEstimator::compile(const Workload& w) const
     if (options_.commTimeFn) {
         fatal("cannot compile a workload under a custom collective "
               "timing model");
+    }
+    if (backend_) {
+        fatal("cannot compile a workload under the '",
+              options_.timingBackend,
+              "' timing backend (only the analytical model "
+              "precompiles)");
     }
     if (w.strategy.npus() != net_.npus()) {
         fatal("workload ", w.name, " uses ", w.strategy.npus(),

@@ -33,10 +33,27 @@ namespace libra {
 /** Compute/communication scheduling policy (paper Fig. 5). */
 enum class TrainingLoop { NoOverlap, TpDpOverlap };
 
+class TimingBackend;
+
 /**
  * Pluggable collective-time model. The default is the analytical
  * multi-rail bottleneck model; runtime optimizers (e.g. Themis) install
  * their own timing here.
+ *
+ * Thread-safety contract: one TrainingEstimator is shared by every
+ * solver thread, so an installed CommTimeFn MUST be const-callable
+ * from multiple threads concurrently and carry no unsynchronized
+ * mutable state. The engine cannot verify this, so it plays safe: a
+ * custom fn serializes the multistart/sweep fan-out (see
+ * BwOptimizer::optimize and runLibraSweep) and makes the study point
+ * uncacheable. Named TimingBackend registrations promise thread
+ * safety and keep both (docs/BACKENDS.md) — prefer them for any
+ * reusable timing model.
+ *
+ * Whatever the source, a returned CollectiveTiming must be
+ * nonnegative and finite, with per-dimension vectors aligned with the
+ * span list; the estimator checks this at the seam and throws
+ * FatalError on a violation.
  */
 using CommTimeFn = std::function<CollectiveTiming(
     CollectiveType, Bytes, const std::vector<DimSpan>&, const BwConfig&,
@@ -75,7 +92,16 @@ struct EstimatorOptions
 {
     TrainingLoop loop = TrainingLoop::NoOverlap;
     bool inNetworkCollectives = false; ///< Switch-offloaded All-Reduce.
-    CommTimeFn commTimeFn;             ///< Empty = analytical model.
+    CommTimeFn commTimeFn;             ///< Empty = timingBackend below.
+
+    /**
+     * Registered timing-backend name ("" or "analytical" = the
+     * default closed-form model, bit-identical to the historical
+     * path; "chunk-sim" = per-collective pipeline simulation). See
+     * core/timing_backend.hh; an explicit commTimeFn wins over the
+     * backend. Resolved (and validated) when the estimator is built.
+     */
+    std::string timingBackend;
 
     /**
      * Model the achievable-BW penalty of communicator groups that span
@@ -212,6 +238,17 @@ class TrainingEstimator
     const Network& network() const { return net_; }
     const EstimatorOptions& options() const { return options_; }
 
+    /**
+     * True when timing comes from the built-in analytical model (no
+     * custom commTimeFn, default backend) — the precondition for
+     * compile() and the SoA objective fast path.
+     */
+    bool
+    usesAnalyticalTiming() const
+    {
+        return !options_.commTimeFn && backend_ == nullptr;
+    }
+
     /** Dimension spans of a comm scope under @p strategy. */
     std::vector<DimSpan> spansFor(const Parallelization& strategy,
                                   CommScope scope) const;
@@ -234,7 +271,8 @@ class TrainingEstimator
 
     /**
      * Precompile @p w for fast repeated evaluation. Only valid for the
-     * built-in analytical model (no custom commTimeFn).
+     * built-in analytical model (no custom commTimeFn, default
+     * timing backend).
      */
     CompiledWorkload compile(const Workload& w) const;
 
@@ -253,6 +291,12 @@ class TrainingEstimator
 
     Network net_;
     EstimatorOptions options_;
+
+    /**
+     * Resolved non-default timing backend; nullptr for the default
+     * analytical model, so the historical hot path is untouched.
+     */
+    const TimingBackend* backend_ = nullptr;
 };
 
 } // namespace libra

@@ -51,9 +51,10 @@ runLibra(const LibraInputs& inputs)
 std::vector<LibraReport>
 runLibraSweep(const std::vector<LibraInputs>& points)
 {
-    // Same guard optimize() applies within a point: custom
-    // collective-timing models are not guaranteed thread-safe, so
-    // never invoke them from sweep workers either.
+    // Same guard optimize() applies within a point: ad-hoc
+    // collective-timing functions are not guaranteed thread-safe, so
+    // never invoke them from sweep workers either. Named timing
+    // backends promise thread safety and sweep in parallel.
     bool customTiming = false;
     for (const auto& p : points)
         customTiming |= static_cast<bool>(p.config.estimator.commTimeFn);

@@ -38,10 +38,11 @@ makeObjective(OptimizationObjective objective,
 {
     // Precompiled time evaluator: the solver calls the objective tens of
     // thousands of times, so resolve every collective's per-dimension
-    // traffic once up front. Custom collective-timing models cannot be
-    // precompiled and fall back to the direct estimator.
+    // traffic once up front. Custom collective-timing models and
+    // non-default timing backends cannot be precompiled and fall back
+    // to the direct estimator.
     std::function<Seconds(const Vec&)> time;
-    if (estimator.options().commTimeFn) {
+    if (!estimator.usesAnalyticalTiming()) {
         time = [&estimator, &targets](const Vec& bw) {
             return weightedTime(estimator, targets, bw);
         };

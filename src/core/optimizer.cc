@@ -81,9 +81,10 @@ BwOptimizer::optimize(const std::vector<TargetWorkload>& targets,
     // chain toggles entirely.
     if (search.pipeline.empty())
         search.useSubgradient = true;
-    // A custom collective-timing model may carry internal state the
-    // pool would race on; only the built-in analytical model is
-    // guaranteed thread-safe. Results are identical either way.
+    // An ad-hoc commTimeFn may carry internal state the pool would
+    // race on, so it serializes the search. Registered timing
+    // backends promise thread safety (core/timing_backend.hh) and
+    // keep the parallel fan-out. Results are identical either way.
     if (config.estimator.commTimeFn)
         search.parallel = false;
 

@@ -9,6 +9,7 @@
 
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "core/timing_backend.hh"
 #include "solver/strategy.hh"
 #include "workload/parser.hh"
 #include "workload/zoo.hh"
@@ -39,6 +40,19 @@ parseLevel(const std::string& token, int line)
     if (t == "pod")
         return PhysicalLevel::Pod;
     fatal("study line ", line, ": unknown physical level '", token, "'");
+}
+
+/**
+ * Re-throw a nested validation FatalError with the study line number,
+ * dropping the inner "fatal: " prefix fatal() would otherwise nest.
+ */
+[[noreturn]] void
+refatalWithLine(int line, const FatalError& e)
+{
+    std::string msg = e.what();
+    if (msg.rfind("fatal: ", 0) == 0)
+        msg.erase(0, 7);
+    fatal("study line ", line, ": ", msg);
 }
 
 double
@@ -202,13 +216,16 @@ parseStudyConfig(std::istream& in)
                 inputs.config.search.pipeline = parseSolverSpec(
                     rest.substr(first, last - first + 1));
             } catch (const FatalError& e) {
-                // Re-wrap with the line number, dropping the inner
-                // "fatal: " prefix fatal() would otherwise nest.
-                std::string msg = e.what();
-                if (msg.rfind("fatal: ", 0) == 0)
-                    msg.erase(0, 7);
-                fatal("study line ", lineNo, ": ", msg);
+                refatalWithLine(lineNo, e);
             }
+        } else if (keyword == "BACKEND") {
+            std::string name = wantToken("timing backend name");
+            try {
+                resolveTimingBackend(name); // Validate.
+            } catch (const FatalError& e) {
+                refatalWithLine(lineNo, e);
+            }
+            inputs.config.estimator.timingBackend = name;
         } else if (keyword == "SEED") {
             inputs.config.search.seed = static_cast<std::uint64_t>(
                 parseNumber(wantToken("seed"), lineNo, "seed"));
@@ -326,6 +343,8 @@ studyInputsEqual(const LibraInputs& a, const LibraInputs& b)
             cb.estimator.inNetworkCollectives ||
         ca.estimator.modelPartialDimEfficiency !=
             cb.estimator.modelPartialDimEfficiency ||
+        timingBackendOrDefault(ca.estimator.timingBackend) !=
+            timingBackendOrDefault(cb.estimator.timingBackend) ||
         ca.search.starts != cb.search.starts ||
         ca.search.seed != cb.search.seed ||
         ca.search.useSubgradient != cb.search.useSubgradient ||
@@ -406,6 +425,10 @@ studyConfigToString(const LibraInputs& inputs)
     if (!cfg.search.pipeline.empty())
         out << "SOLVER " << solverSpecToString(cfg.search.pipeline)
             << "\n";
+    if (timingBackendOrDefault(cfg.estimator.timingBackend) !=
+        kAnalyticalTimingBackendName) {
+        out << "BACKEND " << cfg.estimator.timingBackend << "\n";
+    }
     for (const auto& constraint : cfg.constraints)
         out << "CONSTRAINT " << trimmed(constraint) << "\n";
     for (PhysicalLevel level :

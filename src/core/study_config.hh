@@ -21,6 +21,9 @@
  *     SOLVER cmaes,pattern-search  # search-strategy pipeline
  *                               # (`libra_cli list-solvers`; default
  *                               # is the subgradient/pattern/NM chain)
+ *     BACKEND chunk-sim         # collective-timing backend
+ *                               # (`libra_cli list-backends`; default
+ *                               # is the analytical model)
  *
  * Zoo names: turing-nlg, gpt3, msft1t, dlrm, resnet50 (each sized to
  * the network's NPU count).

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Pluggable collective-timing backends for the training estimator.
+ *
+ * Every source of collective timing LIBRA knows implements one
+ * interface:
+ *
+ *     timing(type, size, spans, bw, in_network) -> CollectiveTiming
+ *
+ * and registers itself in the process-wide TimingBackendRegistry under
+ * a stable name:
+ *
+ *  - "analytical" (the default): the closed-form multi-rail bottleneck
+ *    model (multiRailTime) the paper's optimizer is built on. Selecting
+ *    it is bit-identical to the historical hard-wired path.
+ *  - "chunk-sim": the chunk-granularity pipeline simulator
+ *    (ChunkTimeline) run per collective, so whole studies can be
+ *    re-executed under simulation and the analytical model's error
+ *    quantified across the full scenario matrix (the `crossval`
+ *    scenario does exactly that).
+ *
+ * Study files select backends with `BACKEND <name>` and the CLI with
+ * `--backend` / `list-backends`, mirroring the SOLVER strategy layer.
+ *
+ * Contract (see docs/BACKENDS.md): timing() must be a deterministic
+ * pure function of its arguments, const-callable from any number of
+ * threads concurrently, and must return a nonnegative, finite
+ * CollectiveTiming whose per-dimension vectors align with @p spans —
+ * the estimator checks this at the seam and throws FatalError on a
+ * violation. Unlike an ad-hoc EstimatorOptions::commTimeFn (which
+ * serializes the search and cannot be cached), a registered backend
+ * keeps the parallel multistart/sweep fan-out on the global thread
+ * pool and is folded into the study-cache key by name.
+ */
+
+#ifndef LIBRA_CORE_TIMING_BACKEND_HH
+#define LIBRA_CORE_TIMING_BACKEND_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "collective/multi_rail.hh"
+#include "topology/network.hh"
+
+namespace libra {
+
+/** The default backend: the analytical multi-rail bottleneck model. */
+inline constexpr const char* kAnalyticalTimingBackendName = "analytical";
+
+/** The chunk-level simulation backend. */
+inline constexpr const char* kChunkSimTimingBackendName = "chunk-sim";
+
+/**
+ * Pipelining granularity of the chunk-sim backend (paper §V-B uses 64
+ * chunks). More chunks shrink the pipeline fill/drain ramp — and with
+ * it the deviation from the analytical steady-state model — at
+ * linearly growing simulation cost.
+ */
+inline constexpr int kChunkSimNumChunks = 64;
+
+/** One registered timing model; see the file comment's contract. */
+class TimingBackend
+{
+  public:
+    virtual ~TimingBackend() = default;
+
+    /** Registry key, e.g. "chunk-sim". */
+    virtual std::string name() const = 0;
+
+    /** One-line description for `libra_cli list-backends`. */
+    virtual std::string description() const = 0;
+
+    /**
+     * Study-cache content tag. canonicalStudyKey folds this (not the
+     * bare name) for non-default backends, so a backend must encode
+     * every semantic parameter here — chunk-sim tags its chunk count
+     * ("chunk-sim/64") — and previously cached results go stale the
+     * moment a parameter changes. Algorithmic rewrites at the same
+     * parameters still warrant bumping the tag by hand.
+     */
+    virtual std::string cacheKeyTag() const { return name(); }
+
+    /**
+     * Timing of one collective of @p size bytes over @p spans under
+     * @p bw. Must be thread-safe and deterministic; @p spans is never
+     * empty (the estimator short-circuits empty groups).
+     */
+    virtual CollectiveTiming timing(CollectiveType type, Bytes size,
+                                    const std::vector<DimSpan>& spans,
+                                    const BwConfig& bw,
+                                    bool in_network) const = 0;
+};
+
+/** Name-keyed backend collection, iterated in registration order. */
+class TimingBackendRegistry
+{
+  public:
+    /**
+     * The process-wide registry with every built-in backend registered
+     * on first use. Do not mutate concurrently with running
+     * estimations (registration happens at startup in practice).
+     */
+    static TimingBackendRegistry& global();
+
+    /** Register a backend. @throws FatalError on a duplicate name. */
+    void add(std::unique_ptr<const TimingBackend> backend);
+
+    /** Look up by name; nullptr when absent. */
+    const TimingBackend* find(const std::string& name) const;
+
+    /** All names in registration order. */
+    std::vector<std::string> names() const;
+
+    std::size_t size() const { return backends_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<const TimingBackend>> backends_;
+};
+
+/** The effective backend name: "" selects the analytical default. */
+std::string timingBackendOrDefault(const std::string& name);
+
+/**
+ * Resolve a backend name ("" = analytical) against the global
+ * registry. @throws FatalError naming the unknown backend and the
+ * known ones.
+ */
+const TimingBackend* resolveTimingBackend(const std::string& name);
+
+/**
+ * Enable/disable the chunk-sim backend's per-thread memoization cache
+ * (canonical (op, bw) key -> CollectiveTiming). On by default; results
+ * are bit-identical either way — the cache only amortizes simulation
+ * cost across the repeated identical collectives of layered workloads
+ * and across multistart restarts. Intended for tests and benches; do
+ * not flip concurrently with running estimations.
+ */
+void setChunkSimMemoEnabled(bool enabled);
+bool chunkSimMemoEnabled();
+
+/**
+ * Documented agreement tolerance between the chunk-sim backend and the
+ * analytical model for one collective: the simulator reproduces every
+ * per-dimension stage's traffic exactly, so the only deviation is the
+ * pipeline fill/drain ramp, bounded by one chunk's trip through all
+ * stages — sum_i t_i / num_chunks seconds on top of the analytical
+ * bottleneck time max_i t_i. Returned as a relative bound on
+ * (sim - analytical) / analytical; the randomized cross-validation
+ * suite asserts against it.
+ */
+double chunkSimRelTolerance(const CollectiveTiming& analytical,
+                            int num_chunks = kChunkSimNumChunks);
+
+} // namespace libra
+
+#endif // LIBRA_CORE_TIMING_BACKEND_HH

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "core/timing_backend.hh"
 #include "solver/strategy.hh"
 
 namespace libra {
@@ -76,6 +77,18 @@ canonicalStudyKey(const LibraInputs& inputs)
     if (cfg.search.maxEvalsPerStart != 0) {
         out += "evals(";
         out += std::to_string(cfg.search.maxEvalsPerStart);
+        out += ") ";
+    }
+    // Likewise the timing backend: folded only when non-default, so
+    // every analytical cache key stays byte-identical and no
+    // kStudyCacheVersion bump is needed. The backend's cacheKeyTag
+    // (name + semantic parameters, e.g. "chunk-sim/64") is the
+    // content, so parameter changes invalidate stale entries.
+    if (timingBackendOrDefault(cfg.estimator.timingBackend) !=
+        kAnalyticalTimingBackendName) {
+        out += "timing(";
+        out += resolveTimingBackend(cfg.estimator.timingBackend)
+                   ->cacheKeyTag();
         out += ") ";
     }
     // search.parallel and inputs.threads are deliberately excluded:

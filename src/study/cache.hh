@@ -7,8 +7,10 @@
  * the canonicalized network shape, budget/objective/loop/constraint
  * configuration, search options (including a non-default SOLVER
  * pipeline, appended next to the search block so default-pipeline keys
- * are unchanged), the full cost model, and the complete workload IR of
- * every target (not just names — programmatic scenarios build
+ * are unchanged), a non-default timing BACKEND (same only-when-set
+ * rule — registered backends are deterministic, so their name is
+ * sufficient content), the full cost model, and the complete workload
+ * IR of every target (not just names — programmatic scenarios build
  * workloads with custom strategies). Fields that provably do not
  * affect results are excluded: `threads` and `search.parallel` (the
  * engine's determinism contract guarantees bit-identical results at any
@@ -26,6 +28,8 @@
  *
  * Points with a custom commTimeFn are not cacheable (a std::function
  * has no canonical content) — callers must skip the cache for them.
+ * Points selecting a named timing backend ARE cacheable: the name is
+ * the content, exactly like a solver-pipeline selection.
  */
 
 #ifndef LIBRA_STUDY_CACHE_HH

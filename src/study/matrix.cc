@@ -8,6 +8,7 @@
 
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "core/timing_backend.hh"
 #include "solver/strategy.hh"
 #include "study/cache.hh"
 
@@ -53,13 +54,18 @@ runScenarioMatrix(const std::vector<std::string>& names,
         slices.push_back(slice);
     }
 
-    // A solver override rewrites every point before dedup/caching, so
-    // the cache keys (and therefore the stored reports) are those of
-    // the overridden pipeline.
+    // A solver or timing-backend override rewrites every point before
+    // dedup/caching, so the cache keys (and therefore the stored
+    // reports) are those of the overridden configuration.
     if (!options.solverPipeline.empty()) {
         resolveStrategyPipeline(options.solverPipeline); // Validate.
         for (auto& p : points)
             p.config.search.pipeline = options.solverPipeline;
+    }
+    if (!options.timingBackend.empty()) {
+        resolveTimingBackend(options.timingBackend); // Validate.
+        for (auto& p : points)
+            p.config.estimator.timingBackend = options.timingBackend;
     }
 
     // Phase 2: deduplicate by content. Scenarios plotting the same

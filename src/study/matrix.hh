@@ -43,6 +43,14 @@ struct MatrixOptions
      * keeps each point's own pipeline (the scenario default).
      */
     std::vector<std::string> solverPipeline;
+
+    /**
+     * Timing-backend override (registry name) applied to every design
+     * point before dedup/caching — the `--backend` flag, for re-running
+     * whole matrices under simulation. Empty keeps each point's own
+     * backend (the scenario default, usually analytical).
+     */
+    std::string timingBackend;
 };
 
 /** One executed scenario with its provenance counters. */

@@ -117,7 +117,8 @@ class ScenarioRegistry
 
 /**
  * Register the built-in paper scenarios (fig09/10/13/14/15/16/17/18/21
- * and tbl1/2/3) into @p registry. Called by ScenarioRegistry::global().
+ * and tbl1/2/3) plus the estimator-vs-simulation `crossval` study into
+ * @p registry. Called by ScenarioRegistry::global().
  */
 void registerBuiltinScenarios(ScenarioRegistry& registry);
 

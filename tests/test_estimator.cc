@@ -3,6 +3,9 @@
  * Tests for the end-to-end training-time estimator.
  */
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "common/logging.hh"
@@ -203,6 +206,73 @@ TEST(Estimator, CustomCommTimeFnUsed)
     l.wgComm.push_back({CollectiveType::AllReduce, CommScope::Dp, 1e9});
     w.layers.push_back(l);
     EXPECT_NEAR(est.estimate(w, {10.0}), 42.0, 1e-12);
+}
+
+/**
+ * The pluggable-timing seam checks whatever a custom fn (or backend)
+ * returns: collective timings must be nonnegative and finite with
+ * span-aligned vectors, or estimation fails loudly instead of
+ * corrupting objectives downstream.
+ */
+TEST(Estimator, InvalidCustomTimingIsRejectedAtTheSeam)
+{
+    Network net = Network::parse("RI(4)");
+    Workload w;
+    w.strategy = {1, 4};
+    Layer l;
+    l.wgComm.push_back({CollectiveType::AllReduce, CommScope::Dp, 1e9});
+    w.layers.push_back(l);
+
+    auto timingWith = [](Seconds time, Seconds per_dim) {
+        return [time, per_dim](CollectiveType, Bytes,
+                               const std::vector<DimSpan>& spans,
+                               const BwConfig&, bool) {
+            CollectiveTiming t;
+            t.time = time;
+            t.trafficPerDim.assign(spans.size(), 1.0);
+            t.timePerDim.assign(spans.size(), per_dim);
+            return t;
+        };
+    };
+
+    // Negative and non-finite total times.
+    for (Seconds bad : {-1.0, std::nan(""),
+                        std::numeric_limits<Seconds>::infinity()}) {
+        EstimatorOptions opt;
+        opt.commTimeFn = timingWith(bad, 0.5);
+        TrainingEstimator est(net, opt);
+        EXPECT_THROW(est.estimate(w, {10.0}), FatalError) << bad;
+    }
+
+    // Invalid per-dimension time with a valid total.
+    {
+        EstimatorOptions opt;
+        opt.commTimeFn = timingWith(1.0, -0.5);
+        TrainingEstimator est(net, opt);
+        EXPECT_THROW(est.detail(w, {10.0}), FatalError);
+    }
+
+    // Vectors not aligned with the span list.
+    {
+        EstimatorOptions opt;
+        opt.commTimeFn = [](CollectiveType, Bytes,
+                            const std::vector<DimSpan>&,
+                            const BwConfig&, bool) {
+            CollectiveTiming t;
+            t.time = 1.0; // Valid time, but empty per-dim vectors.
+            return t;
+        };
+        TrainingEstimator est(net, opt);
+        EXPECT_THROW(est.estimate(w, {10.0}), FatalError);
+    }
+
+    // A well-formed timing still passes.
+    {
+        EstimatorOptions opt;
+        opt.commTimeFn = timingWith(1.0, 0.5);
+        TrainingEstimator est(net, opt);
+        EXPECT_NEAR(est.estimate(w, {10.0}), 1.0, 1e-12);
+    }
 }
 
 TEST(Estimator, InNetworkSpeedsUpAllReduce)

@@ -22,7 +22,7 @@ namespace {
  * The directive corpus. Every keyword the parser understands appears
  * in at least one entry: NETWORK, TOTAL_BW, OBJECTIVE, LOOP,
  * CONSTRAINT, WORKLOAD (+WEIGHT), NORMALIZE_WEIGHTS, IN_NETWORK,
- * DOLLAR_CAP, THREADS, SEED, STARTS, SOLVER, and COST.
+ * DOLLAR_CAP, THREADS, SEED, STARTS, SOLVER, BACKEND, and COST.
  */
 const char* kCorpus[] = {
     // Minimal study.
@@ -71,6 +71,14 @@ const char* kCorpus[] = {
     "WORKLOAD resnet50\n",
     "NETWORK RI(4)_SW(8)\n"
     "SOLVER subgradient,pattern-search,nelder-mead\n"
+    "WORKLOAD resnet50\n",
+    // Timing backends: the simulation backend and the (normalized-
+    // away) explicit default.
+    "NETWORK RI(4)_SW(8)\n"
+    "BACKEND chunk-sim\n"
+    "WORKLOAD resnet50\n",
+    "NETWORK RI(4)_SW(8)\n"
+    "BACKEND analytical\n"
     "WORKLOAD resnet50\n",
     // Cost-model overrides at several levels, non-integral prices.
     "NETWORK RI(4)_FC(8)_RI(4)_SW(32)\n"

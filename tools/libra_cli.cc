@@ -4,10 +4,12 @@
  * scenario matrices.
  *
  * Usage:
- *   libra_cli [--threads N] [--solver SPEC] <study-file>
+ *   libra_cli [--threads N] [--solver SPEC] [--backend NAME]
+ *             <study-file>
  *   libra_cli --example        # print a template study file and exit
  *   libra_cli list             # list registered paper scenarios
  *   libra_cli list-solvers     # list registered search strategies
+ *   libra_cli list-backends    # list registered timing backends
  *   libra_cli run-matrix <names...|all|golden> [options]
  *
  * run-matrix options:
@@ -19,12 +21,15 @@
  *   --solver SPEC      solver-pipeline override for every design point
  *                      (comma-separated strategy names; see
  *                      `list-solvers`), e.g. --solver cmaes,pattern-search
+ *   --backend NAME     timing-backend override for every design point
+ *                      (see `list-backends`), e.g. --backend chunk-sim
+ *                      to re-run a whole matrix under simulation
  *   --update-golden    rewrite the golden-figure files for the golden
  *                      scenarios included in this run
  *   --golden-dir DIR   golden file directory (default: tests/golden)
  *
- * --solver on a single study file overrides its SOLVER line the same
- * way --threads overrides THREADS.
+ * --solver / --backend on a single study file override its SOLVER /
+ * BACKEND lines the same way --threads overrides THREADS.
  *
  * --threads N (or the LIBRA_THREADS environment variable, or a THREADS
  * line in the study file; flag wins) sizes the parallel evaluation
@@ -44,6 +49,7 @@
 #include "common/thread_pool.hh"
 #include "core/report.hh"
 #include "core/study_config.hh"
+#include "core/timing_backend.hh"
 #include "solver/strategy.hh"
 #include "study/matrix.hh"
 
@@ -60,6 +66,7 @@ WORKLOAD msft1t WEIGHT 1.0
 NORMALIZE_WEIGHTS
 # THREADS 8                # solver parallelism (deterministic)
 # SOLVER cmaes,pattern-search  # strategy pipeline (list-solvers)
+# BACKEND chunk-sim        # timing backend (list-backends)
 # COST Pod LINK 7.8 SWITCH 18.0 NIC 31.6
 # DOLLAR_CAP 1.5e7
 # WORKLOAD_FILE my_profiled_model.wl
@@ -67,7 +74,7 @@ NORMALIZE_WEIGHTS
 
 int
 runStudy(const std::string& path, int threads,
-         const std::string& solverSpec)
+         const std::string& solverSpec, const std::string& backend)
 {
     using namespace libra;
 
@@ -81,6 +88,10 @@ runStudy(const std::string& path, int threads,
         inputs.threads = threads; // Flag wins over the THREADS line.
     if (!solverSpec.empty())     // Flag wins over the SOLVER line.
         inputs.config.search.pipeline = parseSolverSpec(solverSpec);
+    if (!backend.empty()) {      // Flag wins over the BACKEND line.
+        resolveTimingBackend(backend); // Validate.
+        inputs.config.estimator.timingBackend = backend;
+    }
 
     std::cout << "Study: " << inputs.networkShape << " @ "
               << inputs.config.totalBw << " GB/s per NPU, "
@@ -159,6 +170,23 @@ listSolvers()
     return 0;
 }
 
+int
+listBackends()
+{
+    using namespace libra;
+    Table t("registered timing backends");
+    t.header({"Name", "Description"});
+    const TimingBackendRegistry& registry =
+        TimingBackendRegistry::global();
+    for (const auto& name : registry.names())
+        t.row({name, registry.find(name)->description()});
+    t.print(std::cout);
+    std::cout << "\nSelect with a study-file `BACKEND name` line or "
+                 "`--backend name`;\nthe default is the analytical "
+                 "model (see docs/BACKENDS.md).\n";
+    return 0;
+}
+
 struct MatrixCliOptions
 {
     std::vector<std::string> names;
@@ -166,6 +194,7 @@ struct MatrixCliOptions
     std::string emit;      // "", "json", or "csv".
     std::string outPath;
     std::string solverSpec; // "" = per-point scenario default.
+    std::string backend;    // "" = per-point scenario default.
     bool updateGolden = false;
     std::string goldenDir = "tests/golden";
     int threads = 0;
@@ -195,12 +224,19 @@ runMatrixCommand(const MatrixCliOptions& cli)
         return 1;
     }
 
-    // Goldens pin the default pipeline; rewriting them under another
-    // solver would mask default-chain regressions.
+    // Goldens pin the default pipeline and timing model; rewriting
+    // them under another solver or backend would mask default-path
+    // regressions.
     if (cli.updateGolden && !cli.solverSpec.empty()) {
         std::cerr << "libra_cli: --update-golden cannot be combined "
                      "with --solver (golden figures pin the default "
                      "pipeline)\n";
+        return 1;
+    }
+    if (cli.updateGolden && !cli.backend.empty()) {
+        std::cerr << "libra_cli: --update-golden cannot be combined "
+                     "with --backend (golden figures pin the "
+                     "analytical timing model)\n";
         return 1;
     }
 
@@ -212,6 +248,7 @@ runMatrixCommand(const MatrixCliOptions& cli)
     options.cacheDir = cli.cacheDir;
     if (!cli.solverSpec.empty())
         options.solverPipeline = parseSolverSpec(cli.solverSpec);
+    options.timingBackend = cli.backend;
     MatrixResult result = runScenarioMatrix(names, options);
 
     std::ofstream outFile;
@@ -291,16 +328,17 @@ usage()
 {
     std::cerr
         << "usage: libra_cli [--threads N] [--solver SPEC] "
-           "<study-file>\n"
+           "[--backend NAME] <study-file>\n"
         << "       libra_cli --example\n"
         << "       libra_cli list\n"
         << "       libra_cli list-solvers\n"
+        << "       libra_cli list-backends\n"
         << "       libra_cli run-matrix <names...|all|golden> "
            "[--threads N]\n"
         << "                 [--cache-dir DIR] [--emit json|csv] "
            "[--out FILE]\n"
-        << "                 [--solver SPEC] [--update-golden] "
-           "[--golden-dir DIR]\n";
+        << "                 [--solver SPEC] [--backend NAME]\n"
+        << "                 [--update-golden] [--golden-dir DIR]\n";
 }
 
 } // namespace
@@ -320,6 +358,8 @@ main(int argc, char** argv)
             return listScenarios();
         if (!args.empty() && args[0] == "list-solvers")
             return listSolvers();
+        if (!args.empty() && args[0] == "list-backends")
+            return listBackends();
         if (!args.empty() && args[0] == "run-matrix") {
             MatrixCliOptions cli;
             for (std::size_t i = 1; i < args.size(); ++i) {
@@ -345,6 +385,8 @@ main(int argc, char** argv)
                     cli.outPath = value("a file path");
                 } else if (arg == "--solver") {
                     cli.solverSpec = value("a solver spec");
+                } else if (arg == "--backend") {
+                    cli.backend = value("a backend name");
                 } else if (arg == "--update-golden") {
                     cli.updateGolden = true;
                 } else if (arg == "--golden-dir") {
@@ -369,6 +411,7 @@ main(int argc, char** argv)
         int threads = 0;
         std::string studyPath;
         std::string solverSpec;
+        std::string backend;
         for (std::size_t i = 0; i < args.size(); ++i) {
             if (args[i] == "--example") {
                 std::cout << kTemplate;
@@ -388,6 +431,12 @@ main(int argc, char** argv)
                     return 1;
                 }
                 solverSpec = args[++i];
+            } else if (args[i] == "--backend") {
+                if (i + 1 >= args.size()) {
+                    std::cerr << "libra_cli: --backend needs a name\n";
+                    return 1;
+                }
+                backend = args[++i];
             } else if (studyPath.empty()) {
                 studyPath = args[i];
             } else {
@@ -399,7 +448,7 @@ main(int argc, char** argv)
             usage();
             return 1;
         }
-        return runStudy(studyPath, threads, solverSpec);
+        return runStudy(studyPath, threads, solverSpec, backend);
     } catch (const libra::FatalError& e) {
         std::cerr << "libra_cli: " << e.what() << "\n";
         return 1;

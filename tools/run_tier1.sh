@@ -3,11 +3,16 @@
 #
 # Usage: tools/run_tier1.sh [--tsan|--asan] [extra cmake args...]
 #
-#   (default)  Release build in build/, full ctest suite.
+#   (default)  Release build in build/, full ctest suite, plus the
+#              crossval scenario smoke run (the chunk-sim timing
+#              backend end to end: byte-identical matrix JSON at
+#              different thread counts, cached and fresh).
 #   --tsan     ThreadSanitizer build in build-tsan/; runs the threading
-#              contract tests (thread pool, parallel determinism, and
-#              the scenario-matrix engine, whose sweeps exercise
-#              runLibraSweep) under TSan.
+#              contract tests (thread pool, parallel determinism, the
+#              scenario-matrix engine whose sweeps exercise
+#              runLibraSweep, and the timing-backend layer, whose
+#              chunk-sim memo cache is the newest shared-state hot
+#              spot) under TSan.
 #   --asan     AddressSanitizer (+UBSan) build in build-asan/; runs the
 #              full suite.
 #
@@ -44,8 +49,9 @@ case "${MODE}" in
       -DLIBRA_BUILD_EXAMPLES=OFF
     )
     # The PR 1 threading contract: pool mechanics, bit-identical
-    # results at any thread count, and the batched matrix sweeps.
-    CTEST_EXTRA+=(-R 'test_thread_pool|test_parallel_determinism|test_study_engine')
+    # results at any thread count, the batched matrix sweeps, and the
+    # timing-backend layer (per-thread chunk-sim memo + crossval fuzz).
+    CTEST_EXTRA+=(-R 'test_thread_pool|test_parallel_determinism|test_study_engine|test_timing_backend|test_sim_crossval')
     ;;
   asan)
     BUILD_DIR="build-asan"
@@ -62,3 +68,24 @@ cmake -B "${BUILD_DIR}" -S . "${CMAKE_EXTRA[@]}" ${ARGS+"${ARGS[@]}"}
 cmake --build "${BUILD_DIR}" -j"${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j"${JOBS}" \
   ${CTEST_EXTRA+"${CTEST_EXTRA[@]}"}
+
+if [[ -z "${MODE}" ]]; then
+  # Crossval smoke: the chunk-sim backend end to end through the CLI.
+  # The matrix JSON must be byte-identical at different thread counts,
+  # freshly computed (separate caches) or served from cache (the
+  # acceptance contract of the timing-backend layer; docs/BACKENDS.md).
+  SMOKE_DIR="$(mktemp -d)"
+  trap 'rm -rf "${SMOKE_DIR}"' EXIT
+  "${BUILD_DIR}/libra_cli" run-matrix crossval --backend chunk-sim \
+    --emit json --cache-dir "${SMOKE_DIR}/cache2" \
+    --out "${SMOKE_DIR}/fresh2.json" --threads 2
+  "${BUILD_DIR}/libra_cli" run-matrix crossval --backend chunk-sim \
+    --emit json --cache-dir "${SMOKE_DIR}/cache4" \
+    --out "${SMOKE_DIR}/fresh4.json" --threads 4
+  "${BUILD_DIR}/libra_cli" run-matrix crossval --backend chunk-sim \
+    --emit json --cache-dir "${SMOKE_DIR}/cache2" \
+    --out "${SMOKE_DIR}/cached.json" --threads 4
+  cmp "${SMOKE_DIR}/fresh2.json" "${SMOKE_DIR}/fresh4.json"
+  cmp "${SMOKE_DIR}/fresh2.json" "${SMOKE_DIR}/cached.json"
+  echo "crossval smoke: byte-identical matrix JSON (fresh 2t vs fresh 4t vs cached)"
+fi
