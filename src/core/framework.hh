@@ -33,6 +33,17 @@ struct LibraInputs
      * concurrency). Results are identical at any value.
      */
     int threads = 0;
+
+    /**
+     * Canonical exploration-strategy spec (the EXPLORE / --explore
+     * knob; see explore/explore.hh). "" selects the exhaustive
+     * default. For a single study point the spec is inert identity
+     * (one candidate has nothing to prune), but design-space scenarios
+     * evaluated under a non-default strategy stamp it onto every
+     * candidate so their cache keys never collide with exhaustive
+     * runs' keys.
+     */
+    std::string explore;
 };
 
 /** Optimized point, baseline, and derived comparison metrics. */

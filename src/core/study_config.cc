@@ -10,6 +10,7 @@
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "core/timing_backend.hh"
+#include "explore/explore.hh"
 #include "solver/strategy.hh"
 #include "workload/parser.hh"
 #include "workload/zoo.hh"
@@ -226,6 +227,24 @@ parseStudyConfig(std::istream& in)
                 refatalWithLine(lineNo, e);
             }
             inputs.config.estimator.timingBackend = name;
+        } else if (keyword == "EXPLORE") {
+            // Whole rest of the line, like SOLVER: parameters are
+            // comma-separated and may contain spaces around commas.
+            std::string rest;
+            std::getline(line, rest);
+            auto first = rest.find_first_not_of(" \t");
+            if (first == std::string::npos)
+                fatal("study line ", lineNo,
+                      ": expected exploration strategy");
+            auto last = rest.find_last_not_of(" \t");
+            try {
+                // Canonicalize at parse time ("exhaustive" with
+                // default parameters normalizes to the "" default).
+                inputs.explore = canonicalExploreSpec(
+                    rest.substr(first, last - first + 1));
+            } catch (const FatalError& e) {
+                refatalWithLine(lineNo, e);
+            }
         } else if (keyword == "SEED") {
             inputs.config.search.seed = static_cast<std::uint64_t>(
                 parseNumber(wantToken("seed"), lineNo, "seed"));
@@ -345,6 +364,8 @@ studyInputsEqual(const LibraInputs& a, const LibraInputs& b)
             cb.estimator.modelPartialDimEfficiency ||
         timingBackendOrDefault(ca.estimator.timingBackend) !=
             timingBackendOrDefault(cb.estimator.timingBackend) ||
+        canonicalExploreSpec(a.explore) !=
+            canonicalExploreSpec(b.explore) ||
         ca.search.starts != cb.search.starts ||
         ca.search.seed != cb.search.seed ||
         ca.search.useSubgradient != cb.search.useSubgradient ||
@@ -428,6 +449,13 @@ studyConfigToString(const LibraInputs& inputs)
     if (timingBackendOrDefault(cfg.estimator.timingBackend) !=
         kAnalyticalTimingBackendName) {
         out << "BACKEND " << cfg.estimator.timingBackend << "\n";
+    }
+    {
+        // Canonicalization validates the spec (FatalError on garbage)
+        // and drops the exhaustive-with-defaults case entirely.
+        std::string explore = canonicalExploreSpec(inputs.explore);
+        if (!explore.empty())
+            out << "EXPLORE " << explore << "\n";
     }
     for (const auto& constraint : cfg.constraints)
         out << "CONSTRAINT " << trimmed(constraint) << "\n";

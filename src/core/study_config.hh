@@ -24,6 +24,11 @@
  *     BACKEND chunk-sim         # collective-timing backend
  *                               # (`libra_cli list-backends`; default
  *                               # is the analytical model)
+ *     EXPLORE prune,keep=0.25   # outer-loop exploration strategy
+ *                               # (`libra_cli list-explorers`; default
+ *                               # is exhaustive; inert for a single
+ *                               # study point, stamps design-space
+ *                               # candidates)
  *
  * Zoo names: turing-nlg, gpt3, msft1t, dlrm, resnet50 (each sized to
  * the network's NPU count).

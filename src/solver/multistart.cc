@@ -98,6 +98,14 @@ multistartPipelineNames(const MultistartOptions& options)
     return names;
 }
 
+MultistartOptions
+screeningOptions(MultistartOptions full, int starts, long long max_evals)
+{
+    full.starts = starts;
+    full.maxEvalsPerStart = max_evals;
+    return full;
+}
+
 SearchResult
 multistartMinimize(const ScalarObjective& f,
                    const ConstraintSet& constraints, const Vec& hint,

@@ -70,6 +70,18 @@ std::vector<std::string>
 multistartPipelineNames(const MultistartOptions& options);
 
 /**
+ * Derive a cheap screening configuration from @p full: @p starts
+ * random starts (besides the hint) and @p max_evals objective
+ * evaluations per start, with the seed, pipeline, and every other
+ * knob unchanged — so a screening run explores a prefix of the same
+ * deterministic search the full budget would. The exploration layer's
+ * "prune" strategy ranks candidates with these before promoting the
+ * survivors to the full budget.
+ */
+MultistartOptions screeningOptions(MultistartOptions full, int starts,
+                                   long long max_evals);
+
+/**
  * Minimize @p f over @p constraints. @p hint provides both the first
  * start and the magnitude scale for random starts.
  */

@@ -10,6 +10,7 @@
 
 #include "common/logging.hh"
 #include "core/timing_backend.hh"
+#include "explore/explore.hh"
 #include "solver/strategy.hh"
 
 namespace libra {
@@ -90,6 +91,18 @@ canonicalStudyKey(const LibraInputs& inputs)
         out += resolveTimingBackend(cfg.estimator.timingBackend)
                    ->cacheKeyTag();
         out += ") ";
+    }
+    // And the exploration strategy, same only-when-non-default rule:
+    // the canonical spec (name + non-default parameters) is the tag,
+    // so prune-screened candidates can never be served to (or poison)
+    // an exhaustive run, while default keys stay byte-identical.
+    {
+        std::string tag = canonicalExploreSpec(inputs.explore);
+        if (!tag.empty()) {
+            out += "explore(";
+            out += tag;
+            out += ") ";
+        }
     }
     // search.parallel and inputs.threads are deliberately excluded:
     // results are bit-identical at any thread count (see docs/PERF.md).

@@ -9,7 +9,9 @@
  * pipeline, appended next to the search block so default-pipeline keys
  * are unchanged), a non-default timing BACKEND (same only-when-set
  * rule — registered backends are deterministic, so their name is
- * sufficient content), the full cost model, and the complete workload
+ * sufficient content), a non-default EXPLORE strategy (same rule; the
+ * canonical spec with its non-default parameters is the tag), the
+ * full cost model, and the complete workload
  * IR of every target (not just names — programmatic scenarios build
  * workloads with custom strategies). Fields that provably do not
  * affect results are excluded: `threads` and `search.parallel` (the

@@ -9,71 +9,38 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "core/timing_backend.hh"
+#include "explore/explore.hh"
 #include "solver/strategy.hh"
 #include "study/cache.hh"
 
 namespace libra {
 
-MatrixResult
-runScenarioMatrix(const std::vector<std::string>& names,
-                  const MatrixOptions& options)
+namespace {
+
+/** Per-point outcome of one deduped, cache-aware sweep. */
+struct SweepBatch
 {
-    const ScenarioRegistry& registry = ScenarioRegistry::global();
+    std::vector<LibraReport> reports; ///< Aligned with the input points.
+    std::vector<bool> fromCache;      ///< Per point: served from cache.
+    std::size_t unique = 0;           ///< Distinct points after dedup.
+    std::size_t computed = 0;         ///< Points actually optimized.
+};
 
-    std::vector<const Scenario*> scenarios;
-    scenarios.reserve(names.size());
-    for (const auto& name : names) {
-        const Scenario* s = registry.find(name);
-        if (!s) {
-            std::string known;
-            for (const auto& n : registry.names())
-                known += known.empty() ? n : (", " + n);
-            fatal("unknown scenario '", name, "' (known: ", known, ")");
-        }
-        scenarios.push_back(s);
-    }
-
-    // Phase 1: build every scenario's design points into one batch.
-    struct Slice
-    {
-        std::size_t begin = 0;
-        std::size_t count = 0;
-    };
-    std::vector<LibraInputs> points;
-    std::vector<Slice> slices;
-    slices.reserve(scenarios.size());
-    for (const Scenario* s : scenarios) {
-        Slice slice;
-        slice.begin = points.size();
-        if (s->build) {
-            std::vector<LibraInputs> built = s->build();
-            slice.count = built.size();
-            for (auto& p : built)
-                points.push_back(std::move(p));
-        }
-        slices.push_back(slice);
-    }
-
-    // A solver or timing-backend override rewrites every point before
-    // dedup/caching, so the cache keys (and therefore the stored
-    // reports) are those of the overridden configuration.
-    if (!options.solverPipeline.empty()) {
-        resolveStrategyPipeline(options.solverPipeline); // Validate.
-        for (auto& p : points)
-            p.config.search.pipeline = options.solverPipeline;
-    }
-    if (!options.timingBackend.empty()) {
-        resolveTimingBackend(options.timingBackend); // Validate.
-        for (auto& p : points)
-            p.config.estimator.timingBackend = options.timingBackend;
-    }
-
-    // Phase 2: deduplicate by content. Scenarios plotting the same
-    // grid (fig13/fig14) collapse onto one optimization per point.
-    // Identity is the full canonical key text — the hash only names
-    // the cache file — so a 64-bit collision cannot merge distinct
-    // points. Points with a custom commTimeFn get a private slot (no
-    // content identity) and never touch the cache.
+/**
+ * Deduplicate @p points by content, serve what the cache already has,
+ * and run the rest as one runLibraSweep batch. Shared by the static
+ * scenario batch and every round of an adaptive exploration, so both
+ * paths get identical dedup/caching semantics.
+ *
+ * Identity is the full canonical key text — the hash only names the
+ * cache file — so a 64-bit collision cannot merge distinct points.
+ * Points with a custom commTimeFn get a private slot (no content
+ * identity) and never touch the cache.
+ */
+SweepBatch
+cachedSweep(const std::vector<LibraInputs>& points,
+            const std::optional<ResultCache>& cache, bool update_cache)
+{
     std::vector<std::size_t> slotOf(points.size());
     std::vector<std::string> slotKey; // Canonical text; "" = private.
     std::vector<std::size_t> slotRep; // Slot -> representative point.
@@ -95,11 +62,6 @@ runScenarioMatrix(const std::vector<std::string>& names,
         slotOf[i] = it->second;
     }
 
-    // Phase 3: serve slots from the cache where possible.
-    std::optional<ResultCache> cache;
-    if (!options.cacheDir.empty())
-        cache.emplace(options.cacheDir);
-
     const std::size_t slots = slotRep.size();
     std::vector<LibraReport> slotReport(slots);
     std::vector<bool> slotCached(slots, false);
@@ -114,7 +76,7 @@ runScenarioMatrix(const std::vector<std::string>& names,
         }
     }
 
-    // Phase 4: one sharded sweep over every missing unique point.
+    // One sharded sweep over every missing unique point.
     std::vector<LibraInputs> batch;
     batch.reserve(missing.size());
     for (std::size_t s : missing)
@@ -123,44 +85,189 @@ runScenarioMatrix(const std::vector<std::string>& names,
     for (std::size_t k = 0; k < missing.size(); ++k) {
         std::size_t s = missing[k];
         slotReport[s] = std::move(computed[k]);
-        if (cache && options.updateCache && !slotKey[s].empty()) {
+        if (cache && update_cache && !slotKey[s].empty()) {
             cache->store(studyCacheHashOfKey(slotKey[s]), slotKey[s],
                          slotReport[s]);
         }
     }
 
-    // Phase 5: hand every scenario its aligned report slice.
+    SweepBatch out;
+    out.unique = slots;
+    out.computed = missing.size();
+    out.reports.reserve(points.size());
+    out.fromCache.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        out.reports.push_back(slotReport[slotOf[i]]);
+        out.fromCache.push_back(slotCached[slotOf[i]]);
+    }
+    return out;
+}
+
+} // namespace
+
+MatrixResult
+runScenarioMatrix(const std::vector<std::string>& names,
+                  const MatrixOptions& options)
+{
+    const ScenarioRegistry& registry = ScenarioRegistry::global();
+
+    std::vector<const Scenario*> scenarios;
+    scenarios.reserve(names.size());
+    for (const auto& name : names) {
+        const Scenario* s = registry.find(name);
+        if (!s) {
+            std::string known;
+            for (const auto& n : registry.names())
+                known += known.empty() ? n : (", " + n);
+            fatal("unknown scenario '", name, "' (known: ", known, ")");
+        }
+        scenarios.push_back(s);
+    }
+
+    // Validate overrides once, up front.
+    if (!options.solverPipeline.empty())
+        resolveStrategyPipeline(options.solverPipeline);
+    if (!options.timingBackend.empty())
+        resolveTimingBackend(options.timingBackend);
+    const std::string exploreOverride =
+        canonicalExploreSpec(options.exploreSpec);
+
+    // A solver or timing-backend override rewrites every point before
+    // dedup/caching, so the cache keys (and therefore the stored
+    // reports) are those of the overridden configuration.
+    auto applyOverrides = [&](LibraInputs& p) {
+        if (!options.solverPipeline.empty())
+            p.config.search.pipeline = options.solverPipeline;
+        if (!options.timingBackend.empty())
+            p.config.estimator.timingBackend = options.timingBackend;
+    };
+
+    // Phase 1: build every scenario's design points into one batch.
+    // Design-space scenarios expand through the explore layer: under
+    // the exhaustive default their candidates join the shared batch
+    // (bit-identical to a hand-built point list in the same order); a
+    // non-default strategy runs adaptively in phase 3, through the
+    // same cache-aware sweep.
+    struct Slice
+    {
+        std::size_t begin = 0;
+        std::size_t count = 0;
+        std::vector<Candidate> candidates; ///< Space scenarios only.
+        std::string exploreSpec; ///< Non-default strategy; "" = batch.
+    };
+    std::vector<LibraInputs> points;
+    std::vector<Slice> slices;
+    slices.reserve(scenarios.size());
+    for (const Scenario* s : scenarios) {
+        Slice slice;
+        slice.begin = points.size();
+        if (s->space) {
+            slice.candidates = expandDesignSpace(s->space());
+            std::string spec = canonicalExploreSpec(
+                !options.exploreSpec.empty() ? exploreOverride
+                                             : s->explore);
+            for (auto& c : slice.candidates) {
+                applyOverrides(c.inputs);
+                // Stamp a non-default strategy onto every candidate:
+                // screened results must never share cache slots with
+                // exhaustive ones (see canonicalStudyKey).
+                c.inputs.explore = spec;
+            }
+            if (spec.empty()) {
+                slice.count = slice.candidates.size();
+                for (const auto& c : slice.candidates)
+                    points.push_back(c.inputs);
+            } else {
+                slice.exploreSpec = std::move(spec);
+            }
+        } else if (s->build) {
+            std::vector<LibraInputs> built = s->build();
+            slice.count = built.size();
+            for (auto& p : built) {
+                applyOverrides(p);
+                points.push_back(std::move(p));
+            }
+        }
+        slices.push_back(std::move(slice));
+    }
+
+    std::optional<ResultCache> cache;
+    if (!options.cacheDir.empty())
+        cache.emplace(options.cacheDir);
+
+    // Phase 2: the shared batch — dedup, cache, one sharded sweep.
+    SweepBatch main = cachedSweep(points, cache, options.updateCache);
+
     MatrixResult result;
     result.points = points.size();
-    result.unique = slots;
-    result.computed = missing.size();
+    result.unique = main.unique;
+    result.computed = main.computed;
     // Cache hits are counted in point terms (what the user asked for).
-    for (std::size_t i = 0; i < points.size(); ++i)
-        result.fromCache += slotCached[slotOf[i]] ? 1 : 0;
+    for (bool hit : main.fromCache)
+        result.fromCache += hit ? 1 : 0;
 
+    // Phase 3: hand every scenario its aligned reports and format.
     for (std::size_t si = 0; si < scenarios.size(); ++si) {
-        const Slice& slice = slices[si];
-        // Slices partition `points` and nothing reads a point after
-        // its scenario is formatted, so move the workload IR out
-        // instead of deep-copying it.
-        auto begin =
-            points.begin() + static_cast<std::ptrdiff_t>(slice.begin);
-        std::vector<LibraInputs> slicePoints(
-            std::make_move_iterator(begin),
-            std::make_move_iterator(
-                begin + static_cast<std::ptrdiff_t>(slice.count)));
-        std::vector<LibraReport> sliceReports;
-        sliceReports.reserve(slice.count);
+        Slice& slice = slices[si];
         ScenarioRun run;
         run.name = scenarios[si]->name;
         run.title = scenarios[si]->title;
-        run.points = slice.count;
-        for (std::size_t i = 0; i < slice.count; ++i) {
-            std::size_t slot = slotOf[slice.begin + i];
-            sliceReports.push_back(slotReport[slot]);
-            run.fromCache += slotCached[slot] ? 1 : 0;
+
+        if (!slice.exploreSpec.empty()) {
+            // Adaptive exploration: every optimization batch the
+            // strategy requests goes through the same cache-aware
+            // sweep; counters aggregate per evaluated point.
+            ExploreSweepFn sweep =
+                [&](const std::vector<LibraInputs>& batch) {
+                    SweepBatch b = cachedSweep(batch, cache,
+                                               options.updateCache);
+                    run.points += batch.size();
+                    result.points += batch.size();
+                    result.unique += b.unique;
+                    result.computed += b.computed;
+                    for (bool hit : b.fromCache) {
+                        run.fromCache += hit ? 1 : 0;
+                        result.fromCache += hit ? 1 : 0;
+                    }
+                    return std::move(b.reports);
+                };
+            ExploreResult explored = exploreCandidates(
+                slice.candidates, slice.exploreSpec, sweep);
+            run.output = scenarios[si]->formatSpace(explored);
+        } else {
+            // The scenario's candidates/points ran inside the shared
+            // batch; reassemble their aligned reports.
+            std::vector<LibraReport> sliceReports(
+                main.reports.begin() +
+                    static_cast<std::ptrdiff_t>(slice.begin),
+                main.reports.begin() +
+                    static_cast<std::ptrdiff_t>(slice.begin +
+                                                slice.count));
+            run.points = slice.count;
+            for (std::size_t i = 0; i < slice.count; ++i)
+                run.fromCache +=
+                    main.fromCache[slice.begin + i] ? 1 : 0;
+            if (scenarios[si]->space) {
+                // Exhaustive design space.
+                run.output = scenarios[si]->formatSpace(
+                    exhaustiveResultFromReports(
+                        std::move(slice.candidates), sliceReports));
+            } else {
+                // Classic scenario. Slices partition `points` and
+                // nothing reads a point after its scenario is
+                // formatted, so move the workload IR out instead of
+                // deep-copying it.
+                auto begin = points.begin() +
+                             static_cast<std::ptrdiff_t>(slice.begin);
+                std::vector<LibraInputs> slicePoints(
+                    std::make_move_iterator(begin),
+                    std::make_move_iterator(
+                        begin +
+                        static_cast<std::ptrdiff_t>(slice.count)));
+                run.output =
+                    scenarios[si]->format(slicePoints, sliceReports);
+            }
         }
-        run.output = scenarios[si]->format(slicePoints, sliceReports);
         result.scenarios.push_back(std::move(run));
     }
     return result;

@@ -51,6 +51,15 @@ struct MatrixOptions
      * backend (the scenario default, usually analytical).
      */
     std::string timingBackend;
+
+    /**
+     * Exploration-strategy override (an `EXPLORE` spec, e.g.
+     * "prune,keep=0.25") applied to every design-space scenario in the
+     * run — the `--explore` flag. Empty keeps each scenario's own
+     * default. Scenarios without a design space are unaffected (there
+     * is no outer loop to search).
+     */
+    std::string exploreSpec;
 };
 
 /** One executed scenario with its provenance counters. */

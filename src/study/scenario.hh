@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/framework.hh"
+#include "explore/explore.hh"
 
 namespace libra {
 
@@ -87,6 +88,27 @@ struct Scenario
     std::function<ScenarioOutput(const std::vector<LibraInputs>&,
                                  const std::vector<LibraReport>&)>
         format;
+
+    /**
+     * Exploration form: a scenario declared as a DesignSpace instead
+     * of a hand-built point list (mutually exclusive with
+     * build/format). Under the default exhaustive strategy the
+     * expanded candidates join the matrix runner's shared batch —
+     * bit-identical to a hand-enumerated build() in the same order —
+     * while a non-default `EXPLORE` strategy (the scenario's `explore`
+     * default or the run-wide `--explore` override) searches the
+     * space adaptively through the cache-aware sweep.
+     */
+    std::function<DesignSpace()> space;
+
+    /** Row formatter over the exploration result (requires space). */
+    std::function<ScenarioOutput(const ExploreResult&)> formatSpace;
+
+    /**
+     * Default exploration spec for this scenario ("" = exhaustive).
+     * Only meaningful with `space`; `--explore` overrides it.
+     */
+    std::string explore;
 };
 
 /** Name-keyed scenario collection, iterated in registration order. */
@@ -117,15 +139,18 @@ class ScenarioRegistry
 
 /**
  * Register the built-in paper scenarios (fig09/10/13/14/15/16/17/18/21
- * and tbl1/2/3) plus the estimator-vs-simulation `crossval` study into
- * @p registry. Called by ScenarioRegistry::global().
+ * and tbl1/2/3), the estimator-vs-simulation `crossval` study, and the
+ * `explore-frontier` design-space search into @p registry. Called by
+ * ScenarioRegistry::global().
  */
 void registerBuiltinScenarios(ScenarioRegistry& registry);
 
 /**
  * The scenarios whose headline metrics the golden-figure regression
  * suite pins (Fig. 13 speedups, Fig. 14 perf-per-cost, Table I cost
- * rows, Fig. 10 utilization).
+ * rows, Fig. 10 utilization, and — since the explore-layer refactor —
+ * the Fig. 16 and Fig. 21 rows, whose golden files were generated
+ * from the pre-refactor hand enumeration).
  */
 const std::vector<std::string>& goldenScenarioNames();
 

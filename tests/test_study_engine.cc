@@ -168,6 +168,33 @@ TEST(StudyCacheKey, SolverSpecRoundTripsThroughStoreAndLoad)
     std::filesystem::remove_all(dir);
 }
 
+TEST(StudyCacheKey, ExploreSpecFoldedOnlyWhenNonDefault)
+{
+    // The default (and the explicit exhaustive default) must keep the
+    // historical key text: version-1 cache entries and goldens stay
+    // valid without a kStudyCacheVersion bump.
+    std::uint64_t base = studyCacheHash(miniInputs());
+    EXPECT_EQ(canonicalStudyKey(miniInputs()).find("explore("),
+              std::string::npos);
+    EXPECT_EQ(base,
+              studyCacheHash(miniInputs("EXPLORE exhaustive\n")));
+
+    // A non-default strategy — and each distinct parameterization —
+    // is its own point identity; identical specs keep hitting.
+    std::uint64_t prune = studyCacheHash(miniInputs("EXPLORE prune\n"));
+    std::uint64_t tuned =
+        studyCacheHash(miniInputs("EXPLORE prune,keep=0.25\n"));
+    EXPECT_NE(base, prune);
+    EXPECT_NE(prune, tuned);
+    EXPECT_EQ(prune, studyCacheHash(miniInputs("EXPLORE prune\n")));
+    EXPECT_NE(canonicalStudyKey(miniInputs("EXPLORE prune\n"))
+                  .find("explore(prune)"),
+              std::string::npos);
+    // Explicit defaults canonicalize away inside the tag too.
+    EXPECT_EQ(prune,
+              studyCacheHash(miniInputs("EXPLORE prune,keep=0.5\n")));
+}
+
 TEST(StudyCacheKey, ThreadCountDoesNotChangeTheHash)
 {
     // Results are bit-identical at any thread count, so parallelism is

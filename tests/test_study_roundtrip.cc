@@ -80,6 +80,18 @@ const char* kCorpus[] = {
     "NETWORK RI(4)_SW(8)\n"
     "BACKEND analytical\n"
     "WORKLOAD resnet50\n",
+    // Exploration strategies: bare, parameterized (out-of-order keys
+    // and explicit defaults canonicalize), and the normalized-away
+    // explicit default.
+    "NETWORK RI(4)_SW(8)\n"
+    "EXPLORE prune\n"
+    "WORKLOAD resnet50\n",
+    "NETWORK RI(4)_SW(8)\n"
+    "EXPLORE prune, rounds=2, keep=0.25, screen-starts=1\n"
+    "WORKLOAD resnet50\n",
+    "NETWORK RI(4)_SW(8)\n"
+    "EXPLORE exhaustive\n"
+    "WORKLOAD resnet50\n",
     // Cost-model overrides at several levels, non-integral prices.
     "NETWORK RI(4)_FC(8)_RI(4)_SW(32)\n"
     "COST Pod LINK 9.9 SWITCH 21.5 NIC 40.0\n"
@@ -160,6 +172,48 @@ TEST(StudyRoundTrip, EqualityIsDiscriminating)
                 "WORKLOAD resnet50\nSOLVER cmaes\n"),
         variant("NETWORK RI(4)_SW(8)\nTOTAL_BW 300\n"
                 "WORKLOAD resnet50\nSOLVER de\n")));
+}
+
+TEST(StudyRoundTrip, ExploreDirectiveCanonicalizesAndDiscriminates)
+{
+    // The parser stores the canonical spec, so explicit defaults and
+    // key order vanish before serialization.
+    LibraInputs in = parseStudyConfigString(
+        "NETWORK RI(4)_SW(8)\n"
+        "EXPLORE prune, rounds=2, keep=0.5\n"
+        "WORKLOAD resnet50\n");
+    EXPECT_EQ(in.explore, "prune,rounds=2");
+    EXPECT_NE(studyConfigToString(in).find("EXPLORE prune,rounds=2\n"),
+              std::string::npos);
+
+    LibraInputs def = parseStudyConfigString(
+        "NETWORK RI(4)_SW(8)\nEXPLORE exhaustive\n"
+        "WORKLOAD resnet50\n");
+    EXPECT_EQ(def.explore, "");
+    EXPECT_EQ(studyConfigToString(def).find("EXPLORE"),
+              std::string::npos);
+
+    LibraInputs base = parseStudyConfigString(
+        "NETWORK RI(4)_SW(8)\nWORKLOAD resnet50\n");
+    EXPECT_TRUE(studyInputsEqual(base, def));
+    EXPECT_FALSE(studyInputsEqual(base, in));
+}
+
+TEST(StudyRoundTrip, UnknownExplorerIsReportedWithItsLine)
+{
+    try {
+        parseStudyConfigString("NETWORK RI(4)_SW(8)\n"
+                               "WORKLOAD resnet50\n"
+                               "EXPLORE warp-drive\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("warp-drive"),
+                  std::string::npos)
+            << e.what();
+    }
 }
 
 TEST(StudyRoundTrip, UnknownSolverIsReportedWithItsLine)

@@ -5,12 +5,16 @@
  *
  * Usage:
  *   libra_cli [--threads N] [--solver SPEC] [--backend NAME]
- *             <study-file>
+ *             [--explore SPEC] <study-file>
  *   libra_cli --example        # print a template study file and exit
  *   libra_cli list             # list registered paper scenarios
  *   libra_cli list-solvers     # list registered search strategies
  *   libra_cli list-backends    # list registered timing backends
+ *   libra_cli list-explorers   # list registered exploration strategies
  *   libra_cli run-matrix <names...|all|golden> [options]
+ *
+ * Every list command accepts `--emit json` for a byte-stable,
+ * insertion-ordered registry dump external tooling can consume.
  *
  * run-matrix options:
  *   --cache-dir DIR    content-addressed result cache: re-running a
@@ -24,6 +28,12 @@
  *   --backend NAME     timing-backend override for every design point
  *                      (see `list-backends`), e.g. --backend chunk-sim
  *                      to re-run a whole matrix under simulation
+ *   --explore SPEC     exploration-strategy override for every
+ *                      design-space scenario in the run (see
+ *                      `list-explorers`), e.g. --explore prune to
+ *                      screen-and-promote instead of exhausting the
+ *                      space; scenarios without a design space are
+ *                      unaffected
  *   --update-golden    rewrite the golden-figure files for the golden
  *                      scenarios included in this run
  *   --golden-dir DIR   golden file directory (default: tests/golden)
@@ -44,12 +54,14 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "common/thread_pool.hh"
 #include "core/report.hh"
 #include "core/study_config.hh"
 #include "core/timing_backend.hh"
+#include "explore/explore.hh"
 #include "solver/strategy.hh"
 #include "study/matrix.hh"
 
@@ -67,6 +79,7 @@ NORMALIZE_WEIGHTS
 # THREADS 8                # solver parallelism (deterministic)
 # SOLVER cmaes,pattern-search  # strategy pipeline (list-solvers)
 # BACKEND chunk-sim        # timing backend (list-backends)
+# EXPLORE prune,keep=0.25  # exploration strategy (list-explorers)
 # COST Pod LINK 7.8 SWITCH 18.0 NIC 31.6
 # DOLLAR_CAP 1.5e7
 # WORKLOAD_FILE my_profiled_model.wl
@@ -74,7 +87,8 @@ NORMALIZE_WEIGHTS
 
 int
 runStudy(const std::string& path, int threads,
-         const std::string& solverSpec, const std::string& backend)
+         const std::string& solverSpec, const std::string& backend,
+         const std::string& explore)
 {
     using namespace libra;
 
@@ -92,6 +106,8 @@ runStudy(const std::string& path, int threads,
         resolveTimingBackend(backend); // Validate.
         inputs.config.estimator.timingBackend = backend;
     }
+    if (!explore.empty())        // Flag wins over the EXPLORE line.
+        inputs.explore = canonicalExploreSpec(explore);
 
     std::cout << "Study: " << inputs.networkShape << " @ "
               << inputs.config.totalBw << " GB/s per NPU, "
@@ -129,17 +145,54 @@ runStudy(const std::string& path, int threads,
     return 0;
 }
 
+/**
+ * Emit a registry listing as byte-stable JSON (insertion-ordered, the
+ * registries' registration order) so external tooling can discover
+ * scenarios/solvers/backends/explorers without scraping the tables.
+ */
+void
+emitRegistryJson(const char* registryName,
+                 const std::vector<libra::Json>& entries)
+{
+    libra::Json j = libra::Json::object();
+    j["schema"] = "libra-registry-v1";
+    j["registry"] = registryName;
+    libra::Json arr = libra::Json::array();
+    for (const auto& e : entries)
+        arr.push(e);
+    j["entries"] = std::move(arr);
+    std::cout << j.dump(1) << "\n";
+}
+
 int
-listScenarios()
+listScenarios(bool json)
 {
     using namespace libra;
-    Table t("registered scenarios");
-    t.header({"Name", "Points", "Title"});
     const ScenarioRegistry& registry = ScenarioRegistry::global();
+    std::vector<Json> entries;
     for (const auto& name : registry.names()) {
         const Scenario* s = registry.find(name);
-        std::size_t points = s->build ? s->build().size() : 0;
-        t.row({name, std::to_string(points), s->title});
+        std::size_t points = s->space ? candidateCount(s->space())
+                             : s->build ? s->build().size()
+                                        : 0;
+        Json e = Json::object();
+        e["name"] = name;
+        e["points"] = points;
+        e["designSpace"] = static_cast<bool>(s->space);
+        e["title"] = s->title;
+        entries.push_back(std::move(e));
+    }
+    if (json) {
+        emitRegistryJson("scenarios", entries);
+        return 0;
+    }
+    Table t("registered scenarios");
+    t.header({"Name", "Points", "Space", "Title"});
+    for (const auto& e : entries) {
+        t.row({e.at("name").asString(),
+               Table::num(e.at("points").asNumber(), 0),
+               e.at("designSpace").asBool() ? "yes" : "-",
+               e.at("title").asString()});
     }
     t.print(std::cout);
     std::cout << "\nGroups: 'all' = every scenario; 'golden' = the "
@@ -154,14 +207,26 @@ listScenarios()
 }
 
 int
-listSolvers()
+listSolvers(bool json)
 {
     using namespace libra;
+    const StrategyRegistry& registry = StrategyRegistry::global();
+    std::vector<Json> entries;
+    for (const auto& name : registry.names()) {
+        Json e = Json::object();
+        e["name"] = name;
+        e["description"] = registry.find(name)->description();
+        entries.push_back(std::move(e));
+    }
+    if (json) {
+        emitRegistryJson("solvers", entries);
+        return 0;
+    }
     Table t("registered search strategies");
     t.header({"Name", "Description"});
-    const StrategyRegistry& registry = StrategyRegistry::global();
-    for (const auto& name : registry.names())
-        t.row({name, registry.find(name)->description()});
+    for (const auto& e : entries)
+        t.row({e.at("name").asString(),
+               e.at("description").asString()});
     t.print(std::cout);
     std::cout
         << "\nPipelines are ordered comma-separated specs (study-file "
@@ -171,19 +236,79 @@ listSolvers()
 }
 
 int
-listBackends()
+listBackends(bool json)
 {
     using namespace libra;
-    Table t("registered timing backends");
-    t.header({"Name", "Description"});
     const TimingBackendRegistry& registry =
         TimingBackendRegistry::global();
-    for (const auto& name : registry.names())
-        t.row({name, registry.find(name)->description()});
+    std::vector<Json> entries;
+    for (const auto& name : registry.names()) {
+        const TimingBackend* b = registry.find(name);
+        Json e = Json::object();
+        e["name"] = name;
+        e["cacheKeyTag"] = b->cacheKeyTag();
+        e["description"] = b->description();
+        entries.push_back(std::move(e));
+    }
+    if (json) {
+        emitRegistryJson("backends", entries);
+        return 0;
+    }
+    Table t("registered timing backends");
+    t.header({"Name", "Description"});
+    for (const auto& e : entries)
+        t.row({e.at("name").asString(),
+               e.at("description").asString()});
     t.print(std::cout);
     std::cout << "\nSelect with a study-file `BACKEND name` line or "
                  "`--backend name`;\nthe default is the analytical "
                  "model (see docs/BACKENDS.md).\n";
+    return 0;
+}
+
+int
+listExplorers(bool json)
+{
+    using namespace libra;
+    const ExploreRegistry& registry = ExploreRegistry::global();
+    std::vector<Json> entries;
+    std::vector<std::string> paramTexts;
+    for (const auto& name : registry.names()) {
+        const ExploreStrategy* s = registry.find(name);
+        std::string params;
+        Json paramArr = Json::array();
+        for (const auto& p : s->params()) {
+            params += params.empty() ? "" : ", ";
+            params += p.key + "=" + jsonNumberToString(p.defaultValue);
+            Json pj = Json::object();
+            pj["key"] = p.key;
+            pj["default"] = p.defaultValue;
+            pj["min"] = p.min;
+            pj["max"] = p.max;
+            pj["integer"] = p.integer;
+            paramArr.push(std::move(pj));
+        }
+        paramTexts.push_back(params.empty() ? "-" : params);
+        Json e = Json::object();
+        e["name"] = name;
+        e["params"] = std::move(paramArr);
+        e["description"] = s->description();
+        entries.push_back(std::move(e));
+    }
+    if (json) {
+        emitRegistryJson("explorers", entries);
+        return 0;
+    }
+    Table t("registered exploration strategies");
+    t.header({"Name", "Params (defaults)", "Description"});
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        t.row({entries[i].at("name").asString(), paramTexts[i],
+               entries[i].at("description").asString()});
+    }
+    t.print(std::cout);
+    std::cout << "\nSpecs are `name[,key=value...]` (study-file "
+                 "`EXPLORE prune,keep=0.25` or `--explore`);\nthe "
+                 "default is exhaustive (see docs/EXPLORE.md).\n";
     return 0;
 }
 
@@ -195,6 +320,7 @@ struct MatrixCliOptions
     std::string outPath;
     std::string solverSpec; // "" = per-point scenario default.
     std::string backend;    // "" = per-point scenario default.
+    std::string explore;    // "" = per-scenario strategy default.
     bool updateGolden = false;
     std::string goldenDir = "tests/golden";
     int threads = 0;
@@ -239,6 +365,12 @@ runMatrixCommand(const MatrixCliOptions& cli)
                      "analytical timing model)\n";
         return 1;
     }
+    if (cli.updateGolden && !cli.explore.empty()) {
+        std::cerr << "libra_cli: --update-golden cannot be combined "
+                     "with --explore (golden figures pin the "
+                     "exhaustive enumeration)\n";
+        return 1;
+    }
 
     if (cli.threads > 0)
         ThreadPool::setGlobalThreads(
@@ -249,6 +381,7 @@ runMatrixCommand(const MatrixCliOptions& cli)
     if (!cli.solverSpec.empty())
         options.solverPipeline = parseSolverSpec(cli.solverSpec);
     options.timingBackend = cli.backend;
+    options.exploreSpec = cli.explore;
     MatrixResult result = runScenarioMatrix(names, options);
 
     std::ofstream outFile;
@@ -328,16 +461,18 @@ usage()
 {
     std::cerr
         << "usage: libra_cli [--threads N] [--solver SPEC] "
-           "[--backend NAME] <study-file>\n"
+           "[--backend NAME] [--explore SPEC] <study-file>\n"
         << "       libra_cli --example\n"
-        << "       libra_cli list\n"
-        << "       libra_cli list-solvers\n"
-        << "       libra_cli list-backends\n"
+        << "       libra_cli list [--emit json]\n"
+        << "       libra_cli list-solvers [--emit json]\n"
+        << "       libra_cli list-backends [--emit json]\n"
+        << "       libra_cli list-explorers [--emit json]\n"
         << "       libra_cli run-matrix <names...|all|golden> "
            "[--threads N]\n"
         << "                 [--cache-dir DIR] [--emit json|csv] "
            "[--out FILE]\n"
-        << "                 [--solver SPEC] [--backend NAME]\n"
+        << "                 [--solver SPEC] [--backend NAME] "
+           "[--explore SPEC]\n"
         << "                 [--update-golden] [--golden-dir DIR]\n";
 }
 
@@ -353,13 +488,34 @@ main(int argc, char** argv)
         return 0;
     }
 
+    // Shared `--emit json` handling for the four list commands.
+    auto listEmit = [&](std::size_t argIndex) -> int {
+        // 0 = human tables, 1 = json, -1 = bad flag.
+        if (argIndex >= args.size())
+            return 0;
+        if (args[argIndex] == "--emit" && argIndex + 1 < args.size() &&
+            args[argIndex + 1] == "json" && argIndex + 2 == args.size())
+            return 1;
+        std::cerr << "libra_cli: list commands accept only "
+                     "'--emit json'\n";
+        return -1;
+    };
+
     try {
-        if (!args.empty() && args[0] == "list")
-            return listScenarios();
-        if (!args.empty() && args[0] == "list-solvers")
-            return listSolvers();
-        if (!args.empty() && args[0] == "list-backends")
-            return listBackends();
+        if (!args.empty() &&
+            (args[0] == "list" || args[0] == "list-solvers" ||
+             args[0] == "list-backends" || args[0] == "list-explorers")) {
+            int emit = listEmit(1);
+            if (emit < 0)
+                return 1;
+            if (args[0] == "list")
+                return listScenarios(emit == 1);
+            if (args[0] == "list-solvers")
+                return listSolvers(emit == 1);
+            if (args[0] == "list-backends")
+                return listBackends(emit == 1);
+            return listExplorers(emit == 1);
+        }
         if (!args.empty() && args[0] == "run-matrix") {
             MatrixCliOptions cli;
             for (std::size_t i = 1; i < args.size(); ++i) {
@@ -387,6 +543,8 @@ main(int argc, char** argv)
                     cli.solverSpec = value("a solver spec");
                 } else if (arg == "--backend") {
                     cli.backend = value("a backend name");
+                } else if (arg == "--explore") {
+                    cli.explore = value("an explore spec");
                 } else if (arg == "--update-golden") {
                     cli.updateGolden = true;
                 } else if (arg == "--golden-dir") {
@@ -412,6 +570,7 @@ main(int argc, char** argv)
         std::string studyPath;
         std::string solverSpec;
         std::string backend;
+        std::string explore;
         for (std::size_t i = 0; i < args.size(); ++i) {
             if (args[i] == "--example") {
                 std::cout << kTemplate;
@@ -437,6 +596,12 @@ main(int argc, char** argv)
                     return 1;
                 }
                 backend = args[++i];
+            } else if (args[i] == "--explore") {
+                if (i + 1 >= args.size()) {
+                    std::cerr << "libra_cli: --explore needs a spec\n";
+                    return 1;
+                }
+                explore = args[++i];
             } else if (studyPath.empty()) {
                 studyPath = args[i];
             } else {
@@ -448,7 +613,8 @@ main(int argc, char** argv)
             usage();
             return 1;
         }
-        return runStudy(studyPath, threads, solverSpec, backend);
+        return runStudy(studyPath, threads, solverSpec, backend,
+                        explore);
     } catch (const libra::FatalError& e) {
         std::cerr << "libra_cli: " << e.what() << "\n";
         return 1;

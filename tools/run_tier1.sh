@@ -1,20 +1,26 @@
 #!/usr/bin/env bash
 # Minimal CI entry point: configure, build, and run the tier-1 suite.
 #
-# Usage: tools/run_tier1.sh [--tsan|--asan] [extra cmake args...]
+# Usage: tools/run_tier1.sh [--tsan|--asan|--ubsan] [extra cmake args...]
 #
-#   (default)  Release build in build/, full ctest suite, plus the
-#              crossval scenario smoke run (the chunk-sim timing
-#              backend end to end: byte-identical matrix JSON at
-#              different thread counts, cached and fresh).
+#   (default)  Release build in build/, full ctest suite, plus two CLI
+#              smoke runs: the crossval scenario (the chunk-sim timing
+#              backend end to end) and the explore-frontier scenario
+#              under --explore prune (the design-space exploration
+#              layer end to end) — each asserting byte-identical
+#              matrix JSON at different thread counts, cached and
+#              fresh.
 #   --tsan     ThreadSanitizer build in build-tsan/; runs the threading
 #              contract tests (thread pool, parallel determinism, the
 #              scenario-matrix engine whose sweeps exercise
-#              runLibraSweep, and the timing-backend layer, whose
-#              chunk-sim memo cache is the newest shared-state hot
-#              spot) under TSan.
+#              runLibraSweep, the timing-backend layer, and the
+#              explore layer whose prune rounds re-enter the sweep)
+#              under TSan.
 #   --asan     AddressSanitizer (+UBSan) build in build-asan/; runs the
 #              full suite.
+#   --ubsan    Standalone UndefinedBehaviorSanitizer build in
+#              build-ubsan/; runs the full suite with UB traps fatal,
+#              without ASan's memory overhead.
 #
 # Sanitizer builds use a separate build directory so they never poison
 # the Release object cache, and -O1 -g for usable stacks.
@@ -32,6 +38,7 @@ for arg in "$@"; do
   case "${arg}" in
     --tsan) MODE="tsan" ;;
     --asan) MODE="asan" ;;
+    --ubsan) MODE="ubsan" ;;
     *) ARGS+=("${arg}") ;;
   esac
 done
@@ -51,13 +58,22 @@ case "${MODE}" in
     # The PR 1 threading contract: pool mechanics, bit-identical
     # results at any thread count, the batched matrix sweeps, and the
     # timing-backend layer (per-thread chunk-sim memo + crossval fuzz).
-    CTEST_EXTRA+=(-R 'test_thread_pool|test_parallel_determinism|test_study_engine|test_timing_backend|test_sim_crossval')
+    CTEST_EXTRA+=(-R 'test_thread_pool|test_parallel_determinism|test_study_engine|test_timing_backend|test_sim_crossval|test_explore')
     ;;
   asan)
     BUILD_DIR="build-asan"
     CMAKE_EXTRA+=(
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
       "-DCMAKE_CXX_FLAGS=-fsanitize=address,undefined -g -O1 -fno-omit-frame-pointer"
+      -DLIBRA_BUILD_BENCH=OFF
+      -DLIBRA_BUILD_EXAMPLES=OFF
+    )
+    ;;
+  ubsan)
+    BUILD_DIR="build-ubsan"
+    CMAKE_EXTRA+=(
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+      "-DCMAKE_CXX_FLAGS=-fsanitize=undefined -fno-sanitize-recover=undefined -g -O1 -fno-omit-frame-pointer"
       -DLIBRA_BUILD_BENCH=OFF
       -DLIBRA_BUILD_EXAMPLES=OFF
     )
@@ -88,4 +104,21 @@ if [[ -z "${MODE}" ]]; then
   cmp "${SMOKE_DIR}/fresh2.json" "${SMOKE_DIR}/fresh4.json"
   cmp "${SMOKE_DIR}/fresh2.json" "${SMOKE_DIR}/cached.json"
   echo "crossval smoke: byte-identical matrix JSON (fresh 2t vs fresh 4t vs cached)"
+
+  # Explore smoke: the design-space layer end to end through the CLI.
+  # The prune strategy's screening rounds and promotions must emit
+  # byte-identical matrix JSON at different thread counts, freshly
+  # computed or served from cache (docs/EXPLORE.md).
+  "${BUILD_DIR}/libra_cli" run-matrix explore-frontier --explore prune \
+    --emit json --cache-dir "${SMOKE_DIR}/xcache2" \
+    --out "${SMOKE_DIR}/xfresh2.json" --threads 2
+  "${BUILD_DIR}/libra_cli" run-matrix explore-frontier --explore prune \
+    --emit json --cache-dir "${SMOKE_DIR}/xcache4" \
+    --out "${SMOKE_DIR}/xfresh4.json" --threads 4
+  "${BUILD_DIR}/libra_cli" run-matrix explore-frontier --explore prune \
+    --emit json --cache-dir "${SMOKE_DIR}/xcache2" \
+    --out "${SMOKE_DIR}/xcached.json" --threads 4
+  cmp "${SMOKE_DIR}/xfresh2.json" "${SMOKE_DIR}/xfresh4.json"
+  cmp "${SMOKE_DIR}/xfresh2.json" "${SMOKE_DIR}/xcached.json"
+  echo "explore smoke: byte-identical matrix JSON (fresh 2t vs fresh 4t vs cached)"
 fi
