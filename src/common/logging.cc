@@ -3,12 +3,27 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace libra {
 
 namespace {
 
 std::atomic<bool> informEnabled{true};
+
+/**
+ * Serializes message emission: inform()/warn() are called from
+ * concurrent sweep workers (cache misses, degraded-mode warnings), and
+ * without a lock two messages can interleave mid-line on stderr.
+ * fatal() throws and panic() aborts, so only the non-stopping paths
+ * need it.
+ */
+std::mutex&
+emitMutex()
+{
+    static std::mutex m;
+    return m;
+}
 
 } // namespace
 
@@ -36,13 +51,16 @@ panicImpl(const std::string& msg)
 void
 informImpl(const std::string& msg)
 {
-    if (informEnabled.load())
-        std::fprintf(stderr, "info: %s\n", msg.c_str());
+    if (!informEnabled.load())
+        return;
+    std::lock_guard<std::mutex> lock(emitMutex());
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 
 void
 warnImpl(const std::string& msg)
 {
+    std::lock_guard<std::mutex> lock(emitMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 

@@ -5,7 +5,10 @@
  * fatal() is for user errors (bad configuration, infeasible constraints):
  * it throws a FatalError that callers (and tests) may catch.
  * panic() is for internal invariant violations: it aborts.
- * inform()/warn() report status without stopping.
+ * inform()/warn() report status without stopping; their emission is
+ * line-atomic (a process-wide mutex), so messages from concurrent
+ * sweep workers never interleave mid-line on stderr.
+ * See docs/ROBUSTNESS.md for the full failure taxonomy.
  */
 
 #ifndef LIBRA_COMMON_LOGGING_HH
