@@ -259,20 +259,36 @@ ResultCache::store(std::uint64_t key, const std::string& canonical,
     // Write-then-rename so concurrent runs never observe a torn file;
     // the tmp name is per-process so two runs storing the same key
     // cannot interleave writes into one tmp file.
+    // The cache may only ever amortize work, never break a run: a
+    // read-only or full cache directory degrades to a warning and the
+    // batch simply recomputes the point next time.
     const std::string finalPath = path(key);
     const std::string tmpPath =
         finalPath + ".tmp." + std::to_string(::getpid());
     {
         std::ofstream file(tmpPath);
-        if (!file)
-            fatal("cannot write cache entry '", tmpPath, "'");
+        if (!file) {
+            warn("cannot write cache entry '", tmpPath,
+                 "'; continuing without the cache");
+            return;
+        }
         file << j.dump(1) << "\n";
+        file.flush();
+        if (!file) {
+            warn("cannot write cache entry '", tmpPath,
+                 "'; continuing without the cache");
+            std::error_code ec;
+            std::filesystem::remove(tmpPath, ec);
+            return;
+        }
     }
     std::error_code ec;
     std::filesystem::rename(tmpPath, finalPath, ec);
-    if (ec)
-        fatal("cannot publish cache entry '", finalPath, "': ",
-              ec.message());
+    if (ec) {
+        warn("cannot publish cache entry '", finalPath, "': ",
+             ec.message(), "; continuing without the cache");
+        std::filesystem::remove(tmpPath, ec);
+    }
 }
 
 } // namespace libra
