@@ -1,13 +1,19 @@
 #include "study/cache.hh"
 
+#include <signal.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 #include <vector>
 
+#include "common/fault.hh"
 #include "common/logging.hh"
 #include "core/timing_backend.hh"
 #include "explore/explore.hh"
@@ -197,15 +203,109 @@ reportFromJson(const Json& json)
     return report;
 }
 
+namespace {
+
+/** Hex form of the FNV-1a checksum stored in the entry envelope. */
+std::string
+checksumHex(const std::string& text)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(
+                      studyCacheHashOfKey(text)));
+    return buf;
+}
+
+/**
+ * Bounded retry with backoff for a best-effort filesystem operation.
+ * Each attempt first consults the fault injector (salted per attempt,
+ * so an injected transient fault can be absorbed by the retries), then
+ * runs @p op. Sleeps 1 ms / 4 ms between the three attempts — long
+ * enough to ride out transient EAGAIN-class conditions, short enough
+ * to be invisible next to an optimize() call.
+ */
+template <typename Op>
+bool
+retryIo(FaultSite site, std::uint64_t key, const Op& op)
+{
+    constexpr int kAttempts = 3;
+    for (int attempt = 0; attempt < kAttempts; ++attempt) {
+        if (attempt > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1 << (2 * (attempt - 1))));
+        }
+        if (injectFault(site, faultRetryKey(key, attempt)))
+            continue; // Simulated transient failure of this attempt.
+        if (op())
+            return true;
+    }
+    return false;
+}
+
+/**
+ * True when the `.tmp.<pid>` suffix of @p name belongs to a process
+ * that no longer exists (or never parsed as a pid at all) — a tmp file
+ * leaked by a crashed run, safe to reap.
+ */
+bool
+tmpFileIsStale(const std::string& name)
+{
+    const std::string marker = ".tmp.";
+    std::size_t at = name.rfind(marker);
+    if (at == std::string::npos)
+        return false; // Not a tmp file.
+    std::string pidText = name.substr(at + marker.size());
+    char* end = nullptr;
+    long pid = std::strtol(pidText.c_str(), &end, 10);
+    if (end == pidText.c_str() || *end != '\0' || pid <= 0)
+        return true; // Garbage suffix: nothing owns it.
+    // Signal 0 probes existence. EPERM means the pid exists but is not
+    // ours — leave its tmp file alone.
+    return ::kill(static_cast<pid_t>(pid), 0) != 0 && errno == ESRCH;
+}
+
+} // namespace
+
 ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
 {
     if (dir_.empty())
         fatal("result cache needs a directory");
     std::error_code ec;
     std::filesystem::create_directories(dir_, ec);
+    if (ec || injectFault(FaultSite::CacheOpen,
+                          studyCacheHashOfKey(dir_))) {
+        warn("cannot create cache directory '", dir_, "'",
+             ec ? ": " + ec.message() : std::string(),
+             "; continuing without the cache");
+        enabled_ = false;
+        return;
+    }
+    reapStaleTmp();
+}
+
+void
+ResultCache::reapStaleTmp()
+{
+    // Crashed runs leak `.tmp.<pid>` files forever (the rename that
+    // would consume them never happened). Reap any whose owning
+    // process is gone; a live process's in-flight tmp file is kept.
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir_, ec);
     if (ec)
-        fatal("cannot create cache directory '", dir_, "': ",
-              ec.message());
+        return;
+    for (const auto& entry : it) {
+        std::error_code fileEc;
+        if (!entry.is_regular_file(fileEc) || fileEc)
+            continue;
+        std::string name = entry.path().filename().string();
+        if (!tmpFileIsStale(name))
+            continue;
+        std::filesystem::remove(entry.path(), fileEc);
+        if (!fileEc) {
+            ++stats_.reapedTmp;
+            inform("reaped stale cache tmp file ", name);
+        }
+    }
 }
 
 std::string
@@ -217,44 +317,104 @@ ResultCache::path(std::uint64_t key) const
     return dir_ + "/" + name;
 }
 
+void
+ResultCache::quarantine(const std::string& file,
+                        const std::string& why) const
+{
+    // Move the damaged entry aside instead of deleting it: the
+    // `.corrupt` file is diagnostic evidence, and the rename frees the
+    // key so the recomputed result can be stored cleanly.
+    ++stats_.quarantined;
+    warn("quarantining cache entry ", file, " (", why,
+         "); recomputing the point");
+    std::error_code ec;
+    std::filesystem::rename(file, file + ".corrupt", ec);
+    if (ec) {
+        std::filesystem::remove(file, ec);
+        if (ec)
+            warn("cannot quarantine or remove ", file, ": ",
+                 ec.message());
+    }
+}
+
 bool
 ResultCache::load(std::uint64_t key, const std::string& canonical,
                   LibraReport* out) const
 {
-    std::ifstream file(path(key));
-    if (!file)
+    if (!enabled_)
         return false;
+    const std::string file = path(key);
+    if (injectFault(FaultSite::CacheLoadRead, key)) {
+        ++stats_.loadFailures;
+        warn("cannot read cache entry ", file,
+             " (injected fault); recomputing the point");
+        return false;
+    }
+    std::ifstream in(file);
+    if (!in) {
+        std::error_code ec;
+        if (!std::filesystem::exists(file, ec))
+            return false; // Clean miss: never cached.
+        ++stats_.loadFailures;
+        warn("cannot read cache entry ", file,
+             "; recomputing the point");
+        return false;
+    }
     std::ostringstream text;
-    text << file.rdbuf();
+    text << in.rdbuf();
+    if (in.bad()) {
+        ++stats_.loadFailures;
+        warn("read error on cache entry ", file,
+             "; recomputing the point");
+        return false;
+    }
     try {
         Json j = Json::parse(text.str());
-        if (j.at("version").asNumber() !=
-            static_cast<double>(kStudyCacheVersion)) {
-            return false; // Entry from another engine version.
+        const Json& body = j.at("body");
+        if (j.at("fnv").asString() != checksumHex(body.dump(1))) {
+            quarantine(file, "checksum mismatch");
+            return false;
         }
-        if (j.at("inputs").asString() != canonical) {
+        if (body.at("version").asNumber() !=
+            static_cast<double>(kStudyCacheVersion)) {
+            quarantine(file, "engine version skew");
+            return false;
+        }
+        if (body.at("inputs").asString() != canonical) {
             // 64-bit hash collision between distinct inputs: treat as
             // a miss (the colliding entry stays; last writer wins).
-            warn("cache key collision on ", path(key),
+            ++stats_.collisions;
+            warn("cache key collision on ", file,
                  "; recomputing the point");
             return false;
         }
-        *out = reportFromJson(j.at("report"));
+        *out = reportFromJson(body.at("report"));
         return true;
     } catch (const FatalError& e) {
-        warn("ignoring corrupt cache entry ", path(key), ": ", e.what());
+        // Truncated, non-JSON, or structurally wrong (including
+        // pre-envelope legacy entries): quarantine and recompute.
+        quarantine(file, e.what());
         return false;
     }
 }
 
-void
+bool
 ResultCache::store(std::uint64_t key, const std::string& canonical,
                    const LibraReport& report) const
 {
+    if (!enabled_)
+        return false;
+
+    Json body = Json::object();
+    body["version"] = static_cast<double>(kStudyCacheVersion);
+    body["inputs"] = canonical;
+    body["report"] = reportToJson(report);
+    std::string bodyText = body.dump(1);
+
     Json j = Json::object();
-    j["version"] = static_cast<double>(kStudyCacheVersion);
-    j["inputs"] = canonical;
-    j["report"] = reportToJson(report);
+    j["fnv"] = checksumHex(bodyText);
+    j["body"] = std::move(body);
+    const std::string payload = j.dump(1) + "\n";
 
     // Write-then-rename so concurrent runs never observe a torn file;
     // the tmp name is per-process so two runs storing the same key
@@ -265,30 +425,31 @@ ResultCache::store(std::uint64_t key, const std::string& canonical,
     const std::string finalPath = path(key);
     const std::string tmpPath =
         finalPath + ".tmp." + std::to_string(::getpid());
-    {
+
+    bool ok = retryIo(FaultSite::CacheStoreWrite, key, [&] {
         std::ofstream file(tmpPath);
-        if (!file) {
-            warn("cannot write cache entry '", tmpPath,
-                 "'; continuing without the cache");
-            return;
-        }
-        file << j.dump(1) << "\n";
+        if (!file)
+            return false;
+        file << payload;
         file.flush();
-        if (!file) {
-            warn("cannot write cache entry '", tmpPath,
-                 "'; continuing without the cache");
+        return static_cast<bool>(file);
+    });
+    if (ok) {
+        ok = retryIo(FaultSite::CacheStoreRename, key, [&] {
             std::error_code ec;
-            std::filesystem::remove(tmpPath, ec);
-            return;
-        }
+            std::filesystem::rename(tmpPath, finalPath, ec);
+            return !ec;
+        });
     }
-    std::error_code ec;
-    std::filesystem::rename(tmpPath, finalPath, ec);
-    if (ec) {
-        warn("cannot publish cache entry '", finalPath, "': ",
-             ec.message(), "; continuing without the cache");
+    if (!ok) {
+        ++stats_.storeFailures;
+        warn("cannot store cache entry '", finalPath,
+             "'; continuing without the cache");
+        std::error_code ec;
         std::filesystem::remove(tmpPath, ec);
+        return false;
     }
+    return true;
 }
 
 } // namespace libra

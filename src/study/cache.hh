@@ -23,10 +23,19 @@
  * or solver *semantics* change (anything that would alter a report for
  * identical inputs); stale entries are then simply never hit again.
  *
- * Storage is one JSON file per key in the cache directory. Reports
+ * Storage is one JSON file per key in the cache directory, wrapped in
+ * an FNV-checksummed envelope `{"fnv": <hex>, "body": {...}}`. Reports
  * round-trip bit-exactly (shortest round-trip double formatting), so a
  * matrix run served from cache emits byte-identical output to the run
  * that populated it.
+ *
+ * The cache is strictly best-effort and self-healing
+ * (docs/ROBUSTNESS.md): it may only ever amortize work, never break or
+ * alter a run. Corrupt, truncated, or version-skewed entries are
+ * quarantined to `<name>.corrupt` and recomputed; stale `.tmp.<pid>`
+ * files left by crashed runs are reaped when the cache opens; store
+ * I/O retries with bounded backoff and then degrades to a warning; an
+ * uncreatable cache directory disables the cache instead of aborting.
  *
  * Points with a custom commTimeFn are not cacheable (a std::function
  * has no canonical content) — callers must skip the cache for them.
@@ -71,29 +80,66 @@ LibraReport reportFromJson(const Json& json);
 class ResultCache
 {
   public:
-    /** Opens (and creates if needed) @p dir. */
+    /** Counters of the self-healing machinery, exposed for tests. */
+    struct Stats
+    {
+        std::size_t reapedTmp = 0;      ///< Stale tmp files removed.
+        std::size_t quarantined = 0;    ///< Entries moved to .corrupt.
+        std::size_t loadFailures = 0;   ///< Unreadable entries (I/O).
+        std::size_t storeFailures = 0;  ///< Stores lost after retries.
+        std::size_t collisions = 0;     ///< 64-bit key collisions seen.
+    };
+
+    /**
+     * Opens (and creates if needed) @p dir, reaping stale `.tmp.<pid>`
+     * files whose owning process is gone. An uncreatable directory
+     * warns and disables the cache (every load misses, every store
+     * no-ops) instead of aborting — the cache is best-effort.
+     * @throws FatalError only on an empty @p dir (caller bug).
+     */
     explicit ResultCache(std::string dir);
 
     const std::string& dir() const { return dir_; }
+
+    /** False when the directory could not be created/opened. */
+    bool enabled() const { return enabled_; }
 
     /**
      * Load the report cached under @p key. The entry's stored
      * canonical input text must equal @p canonical — a 64-bit hash is
      * not collision-resistant, so identity is always re-verified on
      * load (a mismatch is treated as a miss and warned about).
+     * Corrupt, truncated, checksum-mismatched, or version-skewed
+     * entries are quarantined to `<name>.corrupt` and reported as
+     * misses; unreadable files warn and miss. Never throws for any
+     * file content.
      * @return hit/miss.
      */
     bool load(std::uint64_t key, const std::string& canonical,
               LibraReport* out) const;
 
-    /** Store @p report under @p key with its canonical input text. */
-    void store(std::uint64_t key, const std::string& canonical,
+    /**
+     * Store @p report under @p key with its canonical input text
+     * (write-then-rename, FNV-checksummed envelope). Transient I/O
+     * failures retry with bounded backoff; a store that still fails
+     * warns and returns false — it never aborts the run.
+     * @return true when the entry was published.
+     */
+    bool store(std::uint64_t key, const std::string& canonical,
                const LibraReport& report) const;
+
+    /** Self-healing counters since this cache was opened. */
+    const Stats& stats() const { return stats_; }
 
   private:
     std::string path(std::uint64_t key) const;
+    void reapStaleTmp();
+    void quarantine(const std::string& file, const std::string& why)
+        const;
 
     std::string dir_;
+    bool enabled_ = true;
+    mutable Stats stats_;
 };
 
 } // namespace libra
