@@ -51,6 +51,40 @@ runLibra(const LibraInputs& inputs)
 std::vector<LibraReport>
 runLibraSweep(const std::vector<LibraInputs>& points)
 {
+    // Unwind-on-failure semantics, built on the isolated sweep so the
+    // surfaced error is deterministic: always the lowest-index failing
+    // point, independent of worker scheduling.
+    SweepOutcome outcome = runLibraSweepIsolated(points);
+    for (std::size_t i = 0; i < outcome.status.size(); ++i) {
+        if (!outcome.status[i].ok)
+            fatal(outcome.status[i].error);
+    }
+    return std::move(outcome.reports);
+}
+
+SweepOutcome
+runLibraSweepIsolated(const std::vector<LibraInputs>& points)
+{
+    auto evalPoint = [](const LibraInputs& p, LibraReport* report,
+                        PointStatus* status) {
+        try {
+            *report = runLibraPoint(p);
+        } catch (const FatalError& e) {
+            status->ok = false;
+            status->error = e.what();
+            // fatalImpl prefixes "fatal: "; strip it so the message
+            // reads cleanly in failure rows and re-thrown errors do
+            // not double the prefix.
+            const std::string prefix = "fatal: ";
+            if (status->error.rfind(prefix, 0) == 0)
+                status->error.erase(0, prefix.size());
+        }
+    };
+
+    SweepOutcome out;
+    out.reports.resize(points.size());
+    out.status.resize(points.size());
+
     // Same guard optimize() applies within a point: ad-hoc
     // collective-timing functions are not guaranteed thread-safe, so
     // never invoke them from sweep workers either. Named timing
@@ -59,15 +93,16 @@ runLibraSweep(const std::vector<LibraInputs>& points)
     for (const auto& p : points)
         customTiming |= static_cast<bool>(p.config.estimator.commTimeFn);
     if (customTiming) {
-        std::vector<LibraReport> reports;
-        reports.reserve(points.size());
-        for (const auto& p : points)
-            reports.push_back(runLibraPoint(p));
-        return reports;
+        for (std::size_t i = 0; i < points.size(); ++i)
+            evalPoint(points[i], &out.reports[i], &out.status[i]);
+    } else {
+        parallelFor(points.size(), [&](std::size_t i) {
+            evalPoint(points[i], &out.reports[i], &out.status[i]);
+        });
     }
-    return parallelMap(points, [](const LibraInputs& p) {
-        return runLibraPoint(p);
-    });
+    for (const PointStatus& s : out.status)
+        out.failed += s.ok ? 0 : 1;
+    return out;
 }
 
 } // namespace libra

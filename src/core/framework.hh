@@ -71,9 +71,41 @@ LibraReport runLibra(const LibraInputs& inputs);
  * come back aligned with @p points, and each report is bit-identical
  * to a standalone runLibra() of the same point. Per-point `threads`
  * fields are ignored (the sweep itself owns the pool).
+ * @throws FatalError when any point's evaluation fails (the failure of
+ * the lowest-index failing point, deterministically).
  */
 std::vector<LibraReport>
 runLibraSweep(const std::vector<LibraInputs>& points);
+
+/**
+ * Outcome status of one design point in an isolated sweep: ok, or
+ * failed with the FatalError message (the "fatal: " prefix stripped).
+ */
+struct PointStatus
+{
+    bool ok = true;
+    std::string error;
+};
+
+/** Result of an isolated sweep: aligned reports plus per-point status. */
+struct SweepOutcome
+{
+    /** Aligned with the input points; default-valued where !ok. */
+    std::vector<LibraReport> reports;
+    std::vector<PointStatus> status;
+    std::size_t failed = 0; ///< Points whose evaluation failed.
+};
+
+/**
+ * runLibraSweep with per-point failure isolation: a point whose
+ * evaluation throws FatalError (infeasible constraints, a malformed
+ * workload) yields a failed PointStatus instead of unwinding the
+ * batch, so one bad design point cannot kill a whole matrix run.
+ * Internal invariant violations (panic) still abort. Ok points are
+ * bit-identical to runLibraSweep's reports at any thread count.
+ */
+SweepOutcome
+runLibraSweepIsolated(const std::vector<LibraInputs>& points);
 
 } // namespace libra
 

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <unordered_map>
 
+#include "common/fault.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "core/timing_backend.hh"
@@ -22,8 +23,10 @@ struct SweepBatch
 {
     std::vector<LibraReport> reports; ///< Aligned with the input points.
     std::vector<bool> fromCache;      ///< Per point: served from cache.
+    std::vector<PointStatus> status;  ///< Per point: ok or failed.
     std::size_t unique = 0;           ///< Distinct points after dedup.
     std::size_t computed = 0;         ///< Points actually optimized.
+    std::size_t failed = 0;           ///< Points whose evaluation failed.
 };
 
 /**
@@ -36,10 +39,20 @@ struct SweepBatch
  * cache file — so a 64-bit collision cannot merge distinct points.
  * Points with a custom commTimeFn get a private slot (no content
  * identity) and never touch the cache.
+ *
+ * Failure semantics: points run through runLibraSweepIsolated, and
+ * the `point-eval` fault-injection site fires here, keyed by each
+ * cacheable slot's content hash — a pure function of the point, so
+ * fault assignment is identical at any thread count and unaffected by
+ * dedup order (private slots get no injection: they have no content
+ * key). Under Isolate the per-point statuses come back in the batch;
+ * under Abort the lowest-index failing point's error unwinds,
+ * deterministically. Failed slots are never stored to the cache.
  */
 SweepBatch
 cachedSweep(const std::vector<LibraInputs>& points,
-            const std::optional<ResultCache>& cache, bool update_cache)
+            const std::optional<ResultCache>& cache, bool update_cache,
+            FailMode failMode)
 {
     std::vector<std::size_t> slotOf(points.size());
     std::vector<std::string> slotKey; // Canonical text; "" = private.
@@ -64,6 +77,7 @@ cachedSweep(const std::vector<LibraInputs>& points,
 
     const std::size_t slots = slotRep.size();
     std::vector<LibraReport> slotReport(slots);
+    std::vector<PointStatus> slotStatus(slots);
     std::vector<bool> slotCached(slots, false);
     std::vector<std::size_t> missing;
     for (std::size_t s = 0; s < slots; ++s) {
@@ -76,18 +90,42 @@ cachedSweep(const std::vector<LibraInputs>& points,
         }
     }
 
-    // One sharded sweep over every missing unique point.
+    // One sharded sweep over every missing unique point. Injected
+    // point-eval faults replace the evaluation (keyed by content, so
+    // the same points fail fresh or cached, at any thread count).
     std::vector<LibraInputs> batch;
+    std::vector<std::size_t> batchSlot;
     batch.reserve(missing.size());
-    for (std::size_t s : missing)
+    for (std::size_t s : missing) {
+        if (!slotKey[s].empty() &&
+            injectFault(FaultSite::PointEval,
+                        studyCacheHashOfKey(slotKey[s]))) {
+            slotStatus[s].ok = false;
+            slotStatus[s].error = "injected point-eval fault";
+            continue;
+        }
         batch.push_back(points[slotRep[s]]);
-    std::vector<LibraReport> computed = runLibraSweep(batch);
-    for (std::size_t k = 0; k < missing.size(); ++k) {
-        std::size_t s = missing[k];
-        slotReport[s] = std::move(computed[k]);
+        batchSlot.push_back(s);
+    }
+    SweepOutcome computed = runLibraSweepIsolated(batch);
+    for (std::size_t k = 0; k < batchSlot.size(); ++k) {
+        std::size_t s = batchSlot[k];
+        slotStatus[s] = std::move(computed.status[k]);
+        if (!slotStatus[s].ok)
+            continue;
+        slotReport[s] = std::move(computed.reports[k]);
         if (cache && update_cache && !slotKey[s].empty()) {
             cache->store(studyCacheHashOfKey(slotKey[s]), slotKey[s],
                          slotReport[s]);
+        }
+    }
+
+    if (failMode == FailMode::Abort) {
+        // Re-raise the classic unwind: the lowest-index failing
+        // *point* (not slot) wins, deterministically.
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (!slotStatus[slotOf[i]].ok)
+                fatal(slotStatus[slotOf[i]].error);
         }
     }
 
@@ -96,9 +134,12 @@ cachedSweep(const std::vector<LibraInputs>& points,
     out.computed = missing.size();
     out.reports.reserve(points.size());
     out.fromCache.reserve(points.size());
+    out.status.reserve(points.size());
     for (std::size_t i = 0; i < points.size(); ++i) {
         out.reports.push_back(slotReport[slotOf[i]]);
         out.fromCache.push_back(slotCached[slotOf[i]]);
+        out.status.push_back(slotStatus[slotOf[i]]);
+        out.failed += slotStatus[slotOf[i]].ok ? 0 : 1;
     }
     return out;
 }
@@ -196,12 +237,15 @@ runScenarioMatrix(const std::vector<std::string>& names,
         cache.emplace(options.cacheDir);
 
     // Phase 2: the shared batch — dedup, cache, one sharded sweep.
-    SweepBatch main = cachedSweep(points, cache, options.updateCache);
+    SweepBatch main =
+        cachedSweep(points, cache, options.updateCache,
+                    options.failMode);
 
     MatrixResult result;
     result.points = points.size();
     result.unique = main.unique;
     result.computed = main.computed;
+    result.failed = main.failed;
     // Cache hits are counted in point terms (what the user asked for).
     for (bool hit : main.fromCache)
         result.fromCache += hit ? 1 : 0;
@@ -216,11 +260,17 @@ runScenarioMatrix(const std::vector<std::string>& names,
         if (!slice.exploreSpec.empty()) {
             // Adaptive exploration: every optimization batch the
             // strategy requests goes through the same cache-aware
-            // sweep; counters aggregate per evaluated point.
+            // sweep; counters aggregate per evaluated point. An
+            // adaptive strategy's later rounds depend on earlier
+            // results, so isolation is per *scenario* here: any
+            // failing point aborts this exploration (deterministic
+            // lowest-index error), and under Isolate that error is
+            // recorded instead of unwinding the matrix.
             ExploreSweepFn sweep =
                 [&](const std::vector<LibraInputs>& batch) {
-                    SweepBatch b = cachedSweep(batch, cache,
-                                               options.updateCache);
+                    SweepBatch b =
+                        cachedSweep(batch, cache, options.updateCache,
+                                    FailMode::Abort);
                     run.points += batch.size();
                     result.points += batch.size();
                     result.unique += b.unique;
@@ -231,9 +281,27 @@ runScenarioMatrix(const std::vector<std::string>& names,
                     }
                     return std::move(b.reports);
                 };
-            ExploreResult explored = exploreCandidates(
-                slice.candidates, slice.exploreSpec, sweep);
-            run.output = scenarios[si]->formatSpace(explored);
+            if (options.failMode == FailMode::Isolate) {
+                try {
+                    ExploreResult explored = exploreCandidates(
+                        slice.candidates, slice.exploreSpec, sweep);
+                    run.output = scenarios[si]->formatSpace(explored);
+                } catch (const FatalError& e) {
+                    std::string msg = e.what();
+                    const std::string prefix = "fatal: ";
+                    if (msg.rfind(prefix, 0) == 0)
+                        msg.erase(0, prefix.size());
+                    run.output = ScenarioOutput{};
+                    run.failures.push_back(PointFailure{
+                        0, "explore:" + slice.exploreSpec,
+                        std::move(msg)});
+                    result.failed += 1;
+                }
+            } else {
+                ExploreResult explored = exploreCandidates(
+                    slice.candidates, slice.exploreSpec, sweep);
+                run.output = scenarios[si]->formatSpace(explored);
+            }
         } else {
             // The scenario's candidates/points ran inside the shared
             // batch; reassemble their aligned reports.
@@ -247,7 +315,21 @@ runScenarioMatrix(const std::vector<std::string>& names,
             for (std::size_t i = 0; i < slice.count; ++i)
                 run.fromCache +=
                     main.fromCache[slice.begin + i] ? 1 : 0;
-            if (scenarios[si]->space) {
+            // Isolation granularity is the scenario's output: any
+            // failed point suppresses the formatter (a partial table
+            // would silently misalign figure columns) and surfaces as
+            // PointFailures; other scenarios are untouched.
+            for (std::size_t i = 0; i < slice.count; ++i) {
+                const PointStatus& st = main.status[slice.begin + i];
+                if (st.ok)
+                    continue;
+                run.failures.push_back(PointFailure{
+                    i, points[slice.begin + i].networkShape,
+                    st.error});
+            }
+            if (!run.failures.empty()) {
+                run.output = ScenarioOutput{};
+            } else if (scenarios[si]->space) {
                 // Exhaustive design space.
                 run.output = scenarios[si]->formatSpace(
                     exhaustiveResultFromReports(
@@ -308,6 +390,20 @@ scenarioRunToJson(const ScenarioRun& run)
     for (const auto& note : run.output.notes)
         notes.push(note);
     j["notes"] = std::move(notes);
+    // Only present when a point failed (FailMode::Isolate), so all-ok
+    // runs — including every golden — emit byte-identical text to the
+    // pre-isolation schema.
+    if (!run.failures.empty()) {
+        Json failures = Json::array();
+        for (const PointFailure& f : run.failures) {
+            Json e = Json::object();
+            e["index"] = static_cast<double>(f.index);
+            e["label"] = f.label;
+            e["error"] = f.error;
+            failures.push(std::move(e));
+        }
+        j["failures"] = std::move(failures);
+    }
     return j;
 }
 
@@ -423,6 +519,10 @@ printScenarioRun(const ScenarioRun& run, std::ostream& os)
         os << k << " = " << formatMetric(v) << "\n";
     for (const auto& note : run.output.notes)
         os << "\n" << note << "\n";
+    for (const PointFailure& f : run.failures) {
+        os << "FAILED point " << f.index << " [" << f.label
+           << "]: " << f.error << "\n";
+    }
 }
 
 void
@@ -433,7 +533,10 @@ printMatrixHuman(const MatrixResult& result, std::ostream& os)
     os << "\nmatrix: " << result.scenarios.size() << " scenarios, "
        << result.points << " design points (" << result.unique
        << " unique, " << result.fromCache << " from cache, "
-       << result.computed << " computed)\n";
+       << result.computed << " computed)";
+    if (result.failed > 0)
+        os << " -- " << result.failed << " FAILED";
+    os << "\n";
 }
 
 void
@@ -471,6 +574,11 @@ emitMatrixCsv(const MatrixResult& result, std::ostream& os)
         for (const auto& [k, v] : run.output.summary) {
             os << csvEscape(run.name) << ",summary," << csvEscape(k)
                << ',' << jsonNumberToString(v) << "\n";
+        }
+        for (const PointFailure& f : run.failures) {
+            os << csvEscape(run.name) << ",failure," << f.index << ','
+               << csvEscape(f.label) << ',' << csvEscape(f.error)
+               << "\n";
         }
     }
 }

@@ -14,6 +14,11 @@
  * count, report JSON round-trips bit-exactly through the cache, and all
  * emission is insertion-ordered — so a matrix run emits byte-identical
  * JSON whether its points were computed or loaded from cache.
+ *
+ * Fault tolerance (docs/ROBUSTNESS.md): under FailMode::Isolate a
+ * design point whose evaluation throws FatalError becomes a recorded
+ * PointFailure on its scenario instead of unwinding the run; scenarios
+ * without failures emit byte-identical output to an all-ok run.
  */
 
 #ifndef LIBRA_STUDY_MATRIX_HH
@@ -27,6 +32,19 @@
 #include "study/scenario.hh"
 
 namespace libra {
+
+/**
+ * What a design point's FatalError does to the rest of a matrix run.
+ * Abort preserves the classic unwind (the lowest-index failing point's
+ * error, deterministically); Isolate records the failure per scenario
+ * and keeps every other scenario's rows byte-identical to an all-ok
+ * run. See docs/ROBUSTNESS.md.
+ */
+enum class FailMode
+{
+    Abort,
+    Isolate,
+};
 
 /** Matrix runner options. */
 struct MatrixOptions
@@ -60,6 +78,17 @@ struct MatrixOptions
      * is no outer loop to search).
      */
     std::string exploreSpec;
+
+    /** Failure handling for design-point evaluation (see FailMode). */
+    FailMode failMode = FailMode::Abort;
+};
+
+/** One failed design point inside a scenario (FailMode::Isolate). */
+struct PointFailure
+{
+    std::size_t index = 0; ///< Point index within the scenario.
+    std::string label;     ///< Human handle (network shape, or phase).
+    std::string error;     ///< FatalError message, prefix stripped.
 };
 
 /** One executed scenario with its provenance counters. */
@@ -70,6 +99,14 @@ struct ScenarioRun
     ScenarioOutput output;
     std::size_t points = 0;     ///< Design points this scenario built.
     std::size_t fromCache = 0;  ///< Points served from the cache.
+
+    /**
+     * Failed points (FailMode::Isolate only; always empty under
+     * Abort). A scenario with failures emits no rows/summary — a
+     * partial table would silently misalign figure columns — only
+     * this list.
+     */
+    std::vector<PointFailure> failures;
 };
 
 /** Result of one matrix execution. */
@@ -80,6 +117,7 @@ struct MatrixResult
     std::size_t unique = 0;    ///< Distinct points after dedup.
     std::size_t fromCache = 0; ///< Points served from the cache.
     std::size_t computed = 0;  ///< Points actually optimized.
+    std::size_t failed = 0;    ///< Failed points (Isolate mode).
 };
 
 /**

@@ -34,9 +34,22 @@
  *                      screen-and-promote instead of exhausting the
  *                      space; scenarios without a design space are
  *                      unaffected
+ *   --fail-mode MODE   abort (default): a failing design point unwinds
+ *                      the run with the lowest-index point's error;
+ *                      isolate: failures become per-scenario failure
+ *                      rows and the rest of the matrix completes
+ *                      (docs/ROBUSTNESS.md)
+ *   --faults SPEC      arm the deterministic fault injector, e.g.
+ *                      --faults cache-load-read=0.25,seed=7 (the
+ *                      LIBRA_FAULTS environment variable is the
+ *                      fallback; the flag wins)
  *   --update-golden    rewrite the golden-figure files for the golden
  *                      scenarios included in this run
  *   --golden-dir DIR   golden file directory (default: tests/golden)
+ *
+ * Exit codes: 0 success; 1 user error (bad configuration, FatalError);
+ * 2 internal error; 3 partial failure (an isolate-mode matrix run that
+ * completed with failed design points).
  *
  * --solver / --backend on a single study file override its SOLVER /
  * BACKEND lines the same way --threads overrides THREADS.
@@ -54,6 +67,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
@@ -324,6 +338,7 @@ struct MatrixCliOptions
     bool updateGolden = false;
     std::string goldenDir = "tests/golden";
     int threads = 0;
+    libra::FailMode failMode = libra::FailMode::Abort;
 };
 
 int
@@ -382,6 +397,7 @@ runMatrixCommand(const MatrixCliOptions& cli)
         options.solverPipeline = parseSolverSpec(cli.solverSpec);
     options.timingBackend = cli.backend;
     options.exploreSpec = cli.explore;
+    options.failMode = cli.failMode;
     MatrixResult result = runScenarioMatrix(names, options);
 
     std::ofstream outFile;
@@ -411,10 +427,21 @@ runMatrixCommand(const MatrixCliOptions& cli)
                   << " scenarios, " << result.points
                   << " design points (" << result.unique << " unique, "
                   << result.fromCache << " from cache, "
-                  << result.computed << " computed)\n";
+                  << result.computed << " computed)";
+        if (result.failed > 0)
+            std::cerr << " -- " << result.failed << " FAILED";
+        std::cerr << "\n";
     }
 
     if (cli.updateGolden) {
+        // A golden file must pin an all-ok run; a failure-only payload
+        // would silently erase the figure's reference rows.
+        if (result.failed > 0) {
+            std::cerr << "libra_cli: refusing --update-golden: "
+                      << result.failed
+                      << " design points failed in this run\n";
+            return 1;
+        }
         std::size_t written = 0;
         for (const ScenarioRun& run : result.scenarios) {
             bool golden = false;
@@ -440,7 +467,9 @@ runMatrixCommand(const MatrixCliOptions& cli)
                          "'run-matrix golden --update-golden')\n";
         }
     }
-    return 0;
+    // Partial failure (isolate mode): distinct exit code so CI and the
+    // future serve mode can tell "some rows missing" from "all ok".
+    return result.failed > 0 ? 3 : 0;
 }
 
 int
@@ -473,6 +502,8 @@ usage()
            "[--out FILE]\n"
         << "                 [--solver SPEC] [--backend NAME] "
            "[--explore SPEC]\n"
+        << "                 [--fail-mode abort|isolate] "
+           "[--faults SPEC]\n"
         << "                 [--update-golden] [--golden-dir DIR]\n";
 }
 
@@ -486,6 +517,20 @@ main(int argc, char** argv)
     if (!args.empty() && args[0] == "--example") {
         std::cout << kTemplate;
         return 0;
+    }
+
+    // Arm the fault injector from the environment (tests, CI smokes);
+    // an explicit --faults flag re-installs over this.
+    if (const char* env = std::getenv("LIBRA_FAULTS")) {
+        if (env[0] != '\0') {
+            try {
+                libra::installFaults(libra::parseFaultSpec(env));
+            } catch (const libra::FatalError& e) {
+                std::cerr << "libra_cli: LIBRA_FAULTS: " << e.what()
+                          << "\n";
+                return 1;
+            }
+        }
     }
 
     // Shared `--emit json` handling for the four list commands.
@@ -545,6 +590,21 @@ main(int argc, char** argv)
                     cli.backend = value("a backend name");
                 } else if (arg == "--explore") {
                     cli.explore = value("an explore spec");
+                } else if (arg == "--fail-mode") {
+                    std::string mode =
+                        value("abort or isolate");
+                    if (mode == "abort") {
+                        cli.failMode = libra::FailMode::Abort;
+                    } else if (mode == "isolate") {
+                        cli.failMode = libra::FailMode::Isolate;
+                    } else {
+                        std::cerr << "libra_cli: --fail-mode expects "
+                                     "abort or isolate\n";
+                        return 1;
+                    }
+                } else if (arg == "--faults") {
+                    libra::installFaults(
+                        libra::parseFaultSpec(value("a fault spec")));
                 } else if (arg == "--update-golden") {
                     cli.updateGolden = true;
                 } else if (arg == "--golden-dir") {
@@ -616,7 +676,12 @@ main(int argc, char** argv)
         return runStudy(studyPath, threads, solverSpec, backend,
                         explore);
     } catch (const libra::FatalError& e) {
+        // User error: bad configuration, infeasible constraints.
         std::cerr << "libra_cli: " << e.what() << "\n";
         return 1;
+    } catch (const std::exception& e) {
+        // Internal error: anything the engine did not classify.
+        std::cerr << "libra_cli: internal error: " << e.what() << "\n";
+        return 2;
     }
 }
