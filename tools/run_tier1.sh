@@ -3,13 +3,16 @@
 #
 # Usage: tools/run_tier1.sh [--tsan|--asan|--ubsan] [extra cmake args...]
 #
-#   (default)  Release build in build/, full ctest suite, plus two CLI
-#              smoke runs: the crossval scenario (the chunk-sim timing
-#              backend end to end) and the explore-frontier scenario
-#              under --explore prune (the design-space exploration
-#              layer end to end) — each asserting byte-identical
-#              matrix JSON at different thread counts, cached and
-#              fresh.
+#   (default)  Release build in build/, full ctest suite, plus three
+#              CLI smoke runs: the crossval scenario (the chunk-sim
+#              timing backend end to end), the explore-frontier
+#              scenario under --explore prune (the design-space
+#              exploration layer end to end) — each asserting
+#              byte-identical matrix JSON at different thread counts,
+#              cached and fresh — and a fault-injection smoke that
+#              re-runs the golden matrix with injected cache-I/O
+#              faults and asserts the JSON is byte-identical to the
+#              fault-free cached run (docs/ROBUSTNESS.md).
 #   --tsan     ThreadSanitizer build in build-tsan/; runs the threading
 #              contract tests (thread pool, parallel determinism, the
 #              scenario-matrix engine whose sweeps exercise
@@ -56,9 +59,11 @@ case "${MODE}" in
       -DLIBRA_BUILD_EXAMPLES=OFF
     )
     # The PR 1 threading contract: pool mechanics, bit-identical
-    # results at any thread count, the batched matrix sweeps, and the
-    # timing-backend layer (per-thread chunk-sim memo + crossval fuzz).
-    CTEST_EXTRA+=(-R 'test_thread_pool|test_parallel_determinism|test_study_engine|test_timing_backend|test_sim_crossval|test_explore')
+    # results at any thread count, the batched matrix sweeps, the
+    # timing-backend layer (per-thread chunk-sim memo + crossval fuzz),
+    # and the fault-tolerance layer (isolated sweeps, injector counters,
+    # and line-atomic logging under concurrent cache warnings).
+    CTEST_EXTRA+=(-R 'test_thread_pool|test_parallel_determinism|test_study_engine|test_timing_backend|test_sim_crossval|test_explore|test_cache_faults')
     ;;
   asan)
     BUILD_DIR="build-asan"
@@ -121,4 +126,24 @@ if [[ -z "${MODE}" ]]; then
   cmp "${SMOKE_DIR}/xfresh2.json" "${SMOKE_DIR}/xfresh4.json"
   cmp "${SMOKE_DIR}/xfresh2.json" "${SMOKE_DIR}/xcached.json"
   echo "explore smoke: byte-identical matrix JSON (fresh 2t vs fresh 4t vs cached)"
+
+  # Fault-injection smoke: the cache is strictly best-effort, so a
+  # golden matrix run with injected cache-I/O faults — fresh, and again
+  # over the (partially poisoned) cache it left behind — must emit
+  # byte-identical JSON to the fault-free cached run
+  # (docs/ROBUSTNESS.md).
+  "${BUILD_DIR}/libra_cli" run-matrix golden \
+    --emit json --cache-dir "${SMOKE_DIR}/fcache" \
+    --out "${SMOKE_DIR}/fclean.json"
+  "${BUILD_DIR}/libra_cli" run-matrix golden \
+    --faults "cache-load-read=0.25,cache-store-write=0.25,cache-store-rename=0.25,seed=7" \
+    --emit json --cache-dir "${SMOKE_DIR}/fcache" \
+    --out "${SMOKE_DIR}/ffaulty.json"
+  "${BUILD_DIR}/libra_cli" run-matrix golden \
+    --faults "cache-load-read=0.25,seed=8" \
+    --emit json --cache-dir "${SMOKE_DIR}/fcache" \
+    --out "${SMOKE_DIR}/ffaulty2.json"
+  cmp "${SMOKE_DIR}/fclean.json" "${SMOKE_DIR}/ffaulty.json"
+  cmp "${SMOKE_DIR}/fclean.json" "${SMOKE_DIR}/ffaulty2.json"
+  echo "fault smoke: byte-identical matrix JSON under injected cache-I/O faults"
 fi
