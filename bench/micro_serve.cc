@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Study-service latency/throughput benchmark (docs/SERVE.md).
+ *
+ * The serve subsystem's claim is that a long-lived server turns a
+ * scenario-matrix evaluation — normally process startup + registry
+ * construction + (at best) a disk-cache read per call — into an
+ * in-memory LRU lookup behind one socket round-trip, without changing
+ * a single emitted byte. This bench measures that round-trip:
+ *
+ *   1. start a memory-only server on a Unix-domain socket,
+ *   2. warm it with one fig10 request (computes the 3 design points),
+ *   3. hammer it with many concurrent clients re-requesting the same
+ *      matrix, recording per-request wall latency,
+ *   4. check every response against the bytes `run-matrix` emits for
+ *      the same scenario (the byte-identity contract), and that the
+ *      warm requests report computed == 0 (served from the LRU).
+ *
+ * Emits machine-readable BENCH_serve.json for CI tracking next to
+ * BENCH_objective/solver/backend/explore.json: p50/p99 latency and
+ * sustained requests/second under the concurrent load, plus the two
+ * acceptance booleans (byte_identical, lru_served).
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/json.hh"
+#include "common/thread_pool.hh"
+#include "serve/server.hh"
+
+namespace libra {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr const char* kScenario = "fig10";
+constexpr std::size_t kClients = 8;
+constexpr std::size_t kRequestsPerClient = 25;
+
+/** The bytes `run-matrix <scenario> --emit json` writes to stdout. */
+std::string
+oneShotBytes()
+{
+    MatrixResult result = runScenarioMatrix({kScenario});
+    std::ostringstream os;
+    emitMatrixJson(result, os);
+    return os.str();
+}
+
+double
+percentile(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    std::sort(sorted.begin(), sorted.end());
+    double rank = p * static_cast<double>(sorted.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+void
+run()
+{
+    bench::banner("micro",
+                  "study-service round-trip latency and throughput "
+                  "(warm LRU, concurrent clients)");
+
+    ThreadPool::setGlobalThreads(2);
+    const std::string expected = oneShotBytes();
+
+    ServeOptions options;
+    options.socketPath = "/tmp/libra-bench-serve.sock";
+    options.cacheDir = ""; // Memory-only: isolate the LRU round-trip.
+    Server server(std::move(options));
+    server.start();
+    const std::string socket = server.socketPath();
+    const std::string request =
+        std::string("{\"scenario\": \"") + kScenario +
+        "\", \"emit\": \"json\"}";
+
+    // Warm: the one computing request; everything after is LRU-served.
+    ServeReply warm = serveRequest(socket, request);
+    if (!warm.status.at("ok").asBool())
+        fatal("warm request failed: ", warm.status.dump());
+
+    std::atomic<bool> byteIdentical{true};
+    std::atomic<bool> lruServed{true};
+    std::vector<std::vector<double>> perClientMs(kClients);
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    Clock::time_point wallStart = Clock::now();
+    for (std::size_t c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            perClientMs[c].reserve(kRequestsPerClient);
+            for (std::size_t i = 0; i < kRequestsPerClient; ++i) {
+                Clock::time_point t0 = Clock::now();
+                ServeReply reply = serveRequest(socket, request);
+                Clock::time_point t1 = Clock::now();
+                perClientMs[c].push_back(
+                    std::chrono::duration<double, std::milli>(t1 - t0)
+                        .count());
+                if (reply.payload != expected)
+                    byteIdentical = false;
+                if (reply.status.at("computed").asNumber() != 0.0)
+                    lruServed = false;
+            }
+        });
+    }
+    for (auto& t : clients)
+        t.join();
+    double wallSeconds =
+        std::chrono::duration<double>(Clock::now() - wallStart)
+            .count();
+
+    std::vector<double> latenciesMs;
+    for (const auto& v : perClientMs)
+        latenciesMs.insert(latenciesMs.end(), v.begin(), v.end());
+    double p50 = percentile(latenciesMs, 0.50);
+    double p99 = percentile(latenciesMs, 0.99);
+    double reqPerSec =
+        wallSeconds > 0.0
+            ? static_cast<double>(latenciesMs.size()) / wallSeconds
+            : 0.0;
+
+    bool shutdownOk = true;
+    {
+        ServeReply bye = serveRequest(socket, "{\"op\": \"shutdown\"}");
+        shutdownOk = bye.status.at("ok").asBool();
+    }
+    server.waitUntilStopped();
+
+    Table t;
+    t.header({"clients", "requests", "p50 ms", "p99 ms", "req/s",
+              "byte-identical", "LRU-served"});
+    t.row({std::to_string(kClients),
+           std::to_string(latenciesMs.size()), Table::num(p50, 3),
+           Table::num(p99, 3), Table::num(reqPerSec, 0),
+           byteIdentical.load() ? "yes" : "NO",
+           lruServed.load() ? "yes" : "NO"});
+    t.print(std::cout);
+
+    Json j = Json::object();
+    j["bench"] = "micro_serve";
+    j["scenario"] = kScenario;
+    j["clients"] = kClients;
+    j["requests"] = latenciesMs.size();
+    j["p50_latency_ms"] = p50;
+    j["p99_latency_ms"] = p99;
+    j["requests_per_second"] = reqPerSec;
+    j["byte_identical"] = byteIdentical.load();
+    j["lru_served"] = lruServed.load();
+    j["clean_shutdown"] = shutdownOk;
+
+    std::ofstream json("BENCH_serve.json");
+    json << j.dump(1) << "\n";
+    std::cout << "\nWrote BENCH_serve.json (p50 "
+              << Table::num(p50, 3) << " ms, p99 "
+              << Table::num(p99, 3) << " ms, "
+              << Table::num(reqPerSec, 0)
+              << " req/s across " << kClients
+              << " concurrent clients).\n";
+    if (!byteIdentical.load() || !lruServed.load() || !shutdownOk)
+        fatal("serve bench acceptance failed (byte_identical=",
+              byteIdentical.load() ? "true" : "false", ", lru_served=",
+              lruServed.load() ? "true" : "false", ")");
+}
+
+} // namespace
+} // namespace libra
+
+int
+main()
+{
+    libra::setInformEnabled(false);
+    try {
+        libra::run();
+    } catch (const libra::FatalError& e) {
+        std::cerr << "bench: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

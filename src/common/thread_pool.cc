@@ -228,7 +228,10 @@ ThreadPool::setGlobalThreads(std::size_t threads)
             return;
         }
     }
-    gGlobalPool = std::make_unique<ThreadPool>(threads);
+    // Build the replacement from the clamped size, not the raw
+    // argument, so the early-return size check, the retired-pool reuse
+    // scan, and the pool actually built can never disagree.
+    gGlobalPool = std::make_unique<ThreadPool>(want);
 }
 
 std::size_t

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * libra_cli's study service: a long-lived Unix-domain-socket server
+ * answering scenario-matrix requests without paying process startup,
+ * registry construction, or disk-cache traffic per call
+ * (docs/SERVE.md).
+ *
+ * Protocol (newline-delimited JSON requests, framed responses):
+ *
+ *   request  := one JSON object on one line, e.g.
+ *              {"scenario": ["fig13"], "emit": "json"}
+ *   response := one compact JSON status line, then exactly
+ *              status.bytes raw payload bytes.
+ *
+ * The payload is byte-identical to what `libra_cli run-matrix` with
+ * the same parameters writes to stdout — fresh, disk-cached, or
+ * LRU-served, at any thread count — because emission is fully
+ * deterministic and cached reports round-trip bit-exactly. The
+ * explicit byte count (instead of line framing) is what lets the
+ * multi-line pretty-JSON payload cross a line-oriented protocol
+ * untouched.
+ *
+ * Concurrency: one thread per connection; concurrent requests share
+ * one ServeStore — a bounded in-memory LRU (serve/lru.hh) over the
+ * content-addressed disk cache, with single-flight dedup
+ * (serve/single_flight.hh) so N identical concurrent requests compute
+ * each unique design point exactly once. Request errors (unknown
+ * scenario, malformed JSON, FatalError from evaluation) are answered
+ * as `{"ok":false,...}` responses; they never terminate the server.
+ */
+
+#ifndef LIBRA_SERVE_SERVER_HH
+#define LIBRA_SERVE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_set>
+
+#include "common/json.hh"
+#include "serve/lru.hh"
+#include "serve/single_flight.hh"
+#include "study/cache.hh"
+#include "study/matrix.hh"
+
+namespace libra {
+
+/**
+ * The serve-mode StudyStore: an in-memory LRU in front of the disk
+ * ResultCache, with single-flight claim coordination across concurrent
+ * requests. Layering on load is LRU -> disk (a disk hit is promoted
+ * into the LRU); stores write through to both. claimCompute() re-probes
+ * the LRU after winning a claim, closing the race where another
+ * request published a key between this request's load miss and its
+ * claim — the only residual recompute window is LRU eviction plus a
+ * disabled/absent disk cache, which costs work but never correctness.
+ */
+class ServeStore : public StudyStore
+{
+  public:
+    /** Layered counters for the stats op and tests. */
+    struct Stats
+    {
+        LruCache::Stats lru;
+        std::uint64_t diskHits = 0;   ///< Loads served by the disk cache.
+        std::uint64_t misses = 0;     ///< Loads neither layer served.
+        std::uint64_t coalesced = 0;  ///< Claims joined as waiters.
+        std::size_t inFlight = 0;     ///< Currently claimed keys.
+    };
+
+    /**
+     * @p cacheDir empty runs memory-only (no disk layer);
+     * @p lruCapacity 0 disables the LRU (disk-only).
+     */
+    ServeStore(const std::string& cacheDir, std::size_t lruCapacity);
+
+    bool load(std::uint64_t key, const std::string& canonical,
+              LibraReport* out) override;
+    bool store(std::uint64_t key, const std::string& canonical,
+               const LibraReport& report) override;
+    Claim claimCompute(const std::string& canonical, PointStatus* status,
+                       LibraReport* report) override;
+    void publishCompute(const std::string& canonical,
+                        const PointStatus& status,
+                        const LibraReport& report) override;
+    void awaitCompute(const std::string& canonical, PointStatus* status,
+                      LibraReport* report) override;
+
+    Stats stats() const;
+
+    /** The disk layer, when one is configured (tests). */
+    const ResultCache* disk() const
+    {
+        return disk_ ? &*disk_ : nullptr;
+    }
+
+  private:
+    LruCache lru_;
+    std::optional<ResultCache> disk_;
+    SingleFlight flight_;
+    std::atomic<std::uint64_t> diskHits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> coalesced_{0};
+};
+
+/** Server configuration (the `libra_cli serve` flags). */
+struct ServeOptions
+{
+    std::string socketPath;      ///< AF_UNIX path; created on start.
+    std::string cacheDir;        ///< "" = memory-only store.
+    std::size_t lruCapacity = 1024;
+
+    /** Default FailMode for requests without a "failMode" field. */
+    FailMode failMode = FailMode::Abort;
+};
+
+/**
+ * The study server; see file comment for protocol and concurrency.
+ * Construction builds the store; start() binds/listens and spawns the
+ * accept loop; stop() (idempotent, also run by the destructor) shuts
+ * every live connection down and joins.
+ */
+class Server
+{
+  public:
+    /** Cumulative request counters. */
+    struct Stats
+    {
+        std::uint64_t requests = 0; ///< Lines answered (any op).
+        std::uint64_t errors = 0;   ///< Of which ok:false.
+    };
+
+    explicit Server(ServeOptions options);
+    ~Server();
+
+    /**
+     * Bind the socket and start accepting. Also warms the scenario/
+     * strategy/backend/explore registries so concurrent first requests
+     * race on work, not on registration.
+     * @throws FatalError when the socket cannot be bound.
+     */
+    void start();
+
+    /** Shut down: close the listener and every connection, join. */
+    void stop();
+
+    /** Block until stop() completes (a shutdown op triggers it). */
+    void waitUntilStopped();
+
+    bool running() const { return running_.load(); }
+
+    ServeStore& store() { return store_; }
+    const std::string& socketPath() const { return options_.socketPath; }
+    Stats stats() const;
+
+    /**
+     * The protocol core, public so tests can drive it without a
+     * socket: parse one request line, run it, and return the framed
+     * response bytes (status line + payload). Sets @p shutdown for a
+     * `{"op":"shutdown"}` request; the socket layer then stops the
+     * server after answering.
+     */
+    std::string handleLine(const std::string& line, bool* shutdown);
+
+  private:
+    void acceptLoop();
+    void handleConnection(int fd);
+
+    ServeOptions options_;
+    ServeStore store_;
+
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+    int listenFd_ = -1;
+    std::thread acceptThread_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable idle_;       ///< Signaled at connections==0.
+    std::unordered_set<int> connections_; ///< Live connection fds.
+
+    /** Serializes stop() (shutdown op vs. destructor vs. caller). */
+    std::mutex stopMutex_;
+
+    std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> errors_{0};
+};
+
+/** One framed reply, as seen by a client. */
+struct ServeReply
+{
+    Json status;         ///< The parsed status line.
+    std::string payload; ///< Exactly status.bytes raw bytes.
+};
+
+/**
+ * Client helper: connect to @p socketPath, send @p requestLine (one
+ * JSON object; the trailing newline is added), read one framed reply.
+ * @throws FatalError on connect/protocol failure.
+ */
+ServeReply serveRequest(const std::string& socketPath,
+                        const std::string& requestLine);
+
+} // namespace libra
+
+#endif // LIBRA_SERVE_SERVER_HH

@@ -1,0 +1,69 @@
+#include "serve/single_flight.hh"
+
+#include "common/logging.hh"
+
+namespace libra {
+
+SingleFlight::Role
+SingleFlight::claim(const std::string& key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = slots_.try_emplace(key, nullptr);
+    if (inserted) {
+        it->second = std::make_shared<Slot>();
+        return Role::Owner;
+    }
+    ++it->second->waiters;
+    return Role::Waiter;
+}
+
+void
+SingleFlight::publish(const std::string& key, const PointStatus& status,
+                      const LibraReport& report)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = slots_.find(key);
+    if (it == slots_.end())
+        panic("single-flight publish without a claim (key ",
+              key.substr(0, 32), "...)");
+    Slot& slot = *it->second;
+    if (slot.done)
+        panic("single-flight double publish (key ", key.substr(0, 32),
+              "...)");
+    slot.done = true;
+    slot.status = status;
+    slot.report = report;
+    slot.cv.notify_all();
+    // With no waiter pinning it the flight is over; the caches carry
+    // the result from here on.
+    if (slot.waiters == 0)
+        slots_.erase(it);
+}
+
+void
+SingleFlight::await(const std::string& key, PointStatus* status,
+                    LibraReport* report)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = slots_.find(key);
+    if (it == slots_.end())
+        panic("single-flight await without a claim (key ",
+              key.substr(0, 32), "...)");
+    // Hold the slot alive across the wait: the map entry can only be
+    // erased by the last collector, which might be another waiter.
+    std::shared_ptr<Slot> slot = it->second;
+    slot->cv.wait(lock, [&] { return slot->done; });
+    *status = slot->status;
+    *report = slot->report;
+    if (--slot->waiters == 0)
+        slots_.erase(key);
+}
+
+std::size_t
+SingleFlight::inFlight() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return slots_.size();
+}
+
+} // namespace libra

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Single-flight computation dedup for the serve subsystem
+ * (docs/SERVE.md).
+ *
+ * N concurrent requests that miss the caches on the same canonical
+ * study key must trigger exactly one optimize() run: the first claimer
+ * becomes the *owner* and computes; everyone else becomes a *waiter*
+ * and blocks for the owner's published result. Evaluation is
+ * deterministic, so a shared result — success or failure — is
+ * bit-identical to what the waiter would have computed itself.
+ *
+ * Protocol (enforced with panics — a violation is a caller bug, not a
+ * recoverable condition):
+ *
+ *   claim(key) -> Owner   : compute, then publish(key, ...) exactly
+ *                           once, success or failure.
+ *   claim(key) -> Waiter  : await(key, ...) exactly once.
+ *
+ * A slot lives from the owning claim until both the owner has
+ * published and every waiter has collected — whichever comes last —
+ * then disappears, so a later claim of the same key starts a fresh
+ * flight (the caches, not this class, remember results).
+ */
+
+#ifndef LIBRA_SERVE_SINGLE_FLIGHT_HH
+#define LIBRA_SERVE_SINGLE_FLIGHT_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/framework.hh"
+
+namespace libra {
+
+/** Keyed in-flight computation registry; see file comment. */
+class SingleFlight
+{
+  public:
+    enum class Role
+    {
+        Owner,  ///< Caller computes; must publish() exactly once.
+        Waiter, ///< Another caller computes; must await() exactly once.
+    };
+
+    /** Join (or start) the flight for @p key. */
+    Role claim(const std::string& key);
+
+    /**
+     * Resolve an owned flight with the computed outcome and wake every
+     * waiter. @p status may be a failure; waiters share it verbatim.
+     */
+    void publish(const std::string& key, const PointStatus& status,
+                 const LibraReport& report);
+
+    /** Block until @p key's owner publishes; copies the outcome out. */
+    void await(const std::string& key, PointStatus* status,
+               LibraReport* report);
+
+    /** Flights currently registered (tests/stats). */
+    std::size_t inFlight() const;
+
+  private:
+    struct Slot
+    {
+        std::condition_variable cv;
+        bool done = false;
+        std::size_t waiters = 0;
+        PointStatus status;
+        LibraReport report;
+    };
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, std::shared_ptr<Slot>> slots_;
+};
+
+} // namespace libra
+
+#endif // LIBRA_SERVE_SINGLE_FLIGHT_HH

@@ -21,6 +21,18 @@
 
 namespace libra {
 
+void
+StudyStore::awaitCompute(const std::string& canonical,
+                         PointStatus* status, LibraReport* report)
+{
+    (void)status;
+    (void)report;
+    // A plain store never answers Shared, so a wait here means the
+    // sweep and the store implementation disagree about the protocol.
+    panic("awaitCompute on a store that never shares claims (key ",
+          canonical.substr(0, 32), "...)");
+}
+
 // Field encoding comes from common/json.hh (appendCanonicalNumber /
 // appendCanonicalString) so it cannot diverge from the workload and
 // cost-model canonical serializations.
@@ -243,9 +255,12 @@ retryIo(FaultSite site, std::uint64_t key, const Op& op)
 }
 
 /**
- * True when the `.tmp.<pid>` suffix of @p name belongs to a process
- * that no longer exists (or never parsed as a pid at all) — a tmp file
- * leaked by a crashed run, safe to reap.
+ * True when the `.tmp.<pid>[.<seq>]` suffix of @p name belongs to a
+ * process that no longer exists (or never parsed at all) — a tmp file
+ * leaked by a crashed run, safe to reap. The optional `.<seq>` part is
+ * the per-writer counter concurrent stores append so two threads of
+ * one process can never share a tmp file; ownership is still decided
+ * by the pid alone.
  */
 bool
 tmpFileIsStale(const std::string& name)
@@ -257,8 +272,18 @@ tmpFileIsStale(const std::string& name)
     std::string pidText = name.substr(at + marker.size());
     char* end = nullptr;
     long pid = std::strtol(pidText.c_str(), &end, 10);
-    if (end == pidText.c_str() || *end != '\0' || pid <= 0)
+    if (end == pidText.c_str() || pid <= 0)
         return true; // Garbage suffix: nothing owns it.
+    if (*end == '.') {
+        // Per-writer sequence suffix: must be a nonempty digit run.
+        const char* seq = end + 1;
+        char* seqEnd = nullptr;
+        std::strtol(seq, &seqEnd, 10);
+        if (seqEnd == seq || *seqEnd != '\0')
+            return true; // Garbage sequence: nothing owns it.
+    } else if (*end != '\0') {
+        return true; // Garbage after the pid: nothing owns it.
+    }
     // Signal 0 probes existence. EPERM means the pid exists but is not
     // ours — leave its tmp file alone.
     return ::kill(static_cast<pid_t>(pid), 0) != 0 && errno == ESRCH;
@@ -302,10 +327,22 @@ ResultCache::reapStaleTmp()
             continue;
         std::filesystem::remove(entry.path(), fileEc);
         if (!fileEc) {
-            ++stats_.reapedTmp;
+            reapedTmp_.fetch_add(1, std::memory_order_relaxed);
             inform("reaped stale cache tmp file ", name);
         }
     }
+}
+
+ResultCache::Stats
+ResultCache::stats() const
+{
+    Stats s;
+    s.reapedTmp = reapedTmp_.load(std::memory_order_relaxed);
+    s.quarantined = quarantined_.load(std::memory_order_relaxed);
+    s.loadFailures = loadFailures_.load(std::memory_order_relaxed);
+    s.storeFailures = storeFailures_.load(std::memory_order_relaxed);
+    s.collisions = collisions_.load(std::memory_order_relaxed);
+    return s;
 }
 
 std::string
@@ -319,12 +356,12 @@ ResultCache::path(std::uint64_t key) const
 
 void
 ResultCache::quarantine(const std::string& file,
-                        const std::string& why) const
+                        const std::string& why)
 {
     // Move the damaged entry aside instead of deleting it: the
     // `.corrupt` file is diagnostic evidence, and the rename frees the
     // key so the recomputed result can be stored cleanly.
-    ++stats_.quarantined;
+    quarantined_.fetch_add(1, std::memory_order_relaxed);
     warn("quarantining cache entry ", file, " (", why,
          "); recomputing the point");
     std::error_code ec;
@@ -339,13 +376,17 @@ ResultCache::quarantine(const std::string& file,
 
 bool
 ResultCache::load(std::uint64_t key, const std::string& canonical,
-                  LibraReport* out) const
+                  LibraReport* out)
 {
     if (!enabled_)
         return false;
+    // Serialize same-key I/O against concurrent stores of this
+    // process: a reader can then never observe the quarantine-and-
+    // recompute window of a writer it races with.
+    std::lock_guard<std::mutex> lock(shard(key));
     const std::string file = path(key);
     if (injectFault(FaultSite::CacheLoadRead, key)) {
-        ++stats_.loadFailures;
+        loadFailures_.fetch_add(1, std::memory_order_relaxed);
         warn("cannot read cache entry ", file,
              " (injected fault); recomputing the point");
         return false;
@@ -355,7 +396,7 @@ ResultCache::load(std::uint64_t key, const std::string& canonical,
         std::error_code ec;
         if (!std::filesystem::exists(file, ec))
             return false; // Clean miss: never cached.
-        ++stats_.loadFailures;
+        loadFailures_.fetch_add(1, std::memory_order_relaxed);
         warn("cannot read cache entry ", file,
              "; recomputing the point");
         return false;
@@ -363,7 +404,7 @@ ResultCache::load(std::uint64_t key, const std::string& canonical,
     std::ostringstream text;
     text << in.rdbuf();
     if (in.bad()) {
-        ++stats_.loadFailures;
+        loadFailures_.fetch_add(1, std::memory_order_relaxed);
         warn("read error on cache entry ", file,
              "; recomputing the point");
         return false;
@@ -383,7 +424,7 @@ ResultCache::load(std::uint64_t key, const std::string& canonical,
         if (body.at("inputs").asString() != canonical) {
             // 64-bit hash collision between distinct inputs: treat as
             // a miss (the colliding entry stays; last writer wins).
-            ++stats_.collisions;
+            collisions_.fetch_add(1, std::memory_order_relaxed);
             warn("cache key collision on ", file,
                  "; recomputing the point");
             return false;
@@ -400,7 +441,7 @@ ResultCache::load(std::uint64_t key, const std::string& canonical,
 
 bool
 ResultCache::store(std::uint64_t key, const std::string& canonical,
-                   const LibraReport& report) const
+                   const LibraReport& report)
 {
     if (!enabled_)
         return false;
@@ -417,15 +458,20 @@ ResultCache::store(std::uint64_t key, const std::string& canonical,
     const std::string payload = j.dump(1) + "\n";
 
     // Write-then-rename so concurrent runs never observe a torn file;
-    // the tmp name is per-process so two runs storing the same key
-    // cannot interleave writes into one tmp file.
+    // the tmp name is per-writer — pid for cross-process uniqueness
+    // plus a process-wide store sequence for cross-thread uniqueness —
+    // so two stores of the same key can never interleave writes into
+    // one tmp file (tmpFileIsStale understands the extended suffix).
     // The cache may only ever amortize work, never break a run: a
     // read-only or full cache directory degrades to a warning and the
     // batch simply recomputes the point next time.
+    static std::atomic<std::uint64_t> storeSeq{0};
     const std::string finalPath = path(key);
     const std::string tmpPath =
-        finalPath + ".tmp." + std::to_string(::getpid());
+        finalPath + ".tmp." + std::to_string(::getpid()) + "." +
+        std::to_string(storeSeq.fetch_add(1, std::memory_order_relaxed));
 
+    std::lock_guard<std::mutex> lock(shard(key));
     bool ok = retryIo(FaultSite::CacheStoreWrite, key, [&] {
         std::ofstream file(tmpPath);
         if (!file)
@@ -442,7 +488,7 @@ ResultCache::store(std::uint64_t key, const std::string& canonical,
         });
     }
     if (!ok) {
-        ++stats_.storeFailures;
+        storeFailures_.fetch_add(1, std::memory_order_relaxed);
         warn("cannot store cache entry '", finalPath,
              "'; continuing without the cache");
         std::error_code ec;

@@ -32,8 +32,9 @@
  * The cache is strictly best-effort and self-healing
  * (docs/ROBUSTNESS.md): it may only ever amortize work, never break or
  * alter a run. Corrupt, truncated, or version-skewed entries are
- * quarantined to `<name>.corrupt` and recomputed; stale `.tmp.<pid>`
- * files left by crashed runs are reaped when the cache opens; store
+ * quarantined to `<name>.corrupt` and recomputed; stale
+ * `.tmp.<pid>.<seq>` files left by crashed runs are reaped when the
+ * cache opens; store
  * I/O retries with bounded backoff and then degrades to a warning; an
  * uncreatable cache directory disables the cache instead of aborting.
  *
@@ -46,7 +47,10 @@
 #ifndef LIBRA_STUDY_CACHE_HH
 #define LIBRA_STUDY_CACHE_HH
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "common/json.hh"
@@ -76,8 +80,86 @@ std::uint64_t studyCacheHash(const LibraInputs& inputs);
 Json reportToJson(const LibraReport& report);
 LibraReport reportFromJson(const Json& json);
 
-/** One-file-per-key report store under a directory. */
-class ResultCache
+/**
+ * Pluggable study-point store consumed by the matrix runner's cached
+ * sweep. ResultCache is the plain disk implementation; the serve
+ * subsystem layers an in-memory LRU and single-flight dedup on top
+ * (src/serve/, docs/SERVE.md) behind this same seam.
+ *
+ * Beyond load/store, the interface carries the *single-flight* hooks
+ * the sweep calls around computing a missed point:
+ *
+ *  - claimCompute() asks who computes a missed key. A plain store
+ *    always answers Owned (the caller computes, as it always has). A
+ *    coordinating store may answer Shared (another thread is already
+ *    computing this key; call awaitCompute() to block for its result)
+ *    or Cached (the result landed between the load miss and the claim;
+ *    it is returned immediately).
+ *  - Every Owned claim must be resolved with exactly one
+ *    publishCompute() — successes and failures alike — so waiters can
+ *    never block forever. Evaluation is deterministic, so sharing a
+ *    failure is bit-identical to recomputing it.
+ *
+ * All methods must be safe to call from concurrent sweeps.
+ */
+class StudyStore
+{
+  public:
+    /** Who computes a missed key (see class comment). */
+    enum class Claim
+    {
+        Owned,  ///< Caller computes and must publish exactly once.
+        Shared, ///< Another thread computes; await its result.
+        Cached, ///< Result arrived since the load miss; outputs filled.
+    };
+
+    virtual ~StudyStore() = default;
+
+    /** Load the report cached under @p key / @p canonical; hit/miss. */
+    virtual bool load(std::uint64_t key, const std::string& canonical,
+                      LibraReport* out) = 0;
+
+    /** Store @p report under @p key; false when not published. */
+    virtual bool store(std::uint64_t key, const std::string& canonical,
+                       const LibraReport& report) = 0;
+
+    /** Claim computation of a missed @p canonical key. */
+    virtual Claim
+    claimCompute(const std::string& canonical, PointStatus* status,
+                 LibraReport* report)
+    {
+        (void)canonical;
+        (void)status;
+        (void)report;
+        return Claim::Owned;
+    }
+
+    /** Resolve an Owned claim (ok or failed); wakes any waiters. */
+    virtual void
+    publishCompute(const std::string& canonical,
+                   const PointStatus& status, const LibraReport& report)
+    {
+        (void)canonical;
+        (void)status;
+        (void)report;
+    }
+
+    /** Block for the owner's result of a Shared claim. */
+    virtual void awaitCompute(const std::string& canonical,
+                              PointStatus* status, LibraReport* report);
+};
+
+/**
+ * One-file-per-key report store under a directory.
+ *
+ * Safe for concurrent readers and writers: per-key-sharded mutexes
+ * serialize same-key file I/O within the process, the self-healing
+ * counters are atomic, and tmp files carry a per-writer
+ * `.tmp.<pid>.<seq>` suffix so two threads storing the same key can
+ * never interleave writes into one tmp file (cross-process safety
+ * still comes from write-then-rename).
+ */
+class ResultCache : public StudyStore
 {
   public:
     /** Counters of the self-healing machinery, exposed for tests. */
@@ -91,8 +173,9 @@ class ResultCache
     };
 
     /**
-     * Opens (and creates if needed) @p dir, reaping stale `.tmp.<pid>`
-     * files whose owning process is gone. An uncreatable directory
+     * Opens (and creates if needed) @p dir, reaping stale
+     * `.tmp.<pid>.<seq>` files whose owning process is gone. An
+     * uncreatable directory
      * warns and disables the cache (every load misses, every store
      * no-ops) instead of aborting — the cache is best-effort.
      * @throws FatalError only on an empty @p dir (caller bug).
@@ -116,7 +199,7 @@ class ResultCache
      * @return hit/miss.
      */
     bool load(std::uint64_t key, const std::string& canonical,
-              LibraReport* out) const;
+              LibraReport* out) override;
 
     /**
      * Store @p report under @p key with its canonical input text
@@ -126,20 +209,32 @@ class ResultCache
      * @return true when the entry was published.
      */
     bool store(std::uint64_t key, const std::string& canonical,
-               const LibraReport& report) const;
+               const LibraReport& report) override;
 
-    /** Self-healing counters since this cache was opened. */
-    const Stats& stats() const { return stats_; }
+    /** Snapshot of the self-healing counters since the cache opened. */
+    Stats stats() const;
 
   private:
+    /** Lock arity for same-key I/O serialization (power of two). */
+    static constexpr std::size_t kShards = 16;
+
     std::string path(std::uint64_t key) const;
+    std::mutex& shard(std::uint64_t key) { return shards_[key % kShards]; }
     void reapStaleTmp();
-    void quarantine(const std::string& file, const std::string& why)
-        const;
+    void quarantine(const std::string& file, const std::string& why);
 
     std::string dir_;
     bool enabled_ = true;
-    mutable Stats stats_;
+
+    /** Per-key-shard mutexes serializing same-key file I/O. */
+    std::array<std::mutex, kShards> shards_;
+
+    /** Atomic twins of Stats (concurrent sweeps bump them freely). */
+    std::atomic<std::size_t> reapedTmp_{0};
+    std::atomic<std::size_t> quarantined_{0};
+    std::atomic<std::size_t> loadFailures_{0};
+    std::atomic<std::size_t> storeFailures_{0};
+    std::atomic<std::size_t> collisions_{0};
 };
 
 } // namespace libra

@@ -5,6 +5,7 @@
 #include <optional>
 #include <ostream>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/fault.hh"
 #include "common/logging.hh"
@@ -25,12 +26,14 @@ struct SweepBatch
     std::vector<bool> fromCache;      ///< Per point: served from cache.
     std::vector<PointStatus> status;  ///< Per point: ok or failed.
     std::size_t unique = 0;           ///< Distinct points after dedup.
-    std::size_t computed = 0;         ///< Points actually optimized.
+    std::size_t computed = 0;         ///< Points this sweep optimized.
+    std::size_t coalesced = 0;        ///< Points awaited from another
+                                      ///< sweep's in-flight claim.
     std::size_t failed = 0;           ///< Points whose evaluation failed.
 };
 
 /**
- * Deduplicate @p points by content, serve what the cache already has,
+ * Deduplicate @p points by content, serve what the store already has,
  * and run the rest as one runLibraSweep batch. Shared by the static
  * scenario batch and every round of an adaptive exploration, so both
  * paths get identical dedup/caching semantics.
@@ -38,7 +41,15 @@ struct SweepBatch
  * Identity is the full canonical key text — the hash only names the
  * cache file — so a 64-bit collision cannot merge distinct points.
  * Points with a custom commTimeFn get a private slot (no content
- * identity) and never touch the cache.
+ * identity) and never touch the store.
+ *
+ * Concurrency: missed keys are claimed through the store's single-
+ * flight seam (StudyStore::claimCompute). Owned keys are computed here
+ * and *published before any await*, so two sweeps waiting on each
+ * other's claims can never deadlock; Shared keys block on the owner's
+ * published result, which — evaluation being deterministic — is
+ * bit-identical to recomputing. A plain ResultCache grants every
+ * claim, collapsing this to the classic single-process flow.
  *
  * Failure semantics: points run through runLibraSweepIsolated, and
  * the `point-eval` fault-injection site fires here, keyed by each
@@ -47,12 +58,12 @@ struct SweepBatch
  * dedup order (private slots get no injection: they have no content
  * key). Under Isolate the per-point statuses come back in the batch;
  * under Abort the lowest-index failing point's error unwinds,
- * deterministically. Failed slots are never stored to the cache.
+ * deterministically. Failed slots are never stored to the cache, but
+ * their status is still published so waiters observe the same failure.
  */
 SweepBatch
-cachedSweep(const std::vector<LibraInputs>& points,
-            const std::optional<ResultCache>& cache, bool update_cache,
-            FailMode failMode)
+cachedSweep(const std::vector<LibraInputs>& points, StudyStore* store,
+            bool update_cache, FailMode failMode)
 {
     std::vector<std::size_t> slotOf(points.size());
     std::vector<std::string> slotKey; // Canonical text; "" = private.
@@ -81,8 +92,8 @@ cachedSweep(const std::vector<LibraInputs>& points,
     std::vector<bool> slotCached(slots, false);
     std::vector<std::size_t> missing;
     for (std::size_t s = 0; s < slots; ++s) {
-        if (cache && !slotKey[s].empty() &&
-            cache->load(studyCacheHashOfKey(slotKey[s]), slotKey[s],
+        if (store && !slotKey[s].empty() &&
+            store->load(studyCacheHashOfKey(slotKey[s]), slotKey[s],
                         &slotReport[s])) {
             slotCached[s] = true;
         } else {
@@ -90,35 +101,99 @@ cachedSweep(const std::vector<LibraInputs>& points,
         }
     }
 
-    // One sharded sweep over every missing unique point. Injected
-    // point-eval faults replace the evaluation (keyed by content, so
-    // the same points fail fresh or cached, at any thread count).
+    // Claim phase: ask the store who computes each missed key. Keys
+    // another sweep is already computing are awaited *after* our own
+    // batch publishes (publish-before-await keeps this deadlock-free).
+    std::vector<std::size_t> owned;
+    std::vector<std::size_t> awaited;
+    for (std::size_t s : missing) {
+        if (!store || slotKey[s].empty()) {
+            owned.push_back(s);
+            continue;
+        }
+        switch (store->claimCompute(slotKey[s], &slotStatus[s],
+                                    &slotReport[s])) {
+          case StudyStore::Claim::Cached:
+            slotCached[s] = true;
+            break;
+          case StudyStore::Claim::Shared:
+            awaited.push_back(s);
+            break;
+          case StudyStore::Claim::Owned:
+            owned.push_back(s);
+            break;
+        }
+    }
+
+    // Compute phase: one sharded sweep over every owned point.
+    // Injected point-eval faults replace the evaluation (keyed by
+    // content, so the same points fail fresh or cached, at any thread
+    // count); their failure is published like any other outcome.
     std::vector<LibraInputs> batch;
     std::vector<std::size_t> batchSlot;
-    batch.reserve(missing.size());
-    for (std::size_t s : missing) {
+    batch.reserve(owned.size());
+    for (std::size_t s : owned) {
         if (!slotKey[s].empty() &&
             injectFault(FaultSite::PointEval,
                         studyCacheHashOfKey(slotKey[s]))) {
             slotStatus[s].ok = false;
             slotStatus[s].error = "injected point-eval fault";
+            if (store)
+                store->publishCompute(slotKey[s], slotStatus[s],
+                                      slotReport[s]);
             continue;
         }
         batch.push_back(points[slotRep[s]]);
         batchSlot.push_back(s);
     }
-    SweepOutcome computed = runLibraSweepIsolated(batch);
-    for (std::size_t k = 0; k < batchSlot.size(); ++k) {
-        std::size_t s = batchSlot[k];
-        slotStatus[s] = std::move(computed.status[k]);
-        if (!slotStatus[s].ok)
-            continue;
-        slotReport[s] = std::move(computed.reports[k]);
-        if (cache && update_cache && !slotKey[s].empty()) {
-            cache->store(studyCacheHashOfKey(slotKey[s]), slotKey[s],
-                         slotReport[s]);
+    std::size_t resolved = 0; // Batch slots published so far.
+    try {
+        SweepOutcome computed = runLibraSweepIsolated(batch);
+        for (std::size_t k = 0; k < batchSlot.size(); ++k) {
+            std::size_t s = batchSlot[k];
+            slotStatus[s] = std::move(computed.status[k]);
+            if (slotStatus[s].ok) {
+                slotReport[s] = std::move(computed.reports[k]);
+                if (store && update_cache && !slotKey[s].empty()) {
+                    store->store(studyCacheHashOfKey(slotKey[s]),
+                                 slotKey[s], slotReport[s]);
+                }
+            }
+            if (store && !slotKey[s].empty())
+                store->publishCompute(slotKey[s], slotStatus[s],
+                                      slotReport[s]);
+            ++resolved;
         }
+    } catch (...) {
+        // An internal error is unwinding this sweep. Every owned claim
+        // must still be resolved exactly once or waiters in other
+        // sweeps would block forever on our abandoned slots; then our
+        // own Shared claims are drained (their owners are guaranteed
+        // to publish — this very rule — and we publish before waiting,
+        // so the drain cannot deadlock) so no slot stays pinned by a
+        // waiter that never showed up.
+        if (store) {
+            for (std::size_t k = resolved; k < batchSlot.size(); ++k) {
+                std::size_t s = batchSlot[k];
+                if (slotKey[s].empty())
+                    continue;
+                PointStatus abandoned;
+                abandoned.ok = false;
+                abandoned.error = "owning computation aborted";
+                store->publishCompute(slotKey[s], abandoned,
+                                      slotReport[s]);
+            }
+            for (std::size_t s : awaited)
+                store->awaitCompute(slotKey[s], &slotStatus[s],
+                                    &slotReport[s]);
+        }
+        throw;
     }
+
+    // Await phase: collect the results other sweeps computed.
+    for (std::size_t s : awaited)
+        store->awaitCompute(slotKey[s], &slotStatus[s],
+                            &slotReport[s]);
 
     if (failMode == FailMode::Abort) {
         // Re-raise the classic unwind: the lowest-index failing
@@ -131,7 +206,8 @@ cachedSweep(const std::vector<LibraInputs>& points,
 
     SweepBatch out;
     out.unique = slots;
-    out.computed = missing.size();
+    out.computed = owned.size();
+    out.coalesced = awaited.size();
     out.reports.reserve(points.size());
     out.fromCache.reserve(points.size());
     out.status.reserve(points.size());
@@ -232,19 +308,25 @@ runScenarioMatrix(const std::vector<std::string>& names,
         slices.push_back(std::move(slice));
     }
 
-    std::optional<ResultCache> cache;
-    if (!options.cacheDir.empty())
-        cache.emplace(options.cacheDir);
+    // An externally owned store (serve mode's shared LRU + single-
+    // flight + disk layering) wins over a per-run disk cache.
+    std::optional<ResultCache> localCache;
+    StudyStore* store = options.store;
+    if (!store && !options.cacheDir.empty()) {
+        localCache.emplace(options.cacheDir);
+        store = &*localCache;
+    }
 
     // Phase 2: the shared batch — dedup, cache, one sharded sweep.
     SweepBatch main =
-        cachedSweep(points, cache, options.updateCache,
+        cachedSweep(points, store, options.updateCache,
                     options.failMode);
 
     MatrixResult result;
     result.points = points.size();
     result.unique = main.unique;
     result.computed = main.computed;
+    result.coalesced = main.coalesced;
     result.failed = main.failed;
     // Cache hits are counted in point terms (what the user asked for).
     for (bool hit : main.fromCache)
@@ -269,12 +351,13 @@ runScenarioMatrix(const std::vector<std::string>& names,
             ExploreSweepFn sweep =
                 [&](const std::vector<LibraInputs>& batch) {
                     SweepBatch b =
-                        cachedSweep(batch, cache, options.updateCache,
+                        cachedSweep(batch, store, options.updateCache,
                                     FailMode::Abort);
                     run.points += batch.size();
                     result.points += batch.size();
                     result.unique += b.unique;
                     result.computed += b.computed;
+                    result.coalesced += b.coalesced;
                     for (bool hit : b.fromCache) {
                         run.fromCache += hit ? 1 : 0;
                         result.fromCache += hit ? 1 : 0;
@@ -443,19 +526,21 @@ csvEscape(const std::string& s)
     return out;
 }
 
-/** Union of row keys in first-seen order. */
+/**
+ * Union of row keys in first-seen order. The auxiliary set keeps the
+ * membership test O(1) — a linear rescan of `keys` per key is
+ * O(rows·keys²) and measurably slow on frontier-sized scenarios.
+ */
 template <typename Value>
 std::vector<std::string>
 keyUnion(const std::vector<ScenarioRow>& rows,
          std::vector<std::pair<std::string, Value>> ScenarioRow::*field)
 {
     std::vector<std::string> keys;
+    std::unordered_set<std::string> seen;
     for (const ScenarioRow& row : rows) {
         for (const auto& [k, v] : row.*field) {
-            bool seen = false;
-            for (const auto& existing : keys)
-                seen |= existing == k;
-            if (!seen)
+            if (seen.insert(k).second)
                 keys.push_back(k);
         }
     }
@@ -575,10 +660,18 @@ emitMatrixCsv(const MatrixResult& result, std::ostream& os)
             os << csvEscape(run.name) << ",summary," << csvEscape(k)
                << ',' << jsonNumberToString(v) << "\n";
         }
-        for (const PointFailure& f : run.failures) {
-            os << csvEscape(run.name) << ",failure," << f.index << ','
-               << csvEscape(f.label) << ',' << csvEscape(f.error)
-               << "\n";
+        // Failure rows carry their own columns (index/label/error), so
+        // they get a dedicated header instead of riding under the row
+        // header above — a strict CSV parser would see misaligned rows.
+        // All-ok runs emit no failure section, byte-identical to the
+        // pre-isolation output.
+        if (!run.failures.empty()) {
+            os << "\nscenario,kind,index,label,error\n";
+            for (const PointFailure& f : run.failures) {
+                os << csvEscape(run.name) << ",failure," << f.index
+                   << ',' << csvEscape(f.label) << ','
+                   << csvEscape(f.error) << "\n";
+            }
         }
     }
 }

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/json.hh"
+#include "study/cache.hh"
 #include "study/scenario.hh"
 
 namespace libra {
@@ -51,6 +52,15 @@ struct MatrixOptions
 {
     /** Cache directory; empty disables the result cache. */
     std::string cacheDir;
+
+    /**
+     * Externally owned study store used instead of opening @ref
+     * cacheDir — the serve subsystem passes its shared LRU + single-
+     * flight + disk layering here so every concurrent request runs
+     * against one store (src/serve/, docs/SERVE.md). Null keeps the
+     * classic behavior (a per-run ResultCache when cacheDir is set).
+     */
+    StudyStore* store = nullptr;
 
     /** Store freshly computed points back into the cache. */
     bool updateCache = true;
@@ -116,7 +126,9 @@ struct MatrixResult
     std::size_t points = 0;    ///< Total points across scenarios.
     std::size_t unique = 0;    ///< Distinct points after dedup.
     std::size_t fromCache = 0; ///< Points served from the cache.
-    std::size_t computed = 0;  ///< Points actually optimized.
+    std::size_t computed = 0;  ///< Points this run optimized itself.
+    std::size_t coalesced = 0; ///< Points awaited from another run's
+                               ///< in-flight computation (serve mode).
     std::size_t failed = 0;    ///< Failed points (Isolate mode).
 };
 

@@ -56,6 +56,24 @@ ScenarioRegistry::names() const
     return out;
 }
 
+std::vector<std::string>
+expandScenarioGroups(const std::vector<std::string>& names)
+{
+    std::vector<std::string> out;
+    for (const auto& name : names) {
+        if (name == "all") {
+            for (const auto& n : ScenarioRegistry::global().names())
+                out.push_back(n);
+        } else if (name == "golden") {
+            for (const auto& n : goldenScenarioNames())
+                out.push_back(n);
+        } else {
+            out.push_back(name);
+        }
+    }
+    return out;
+}
+
 const std::vector<std::string>&
 goldenScenarioNames()
 {

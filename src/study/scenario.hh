@@ -155,6 +155,16 @@ void registerBuiltinScenarios(ScenarioRegistry& registry);
 const std::vector<std::string>& goldenScenarioNames();
 
 /**
+ * Expand scenario name groups against the registry: "all" inlines
+ * every registered scenario, "golden" inlines goldenScenarioNames(),
+ * anything else passes through verbatim (validation happens in
+ * runScenarioMatrix). Shared by the CLI and the serve protocol so a
+ * served request resolves groups exactly like the one-shot command.
+ */
+std::vector<std::string>
+expandScenarioGroups(const std::vector<std::string>& names);
+
+/**
  * The paper's 100-1,000 GB/s per-NPU budget sweep (Figs. 13-16). The
  * single source of truth for the evaluation grid — the remaining
  * standalone benches (fig19/fig20/ablations) forward to it via

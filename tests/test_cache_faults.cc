@@ -646,5 +646,39 @@ TEST(MatrixFaults, InjectedCacheFaultsNeverChangeTheOutput)
     std::filesystem::remove_all(dir);
 }
 
+TEST(MatrixCsv, FailureRowsCarryTheirOwnHeader)
+{
+    setInformEnabled(false);
+    MatrixOptions isolate;
+    isolate.failMode = FailMode::Isolate;
+    MatrixResult mixed = runScenarioMatrix(
+        {faultMiniScenarioName(), poisonScenarioName()}, isolate);
+    ASSERT_EQ(mixed.failed, 1u);
+
+    std::ostringstream os;
+    emitMatrixCsv(mixed, os);
+    const std::string csv = os.str();
+
+    // Failure rows have index/label/error columns, which do not line
+    // up with the scenario's label/metric row header — so they must
+    // sit under their own header, and every failure row must carry
+    // exactly its five columns.
+    const std::string failureHeader = "scenario,kind,index,label,error";
+    std::size_t at = csv.find(failureHeader);
+    ASSERT_NE(at, std::string::npos);
+    std::size_t rowStart = csv.find('\n', at) + 1;
+    std::size_t rowEnd = csv.find('\n', rowStart);
+    std::string row = csv.substr(rowStart, rowEnd - rowStart);
+    EXPECT_EQ(row.rfind("test-poison,failure,1,SW(4)_RI(8),", 0), 0u)
+        << row;
+
+    // All-ok output has no failure section at all — byte-identical to
+    // the pre-isolation emission.
+    MatrixResult ok = runScenarioMatrix({faultMiniScenarioName()});
+    std::ostringstream okOs;
+    emitMatrixCsv(ok, okOs);
+    EXPECT_EQ(okOs.str().find("failure"), std::string::npos);
+}
+
 } // namespace
 } // namespace libra

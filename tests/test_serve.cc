@@ -1,0 +1,443 @@
+/**
+ * @file
+ * Serve-subsystem tests: the bounded LRU, the single-flight dedup
+ * protocol, the layered ServeStore, and the Unix-domain-socket server
+ * end to end — byte-identity with one-shot run-matrix emission,
+ * exactly-once computation under concurrent identical requests, and
+ * per-request error isolation. See docs/SERVE.md.
+ */
+
+#include <atomic>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "core/study_config.hh"
+#include "serve/lru.hh"
+#include "serve/server.hh"
+#include "serve/single_flight.hh"
+#include "study/cache.hh"
+#include "study/matrix.hh"
+
+namespace libra {
+namespace {
+
+LibraInputs
+miniInputs(const char* extra = "")
+{
+    std::string text = "NETWORK SW(4)_RI(4)\nTOTAL_BW 200\n"
+                       "STARTS 2\nWORKLOAD resnet50\n";
+    text += extra;
+    return parseStudyConfigString(text);
+}
+
+/** A tiny scenario (2 unique points + 1 dup), registered once. */
+const char*
+serveScenarioName()
+{
+    static const char* name = [] {
+        Scenario s;
+        s.name = "test-serve-mini";
+        s.title = "serve-test scenario";
+        s.build = [] {
+            std::vector<LibraInputs> points;
+            points.push_back(miniInputs());
+            points.push_back(miniInputs("SEED 5\n"));
+            points.push_back(miniInputs()); // Dup of the first.
+            return points;
+        };
+        s.format = [](const std::vector<LibraInputs>& points,
+                      const std::vector<LibraReport>& reports) {
+            ScenarioOutput out;
+            for (std::size_t i = 0; i < points.size(); ++i) {
+                ScenarioRow row;
+                row.label("point", std::to_string(i));
+                row.metric("speedup", reports[i].speedup);
+                out.rows.push_back(std::move(row));
+            }
+            return out;
+        };
+        ScenarioRegistry::global().add(std::move(s));
+        return "test-serve-mini";
+    }();
+    return name;
+}
+
+std::string
+freshDir(const char* name)
+{
+    std::string dir = testing::TempDir() + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+/** The exact bytes `run-matrix <scenario> --emit json` prints. */
+std::string
+oneShotJson(const std::string& scenario)
+{
+    MatrixResult result = runScenarioMatrix({scenario});
+    std::ostringstream os;
+    emitMatrixJson(result, os);
+    return os.str();
+}
+
+std::string
+oneShotCsv(const std::string& scenario)
+{
+    MatrixResult result = runScenarioMatrix({scenario});
+    std::ostringstream os;
+    emitMatrixCsv(result, os);
+    return os.str();
+}
+
+// --- LRU ---------------------------------------------------------------
+
+TEST(ServeLru, HitsPromoteAndColdEndEvicts)
+{
+    LruCache lru(2);
+    LibraReport a, b, c;
+    a.speedup = 1.0;
+    b.speedup = 2.0;
+    c.speedup = 3.0;
+    lru.put("a", a);
+    lru.put("b", b);
+
+    LibraReport out;
+    ASSERT_TRUE(lru.get("a", &out)); // Promotes "a"; "b" is coldest.
+    EXPECT_EQ(out.speedup, 1.0);
+
+    lru.put("c", c); // Evicts "b", not the just-promoted "a".
+    EXPECT_FALSE(lru.get("b", &out));
+    EXPECT_TRUE(lru.get("a", &out));
+    EXPECT_TRUE(lru.get("c", &out));
+
+    LruCache::Stats stats = lru.stats();
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_EQ(stats.entries, 2u);
+    EXPECT_EQ(stats.capacity, 2u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 3u);
+}
+
+TEST(ServeLru, RefreshingAKeyOverwritesInPlace)
+{
+    LruCache lru(4);
+    LibraReport v1, v2;
+    v1.speedup = 1.0;
+    v2.speedup = 2.0;
+    lru.put("k", v1);
+    lru.put("k", v2);
+    LibraReport out;
+    ASSERT_TRUE(lru.get("k", &out));
+    EXPECT_EQ(out.speedup, 2.0);
+    EXPECT_EQ(lru.stats().entries, 1u);
+}
+
+TEST(ServeLru, ZeroCapacityDisablesTheCache)
+{
+    LruCache lru(0);
+    LibraReport r;
+    lru.put("k", r);
+    EXPECT_FALSE(lru.get("k", &r));
+    EXPECT_EQ(lru.stats().entries, 0u);
+}
+
+// --- Single flight -----------------------------------------------------
+
+TEST(SingleFlight, SecondClaimWaitsForTheOwnersResult)
+{
+    SingleFlight flight;
+    ASSERT_EQ(flight.claim("k"), SingleFlight::Role::Owner);
+
+    std::atomic<bool> waiterClaimed{false};
+    std::atomic<bool> waiterDone{false};
+    PointStatus waiterStatus;
+    LibraReport waiterReport;
+    std::thread waiter([&] {
+        ASSERT_EQ(flight.claim("k"), SingleFlight::Role::Waiter);
+        waiterClaimed = true;
+        flight.await("k", &waiterStatus, &waiterReport);
+        waiterDone = true;
+    });
+
+    // Publish only after the waiter holds its claim — publishing into
+    // an unclaimed slot would (correctly) end the flight early.
+    while (!waiterClaimed.load())
+        std::this_thread::yield();
+    PointStatus status;
+    LibraReport report;
+    report.speedup = 7.5;
+    flight.publish("k", status, report);
+    waiter.join();
+
+    EXPECT_TRUE(waiterDone.load());
+    EXPECT_TRUE(waiterStatus.ok);
+    EXPECT_EQ(waiterReport.speedup, 7.5);
+    EXPECT_EQ(flight.inFlight(), 0u);
+}
+
+TEST(SingleFlight, ManyConcurrentClaimsYieldExactlyOneOwner)
+{
+    SingleFlight flight;
+    constexpr int kThreads = 8;
+    std::atomic<int> owners{0};
+    std::atomic<int> claimed{0};
+    std::atomic<int> sharedFailures{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            SingleFlight::Role role = flight.claim("k");
+            ++claimed;
+            if (role == SingleFlight::Role::Owner) {
+                ++owners;
+                // Keep the flight open until every thread has claimed
+                // — an instant publish would end it with no waiters and
+                // let a later claim start a fresh (sequential) flight,
+                // which is correct but not what this test probes.
+                while (claimed.load() < kThreads)
+                    std::this_thread::yield();
+                // Failures are shared verbatim, like any outcome.
+                PointStatus failed;
+                failed.ok = false;
+                failed.error = "boom";
+                flight.publish("k", failed, LibraReport{});
+            } else {
+                PointStatus status;
+                LibraReport report;
+                flight.await("k", &status, &report);
+                if (!status.ok && status.error == "boom")
+                    ++sharedFailures;
+            }
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+    EXPECT_EQ(owners.load(), 1);
+    EXPECT_EQ(sharedFailures.load(), kThreads - 1);
+    EXPECT_EQ(flight.inFlight(), 0u);
+}
+
+// --- ServeStore --------------------------------------------------------
+
+TEST(ServeStore, LayersTheLruOverTheDiskCache)
+{
+    std::string dir = freshDir("libra-serve-store");
+    LibraInputs inputs = miniInputs();
+    std::string canonical = canonicalStudyKey(inputs);
+    std::uint64_t key = studyCacheHashOfKey(canonical);
+    LibraReport report = runLibra(inputs);
+
+    {
+        ServeStore store(dir, 8);
+        EXPECT_TRUE(store.store(key, canonical, report));
+    }
+
+    // A fresh store (cold LRU) first loads from disk and promotes...
+    ServeStore store(dir, 8);
+    LibraReport out;
+    ASSERT_TRUE(store.load(key, canonical, &out));
+    EXPECT_EQ(reportToJson(out).dump(), reportToJson(report).dump());
+    EXPECT_EQ(store.stats().diskHits, 1u);
+    // ...so the second load is pure memory.
+    ASSERT_TRUE(store.load(key, canonical, &out));
+    EXPECT_EQ(store.stats().diskHits, 1u);
+    EXPECT_EQ(store.stats().lru.hits, 1u);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ServeStore, MemoryOnlyStoreServesFromTheLruAlone)
+{
+    LibraInputs inputs = miniInputs();
+    std::string canonical = canonicalStudyKey(inputs);
+    std::uint64_t key = studyCacheHashOfKey(canonical);
+
+    ServeStore store("", 8);
+    EXPECT_EQ(store.disk(), nullptr);
+    LibraReport out;
+    EXPECT_FALSE(store.load(key, canonical, &out));
+
+    LibraReport report;
+    report.speedup = 2.0;
+    EXPECT_TRUE(store.store(key, canonical, report));
+    ASSERT_TRUE(store.load(key, canonical, &out));
+    EXPECT_EQ(out.speedup, 2.0);
+}
+
+TEST(ServeStore, ClaimReprobesTheLruAfterWinningTheFlight)
+{
+    ServeStore store("", 8);
+    LibraReport report;
+    report.speedup = 3.0;
+
+    // Key published by "another request" after our load miss: the
+    // claim must come back Cached, not recompute.
+    store.store(1, "k1", report);
+    PointStatus status;
+    LibraReport out;
+    EXPECT_EQ(store.claimCompute("k1", &status, &out),
+              StudyStore::Claim::Cached);
+    EXPECT_TRUE(status.ok);
+    EXPECT_EQ(out.speedup, 3.0);
+    EXPECT_EQ(store.stats().inFlight, 0u);
+
+    // A genuinely unseen key is Owned; after its publish cycle a new
+    // claim is served from the LRU again.
+    EXPECT_EQ(store.claimCompute("k2", &status, &out),
+              StudyStore::Claim::Owned);
+    store.store(2, "k2", report);
+    status = PointStatus{};
+    store.publishCompute("k2", status, report);
+    EXPECT_EQ(store.claimCompute("k2", &status, &out),
+              StudyStore::Claim::Cached);
+    EXPECT_EQ(store.stats().inFlight, 0u);
+}
+
+// --- Server end to end -------------------------------------------------
+
+TEST(Serve, ResponsesAreByteIdenticalToOneShotEmission)
+{
+    const std::string scenario = serveScenarioName();
+    const std::string expectedJson = oneShotJson(scenario);
+    const std::string expectedCsv = oneShotCsv(scenario);
+
+    ServeOptions options;
+    options.socketPath = testing::TempDir() + "libra-serve-a.sock";
+    Server server(std::move(options));
+    server.start();
+
+    const std::string request =
+        "{\"scenario\": \"" + scenario + "\", \"emit\": \"json\"}";
+
+    // Fresh, then LRU-served, across pool resizes: all byte-identical.
+    for (std::size_t threads : {1u, 2u, 8u}) {
+        ThreadPool::setGlobalThreads(threads);
+        ServeReply reply =
+            serveRequest(server.socketPath(), request);
+        ASSERT_TRUE(reply.status.at("ok").asBool());
+        EXPECT_EQ(reply.payload, expectedJson);
+    }
+    ThreadPool::setGlobalThreads(1);
+
+    // The second identical request is served entirely from the store.
+    ServeReply cached =
+        serveRequest(server.socketPath(), request);
+    EXPECT_EQ(cached.status.at("computed").asNumber(), 0.0);
+    EXPECT_EQ(cached.status.at("fromCache").asNumber(), 3.0);
+    EXPECT_EQ(cached.payload, expectedJson);
+
+    ServeReply csv = serveRequest(
+        server.socketPath(),
+        "{\"scenario\": \"" + scenario + "\", \"emit\": \"csv\"}");
+    ASSERT_TRUE(csv.status.at("ok").asBool());
+    EXPECT_EQ(csv.payload, expectedCsv);
+
+    server.stop();
+}
+
+TEST(Serve, ConcurrentIdenticalRequestsComputeEachPointOnce)
+{
+    const std::string scenario = serveScenarioName();
+    const std::string expected = oneShotJson(scenario);
+
+    ServeOptions options;
+    options.socketPath = testing::TempDir() + "libra-serve-b.sock";
+    Server server(std::move(options));
+    server.start();
+
+    const std::string request =
+        "{\"scenario\": \"" + scenario + "\"}";
+    constexpr int kClients = 6;
+    std::vector<ServeReply> replies(kClients);
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            replies[c] =
+                serveRequest(server.socketPath(), request);
+        });
+    }
+    for (auto& t : clients)
+        t.join();
+
+    // The single-flight invariant: across all concurrent identical
+    // requests, each unique design point is optimized exactly once —
+    // however the claims interleaved. Everything else was served from
+    // the LRU or coalesced onto the owner's in-flight computation.
+    double computed = 0.0;
+    for (const ServeReply& reply : replies) {
+        ASSERT_TRUE(reply.status.at("ok").asBool());
+        computed += reply.status.at("computed").asNumber();
+        EXPECT_EQ(reply.payload, expected);
+    }
+    EXPECT_EQ(computed, 2.0); // The scenario has 2 unique points.
+    EXPECT_EQ(server.store().stats().inFlight, 0u);
+
+    server.stop();
+}
+
+TEST(Serve, RequestErrorsAreIsolatedFromTheServer)
+{
+    ServeOptions options;
+    options.socketPath = testing::TempDir() + "libra-serve-c.sock";
+    Server server(std::move(options));
+    server.start();
+    const std::string socket = server.socketPath();
+
+    ServeReply bad = serveRequest(socket, "{ not json");
+    EXPECT_FALSE(bad.status.at("ok").asBool());
+
+    ServeReply unknown = serveRequest(
+        socket, "{\"scenario\": \"no-such-scenario\"}");
+    EXPECT_FALSE(unknown.status.at("ok").asBool());
+    EXPECT_NE(unknown.status.at("error").asString().find(
+                  "unknown scenario"),
+              std::string::npos);
+
+    ServeReply typo = serveRequest(
+        socket, "{\"scenario\": \"tbl1\", \"emitt\": \"json\"}");
+    EXPECT_FALSE(typo.status.at("ok").asBool());
+    EXPECT_NE(typo.status.at("error").asString().find(
+                  "unknown request field"),
+              std::string::npos);
+
+    // The server survived all three and still answers correctly.
+    ServeReply ok = serveRequest(socket, "{\"scenario\": \"tbl1\"}");
+    EXPECT_TRUE(ok.status.at("ok").asBool());
+    EXPECT_EQ(ok.payload, oneShotJson("tbl1"));
+    EXPECT_EQ(server.stats().errors, 3u);
+
+    server.stop();
+}
+
+TEST(Serve, ProtocolOpsWorkWithoutASocket)
+{
+    ServeOptions options;
+    options.socketPath = testing::TempDir() + "libra-serve-d.sock";
+    Server server(std::move(options)); // Never started: handleLine
+                                       // needs no socket.
+    bool shutdown = false;
+    std::string ping = server.handleLine("{\"op\": \"ping\"}",
+                                         &shutdown);
+    EXPECT_FALSE(shutdown);
+    EXPECT_EQ(ping, "{\"ok\":true,\"op\":\"ping\",\"bytes\":0}\n");
+
+    std::string bye = server.handleLine("{\"op\": \"shutdown\"}",
+                                        &shutdown);
+    EXPECT_TRUE(shutdown);
+    EXPECT_EQ(bye, "{\"ok\":true,\"op\":\"shutdown\",\"bytes\":0}\n");
+
+    std::string stats = server.handleLine("{\"op\": \"stats\"}",
+                                          &shutdown);
+    EXPECT_NE(stats.find("libra-serve-stats-v1"), std::string::npos);
+}
+
+} // namespace
+} // namespace libra

@@ -162,6 +162,26 @@ TEST(ThreadPool, GlobalKnobResizesPool)
     EXPECT_EQ(ThreadPool::globalThreadCount(), 1u);
 }
 
+TEST(ThreadPool, GlobalKnobClampsZeroToOnePool)
+{
+    // A zero request clamps to one thread, and the clamped size must
+    // govern everything: the pool actually built, the early-return
+    // size check, and the retired-pool reuse scan. A pool built from
+    // the raw argument would break that agreement.
+    ThreadPool::setGlobalThreads(0);
+    EXPECT_EQ(ThreadPool::globalThreadCount(), 1u);
+    // Asking again (0 or the clamped 1) is a no-op, not a rebuild.
+    ThreadPool::setGlobalThreads(0);
+    EXPECT_EQ(ThreadPool::globalThreadCount(), 1u);
+    ThreadPool::setGlobalThreads(1);
+    EXPECT_EQ(ThreadPool::globalThreadCount(), 1u);
+    // Alternating sizes lands back on the same clamped pool size.
+    ThreadPool::setGlobalThreads(2);
+    EXPECT_EQ(ThreadPool::globalThreadCount(), 2u);
+    ThreadPool::setGlobalThreads(0);
+    EXPECT_EQ(ThreadPool::globalThreadCount(), 1u);
+}
+
 TEST(ThreadPool, InsidePoolVisibleFromWork)
 {
     ThreadPool pool(2);

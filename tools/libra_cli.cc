@@ -12,6 +12,8 @@
  *   libra_cli list-backends    # list registered timing backends
  *   libra_cli list-explorers   # list registered exploration strategies
  *   libra_cli run-matrix <names...|all|golden> [options]
+ *   libra_cli serve --socket PATH [options]
+ *   libra_cli serve-request --socket PATH <request-json>
  *
  * Every list command accepts `--emit json` for a byte-stable,
  * insertion-ordered registry dump external tooling can consume.
@@ -47,6 +49,23 @@
  *                      scenarios included in this run
  *   --golden-dir DIR   golden file directory (default: tests/golden)
  *
+ * serve options (docs/SERVE.md): a long-lived study service on a
+ * Unix-domain socket, answering newline-delimited JSON requests with
+ * the exact bytes run-matrix would emit — backed by an in-memory LRU
+ * over the disk cache, with single-flight dedup across concurrent
+ * identical requests:
+ *   --socket PATH      socket path (required; created on start)
+ *   --cache-dir DIR    disk result cache under the LRU (optional)
+ *   --lru N            in-memory LRU capacity in entries (default
+ *                      1024; 0 disables the LRU)
+ *   --threads N        size the shared evaluation pool
+ *   --fail-mode MODE   default failMode for requests that set none
+ *   --faults SPEC      arm the fault injector (tests, CI)
+ *
+ * serve-request sends one request line to a running server, writes the
+ * payload to stdout and the status line to stderr (exit 0 ok, 1 error,
+ * 3 ok-with-failed-points — mirroring run-matrix).
+ *
  * Exit codes: 0 success; 1 user error (bad configuration, FatalError);
  * 2 internal error; 3 partial failure (an isolate-mode matrix run that
  * completed with failed design points).
@@ -76,6 +95,7 @@
 #include "core/study_config.hh"
 #include "core/timing_backend.hh"
 #include "explore/explore.hh"
+#include "serve/server.hh"
 #include "solver/strategy.hh"
 #include "study/matrix.hh"
 
@@ -346,19 +366,9 @@ runMatrixCommand(const MatrixCliOptions& cli)
 {
     using namespace libra;
 
-    // Expand the name groups against the registry.
-    std::vector<std::string> names;
-    for (const auto& name : cli.names) {
-        if (name == "all") {
-            for (const auto& n : ScenarioRegistry::global().names())
-                names.push_back(n);
-        } else if (name == "golden") {
-            for (const auto& n : goldenScenarioNames())
-                names.push_back(n);
-        } else {
-            names.push_back(name);
-        }
-    }
+    // Expand the name groups against the registry (shared with the
+    // serve protocol, so a served request resolves identically).
+    std::vector<std::string> names = expandScenarioGroups(cli.names);
     if (names.empty()) {
         std::cerr << "libra_cli: run-matrix needs scenario names "
                      "('libra_cli list'), 'all', or 'golden'\n";
@@ -473,6 +483,128 @@ runMatrixCommand(const MatrixCliOptions& cli)
 }
 
 int
+runServeCommand(const std::vector<std::string>& args)
+{
+    using namespace libra;
+
+    ServeOptions options;
+    int threads = 0;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::string& arg = args[i];
+        auto value = [&](const char* what) -> std::string {
+            if (i + 1 >= args.size()) {
+                std::cerr << "libra_cli: " << arg << " needs " << what
+                          << "\n";
+                std::exit(1);
+            }
+            return args[++i];
+        };
+        if (arg == "--socket") {
+            options.socketPath = value("a path");
+        } else if (arg == "--cache-dir") {
+            options.cacheDir = value("a directory");
+        } else if (arg == "--lru") {
+            std::string text = value("an entry count");
+            char* end = nullptr;
+            long v = std::strtol(text.c_str(), &end, 10);
+            if (end == text.c_str() || *end != '\0' || v < 0) {
+                std::cerr << "libra_cli: bad --lru capacity '" << text
+                          << "'\n";
+                return 1;
+            }
+            options.lruCapacity = static_cast<std::size_t>(v);
+        } else if (arg == "--threads") {
+            std::string text = value("a count");
+            char* end = nullptr;
+            long v = std::strtol(text.c_str(), &end, 10);
+            if (end == text.c_str() || *end != '\0' || v < 1 ||
+                v > 4096) {
+                std::cerr << "libra_cli: bad thread count '" << text
+                          << "' (expected 1..4096)\n";
+                return 1;
+            }
+            threads = static_cast<int>(v);
+        } else if (arg == "--fail-mode") {
+            std::string mode = value("abort or isolate");
+            if (mode == "abort") {
+                options.failMode = FailMode::Abort;
+            } else if (mode == "isolate") {
+                options.failMode = FailMode::Isolate;
+            } else {
+                std::cerr << "libra_cli: --fail-mode expects abort or "
+                             "isolate\n";
+                return 1;
+            }
+        } else if (arg == "--faults") {
+            installFaults(parseFaultSpec(value("a fault spec")));
+        } else {
+            std::cerr << "libra_cli: unknown serve flag '" << arg
+                      << "'\n";
+            return 1;
+        }
+    }
+    if (options.socketPath.empty()) {
+        std::cerr << "libra_cli: serve needs --socket PATH\n";
+        return 1;
+    }
+
+    if (threads > 0)
+        ThreadPool::setGlobalThreads(static_cast<std::size_t>(threads));
+
+    const std::string socketPath = options.socketPath;
+    Server server(std::move(options));
+    server.start();
+    inform("serving on ", socketPath,
+           " (send {\"op\":\"shutdown\"} to stop)");
+    server.waitUntilStopped();
+    Server::Stats stats = server.stats();
+    inform("served ", stats.requests, " requests (", stats.errors,
+           " errors)");
+    return 0;
+}
+
+int
+runServeRequestCommand(const std::vector<std::string>& args)
+{
+    using namespace libra;
+
+    std::string socketPath;
+    std::string request;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--socket") {
+            if (i + 1 >= args.size()) {
+                std::cerr << "libra_cli: --socket needs a path\n";
+                return 1;
+            }
+            socketPath = args[++i];
+        } else if (request.empty()) {
+            request = args[i];
+        } else {
+            std::cerr << "libra_cli: serve-request takes one request "
+                         "line\n";
+            return 1;
+        }
+    }
+    if (socketPath.empty() || request.empty()) {
+        std::cerr << "libra_cli: serve-request needs --socket PATH and "
+                     "a request JSON line\n";
+        return 1;
+    }
+
+    ServeReply reply = serveRequest(socketPath, request);
+    // Mirror run-matrix: payload on stdout (byte-stable), provenance
+    // on stderr.
+    std::cerr << reply.status.dump() << "\n";
+    std::cout << reply.payload;
+    if (!reply.status.at("ok").asBool())
+        return 1;
+    if (reply.status.has("failed") &&
+        reply.status.at("failed").asNumber() > 0)
+        return 3;
+    return 0;
+}
+
+int
 parseThreads(const char* text)
 {
     char* end = nullptr;
@@ -504,7 +636,13 @@ usage()
            "[--explore SPEC]\n"
         << "                 [--fail-mode abort|isolate] "
            "[--faults SPEC]\n"
-        << "                 [--update-golden] [--golden-dir DIR]\n";
+        << "                 [--update-golden] [--golden-dir DIR]\n"
+        << "       libra_cli serve --socket PATH [--cache-dir DIR] "
+           "[--lru N]\n"
+        << "                 [--threads N] [--fail-mode abort|isolate] "
+           "[--faults SPEC]\n"
+        << "       libra_cli serve-request --socket PATH "
+           "<request-json>\n";
 }
 
 } // namespace
@@ -624,6 +762,10 @@ main(int argc, char** argv)
             }
             return runMatrixCommand(cli);
         }
+        if (!args.empty() && args[0] == "serve")
+            return runServeCommand(args);
+        if (!args.empty() && args[0] == "serve-request")
+            return runServeRequestCommand(args);
 
         // Legacy single-study mode.
         int threads = 0;

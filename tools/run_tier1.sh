@@ -61,9 +61,11 @@ case "${MODE}" in
     # The PR 1 threading contract: pool mechanics, bit-identical
     # results at any thread count, the batched matrix sweeps, the
     # timing-backend layer (per-thread chunk-sim memo + crossval fuzz),
-    # and the fault-tolerance layer (isolated sweeps, injector counters,
-    # and line-atomic logging under concurrent cache warnings).
-    CTEST_EXTRA+=(-R 'test_thread_pool|test_parallel_determinism|test_study_engine|test_timing_backend|test_sim_crossval|test_explore|test_cache_faults')
+    # the fault-tolerance layer (isolated sweeps, injector counters,
+    # and line-atomic logging under concurrent cache warnings), the
+    # cache-concurrency hammer, and the serve subsystem (LRU +
+    # single-flight + socket server; docs/SERVE.md).
+    CTEST_EXTRA+=(-R 'test_thread_pool|test_parallel_determinism|test_study_engine|test_timing_backend|test_sim_crossval|test_explore|test_cache_faults|test_cache_concurrency|test_serve')
     ;;
   asan)
     BUILD_DIR="build-asan"
@@ -146,4 +148,38 @@ if [[ -z "${MODE}" ]]; then
   cmp "${SMOKE_DIR}/fclean.json" "${SMOKE_DIR}/ffaulty.json"
   cmp "${SMOKE_DIR}/fclean.json" "${SMOKE_DIR}/ffaulty2.json"
   echo "fault smoke: byte-identical matrix JSON under injected cache-I/O faults"
+
+  # Serve smoke: the study service end to end through the CLI
+  # (docs/SERVE.md). The one-shot run warms a disk cache; a server
+  # over that cache answers the golden-group request twice. Both
+  # payloads must be byte-identical to the one-shot emission; the
+  # first is disk-served (promoted into the LRU), the second must be
+  # served entirely from memory (computed == 0 on its status line,
+  # LRU hits visible in the stats op).
+  "${BUILD_DIR}/libra_cli" run-matrix golden \
+    --emit json --cache-dir "${SMOKE_DIR}/scache" \
+    --out "${SMOKE_DIR}/soneshot.json"
+  "${BUILD_DIR}/libra_cli" serve --socket "${SMOKE_DIR}/serve.sock" \
+    --cache-dir "${SMOKE_DIR}/scache" &
+  SERVE_PID=$!
+  for _ in $(seq 50); do
+    [[ -S "${SMOKE_DIR}/serve.sock" ]] && break
+    sleep 0.1
+  done
+  "${BUILD_DIR}/libra_cli" serve-request --socket "${SMOKE_DIR}/serve.sock" \
+    '{"scenario": "golden", "emit": "json"}' \
+    > "${SMOKE_DIR}/sfirst.json" 2> "${SMOKE_DIR}/sfirst.status"
+  "${BUILD_DIR}/libra_cli" serve-request --socket "${SMOKE_DIR}/serve.sock" \
+    '{"scenario": "golden", "emit": "json"}' \
+    > "${SMOKE_DIR}/ssecond.json" 2> "${SMOKE_DIR}/ssecond.status"
+  "${BUILD_DIR}/libra_cli" serve-request --socket "${SMOKE_DIR}/serve.sock" \
+    '{"op": "stats"}' > "${SMOKE_DIR}/sstats.json" 2> /dev/null
+  "${BUILD_DIR}/libra_cli" serve-request --socket "${SMOKE_DIR}/serve.sock" \
+    '{"op": "shutdown"}' > /dev/null 2>&1
+  wait "${SERVE_PID}"
+  cmp "${SMOKE_DIR}/soneshot.json" "${SMOKE_DIR}/sfirst.json"
+  cmp "${SMOKE_DIR}/soneshot.json" "${SMOKE_DIR}/ssecond.json"
+  grep -q '"computed":0,' "${SMOKE_DIR}/ssecond.status"
+  grep -Eq '"lruHits": [1-9]' "${SMOKE_DIR}/sstats.json"
+  echo "serve smoke: byte-identical golden payloads (one-shot vs disk-served vs LRU-served)"
 fi
