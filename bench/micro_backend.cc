@@ -19,7 +19,6 @@
  */
 
 #include <chrono>
-#include <fstream>
 
 #include "bench_util.hh"
 #include "common/json.hh"
@@ -158,8 +157,7 @@ run()
     j["objective_evals_per_sec_chunk_sim"] = simEvals;
     j["analytical_over_chunk_sim_eval_ratio"] = anaEvals / simEvals;
 
-    std::ofstream json("BENCH_backend.json");
-    json << j.dump(1) << "\n";
+    bench::writeBenchJson("BENCH_backend.json", j);
     std::cout << "\nWrote BENCH_backend.json.\n";
 }
 

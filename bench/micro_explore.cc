@@ -19,7 +19,6 @@
  * `prune_full_runs <= 0.5 * exhaustive_full_runs`.
  */
 
-#include <fstream>
 
 #include "bench_util.hh"
 #include "common/json.hh"
@@ -140,8 +139,7 @@ run()
     j["exhaustive_winners"] = winnerFingerprint(exhaustive.result);
     j["prune_winners"] = winnerFingerprint(prune.result);
 
-    std::ofstream json("BENCH_explore.json");
-    json << j.dump(1) << "\n";
+    bench::writeBenchJson("BENCH_explore.json", j);
     std::cout << "\nWrote BENCH_explore.json (prune reached the "
                  "exhaustive winners with "
               << Table::num(fullFraction * 100.0, 0)

@@ -2,17 +2,19 @@
  * @file
  * Compiled-objective evaluation throughput: the function every solver
  * iteration bottoms out in. Measures evaluations/sec of the legacy
- * nested compiled layout vs the SoA fast path (plus the uncompiled
- * direct estimator for reference) and emits machine-readable
- * BENCH_objective.json for CI tracking.
+ * nested compiled layout, the scalar SoA fast path, the SIMD-batched
+ * candidate-major kernel, and the incremental coordinate-move
+ * evaluator (plus the uncompiled direct estimator for reference) and
+ * emits machine-readable BENCH_objective.json for CI tracking.
  */
 
+#include <algorithm>
 #include <chrono>
-#include <fstream>
 
 #include "bench_util.hh"
 #include "common/random.hh"
 #include "core/estimator.hh"
+#include "core/incremental.hh"
 #include "topology/zoo.hh"
 #include "workload/zoo.hh"
 
@@ -34,29 +36,47 @@ makeBwPool(std::size_t dims, std::size_t count)
     return pool;
 }
 
-/** Evaluations/sec of @p eval, self-timed to ~targetSeconds. */
-template <typename Eval>
+/**
+ * Evaluations/sec of @p call (which performs @p evalsPerCall
+ * evaluations), self-timed to ~targetSeconds. The measurement batch is
+ * calibrated from the warm-up round: a fixed batch would make slow
+ * paths overshoot the budget by a whole oversized final batch, so each
+ * batch is sized to ~2% of the budget instead.
+ */
+template <typename Call>
 double
-measure(const Eval& eval, const std::vector<BwConfig>& pool,
+measure(const Call& call, std::size_t evalsPerCall,
         double targetSeconds, volatile double* sink)
 {
     using Clock = std::chrono::steady_clock;
-    // Warm-up + calibration round.
-    std::size_t batch = 1000;
-    double acc = 0.0;
-    for (std::size_t i = 0; i < batch; ++i)
-        acc += eval(pool[i % pool.size()]);
 
-    std::size_t total = 0;
+    const std::size_t warmCalls =
+        std::max<std::size_t>(1, 1000 / evalsPerCall);
+    double acc = 0.0;
+    auto warmBegin = Clock::now();
+    for (std::size_t i = 0; i < warmCalls; ++i)
+        acc += call(i);
+    std::chrono::duration<double> warm = Clock::now() - warmBegin;
+
+    const double perCall =
+        warm.count() / static_cast<double>(warmCalls);
+    std::size_t batch = warmCalls;
+    if (perCall > 0.0) {
+        batch = static_cast<std::size_t>(
+            std::clamp(targetSeconds * 0.02 / perCall, 1.0, 1e7));
+    }
+
+    std::size_t calls = 0;
     auto begin = Clock::now();
     for (;;) {
         for (std::size_t i = 0; i < batch; ++i)
-            acc += eval(pool[(total + i) % pool.size()]);
-        total += batch;
+            acc += call(calls + i);
+        calls += batch;
         std::chrono::duration<double> elapsed = Clock::now() - begin;
         if (elapsed.count() >= targetSeconds) {
             *sink = acc;
-            return static_cast<double>(total) / elapsed.count();
+            return static_cast<double>(calls * evalsPerCall) /
+                   elapsed.count();
         }
     }
 }
@@ -65,25 +85,52 @@ void
 run()
 {
     bench::banner("micro", "compiled objective evaluation throughput "
-                           "(nested vs SoA)");
+                           "(nested vs SoA vs SIMD vs incremental)");
 
     Network net = topo::threeD512();
     Workload w = wl::msft1T(net.npus());
     TrainingEstimator est(net);
     CompiledWorkload cw = est.compile(w);
-    std::vector<BwConfig> pool = makeBwPool(net.numDims(), 64);
+    const std::size_t dims = net.numDims();
+    std::vector<BwConfig> pool = makeBwPool(dims, 64);
 
     volatile double sink = 0.0;
     const double budget = 1.0; // Seconds per variant.
     double direct = measure(
-        [&](const BwConfig& bw) { return est.estimate(w, bw); }, pool,
-        budget, &sink);
+        [&](std::size_t i) {
+            return est.estimate(w, pool[i % pool.size()]);
+        },
+        1, budget, &sink);
     double nested = measure(
-        [&](const BwConfig& bw) { return cw.estimateNested(bw); }, pool,
-        budget, &sink);
+        [&](std::size_t i) {
+            return cw.estimateNested(pool[i % pool.size()]);
+        },
+        1, budget, &sink);
     double soa = measure(
-        [&](const BwConfig& bw) { return cw.estimate(bw); }, pool,
-        budget, &sink);
+        [&](std::size_t i) {
+            return cw.estimate(pool[i % pool.size()]);
+        },
+        1, budget, &sink);
+
+    // Candidate-major SIMD batches over the whole pool per call.
+    std::vector<Seconds> out(pool.size(), 0.0);
+    double batched = measure(
+        [&](std::size_t i) {
+            cw.estimateBatch(pool.data(), pool.size(), out.data());
+            return out[i % out.size()];
+        },
+        pool.size(), budget, &sink);
+
+    // Incremental single-coordinate probes off a fixed base,
+    // cycling the probed dimension and value.
+    WorkloadIncremental inc(cw);
+    inc.setBase(pool[0]);
+    double incremental = measure(
+        [&](std::size_t i) {
+            const std::size_t d = i % dims;
+            return inc.probe(d, pool[i % pool.size()][d]);
+        },
+        1, budget, &sink);
 
     Table t;
     t.header({"Path", "evals/sec", "speedup vs nested"});
@@ -92,20 +139,30 @@ run()
     t.row({"compiled nested", Table::num(nested, 0), "1.00"});
     t.row({"compiled SoA", Table::num(soa, 0),
            Table::num(soa / nested, 2)});
+    t.row({std::string("SIMD batched (") + activeSimdKernel() + ")",
+           Table::num(batched, 0), Table::num(batched / nested, 2)});
+    t.row({"incremental probe", Table::num(incremental, 0),
+           Table::num(incremental / nested, 2)});
     t.print(std::cout);
 
-    std::ofstream json("BENCH_objective.json");
-    json << "{\n"
-         << "  \"bench\": \"micro_objective_eval\",\n"
-         << "  \"network\": \"" << net.name() << "\",\n"
-         << "  \"workload\": \"" << w.name << "\",\n"
-         << "  \"direct_evals_per_sec\": " << direct << ",\n"
-         << "  \"nested_evals_per_sec\": " << nested << ",\n"
-         << "  \"soa_evals_per_sec\": " << soa << ",\n"
-         << "  \"soa_speedup_vs_nested\": " << soa / nested << "\n"
-         << "}\n";
-    std::cout << "\nWrote BENCH_objective.json (SoA speedup "
-              << Table::num(soa / nested, 2) << "x vs nested).\n";
+    Json j = Json::object();
+    j["bench"] = "micro_objective_eval";
+    j["network"] = net.name();
+    j["workload"] = w.name;
+    j["simd_kernel"] = activeSimdKernel();
+    j["direct_evals_per_sec"] = direct;
+    j["nested_evals_per_sec"] = nested;
+    j["soa_evals_per_sec"] = soa;
+    j["soa_speedup_vs_nested"] = soa / nested;
+    j["batch_evals_per_sec"] = batched;
+    j["batch_speedup_vs_soa"] = batched / soa;
+    j["incremental_evals_per_sec"] = incremental;
+    j["incremental_speedup_vs_soa"] = incremental / soa;
+    bench::writeBenchJson("BENCH_objective.json", j);
+    std::cout << "\nWrote BENCH_objective.json (SIMD batch speedup "
+              << Table::num(batched / soa, 2) << "x vs scalar SoA, "
+              << "incremental " << Table::num(incremental / soa, 2)
+              << "x).\n";
 }
 
 } // namespace

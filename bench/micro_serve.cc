@@ -25,7 +25,6 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <fstream>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -160,8 +159,7 @@ run()
     j["lru_served"] = lruServed.load();
     j["clean_shutdown"] = shutdownOk;
 
-    std::ofstream json("BENCH_serve.json");
-    json << j.dump(1) << "\n";
+    bench::writeBenchJson("BENCH_serve.json", j);
     std::cout << "\nWrote BENCH_serve.json (p50 "
               << Table::num(p50, 3) << " ms, p99 "
               << Table::num(p99, 3) << " ms, "

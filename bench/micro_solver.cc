@@ -18,7 +18,6 @@
  */
 
 #include <algorithm>
-#include <fstream>
 #include <limits>
 
 #include "bench_util.hh"
@@ -242,8 +241,7 @@ run()
     j["cmaes_beats_default_somewhere"] = cmaesWins;
     j["de_beats_default_somewhere"] = deWins;
 
-    std::ofstream json("BENCH_solver.json");
-    json << j.dump(1) << "\n";
+    bench::writeBenchJson("BENCH_solver.json", j);
     std::cout << "\nWrote BENCH_solver.json (cmaes beats default "
                  "somewhere: "
               << (cmaesWins ? "yes" : "no")

@@ -34,6 +34,20 @@ namespace libra {
 enum class TrainingLoop { NoOverlap, TpDpOverlap };
 
 class TimingBackend;
+class WorkloadIncremental;
+
+namespace detail {
+template <typename Lane> struct BatchKernel;
+} // namespace detail
+
+/**
+ * Name of the SIMD kernel estimateBatch dispatches full-width blocks
+ * to: "avx512", "avx2", "neon", or "scalar". Decided once at startup
+ * from the kernels compiled in (the LIBRA_SIMD CMake option) and what
+ * the running CPU supports. Purely informational — every kernel is
+ * bit-identical to the scalar path.
+ */
+const char* activeSimdKernel();
 
 /**
  * Pluggable collective-time model. The default is the analytical
@@ -145,6 +159,24 @@ class CompiledWorkload
     Seconds estimate(const BwConfig& bw) const;
 
     /**
+     * Evaluate @p n bandwidth configurations into @p out, SIMD lanes
+     * laid across candidates (core/eval_kernels_impl.hh). Each out[i]
+     * is bit-identical to estimate(bws[i]); candidates beyond the last
+     * full SIMD block take the scalar path directly.
+     */
+    void estimateBatch(const BwConfig* bws, std::size_t n,
+                       Seconds* out) const;
+
+    /** Convenience overload of the batched evaluator. */
+    std::vector<Seconds>
+    estimateBatch(const std::vector<BwConfig>& bws) const
+    {
+        std::vector<Seconds> out(bws.size(), 0.0);
+        estimateBatch(bws.data(), bws.size(), out.data());
+        return out;
+    }
+
+    /**
      * Iteration time via the legacy nested (vector-of-vector-of-pairs)
      * layout. Kept as the A/B reference for bench/micro_objective_eval
      * and the equivalence tests; same math, slower memory walk.
@@ -156,6 +188,12 @@ class CompiledWorkload
 
   private:
     friend class TrainingEstimator;
+
+    /** The batched SIMD kernels evaluate the SoA arrays directly. */
+    template <typename Lane> friend struct detail::BatchKernel;
+
+    /** The incremental evaluator caches per-op/per-dim partials. */
+    friend class WorkloadIncremental;
 
     /** One collective resolved to (dimension, bytes) pairs. */
     using Op = std::vector<std::pair<std::size_t, Bytes>>;

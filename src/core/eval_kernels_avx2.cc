@@ -1,0 +1,26 @@
+/**
+ * @file
+ * AVX2 instantiation of the batched estimator kernel: four candidates
+ * per 256-bit lane. Compiled with -mavx2 -mno-fma -ffp-contract=off
+ * (see CMakeLists.txt) so every lane operation is the plain IEEE
+ * instruction the scalar path performs.
+ */
+
+#include "core/eval_kernels_impl.hh"
+
+#ifndef __AVX2__
+#error "eval_kernels_avx2.cc must be compiled with -mavx2"
+#endif
+
+namespace libra {
+namespace detail {
+
+void
+estimateBatchAvx2(const CompiledWorkload& cw, const BwConfig* bws,
+                  std::size_t n, Seconds* out)
+{
+    BatchKernel<simd::Avx2Lane>::run(cw, bws, n, out);
+}
+
+} // namespace detail
+} // namespace libra

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * AVX-512F instantiation of the batched estimator kernel: eight
+ * candidates per 512-bit lane. Compiled with -mavx512f -mno-fma
+ * -ffp-contract=off (see CMakeLists.txt) so every lane operation is
+ * the plain IEEE instruction the scalar path performs.
+ */
+
+#include "core/eval_kernels_impl.hh"
+
+#ifndef __AVX512F__
+#error "eval_kernels_avx512.cc must be compiled with -mavx512f"
+#endif
+
+namespace libra {
+namespace detail {
+
+void
+estimateBatchAvx512(const CompiledWorkload& cw, const BwConfig* bws,
+                    std::size_t n, Seconds* out)
+{
+    BatchKernel<simd::Avx512Lane>::run(cw, bws, n, out);
+}
+
+} // namespace detail
+} // namespace libra

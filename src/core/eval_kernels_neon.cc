@@ -1,0 +1,26 @@
+/**
+ * @file
+ * NEON instantiation of the batched estimator kernel: two candidates
+ * per 128-bit lane. Compiled with -ffp-contract=off (see
+ * CMakeLists.txt); the max-update uses compare+select because FMAX's
+ * NaN propagation differs from the scalar `t > worst` convention.
+ */
+
+#include "core/eval_kernels_impl.hh"
+
+#ifndef __aarch64__
+#error "eval_kernels_neon.cc must be compiled for aarch64"
+#endif
+
+namespace libra {
+namespace detail {
+
+void
+estimateBatchNeon(const CompiledWorkload& cw, const BwConfig* bws,
+                  std::size_t n, Seconds* out)
+{
+    BatchKernel<simd::NeonLane>::run(cw, bws, n, out);
+}
+
+} // namespace detail
+} // namespace libra

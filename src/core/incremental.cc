@@ -1,0 +1,401 @@
+#include "core/incremental.hh"
+
+#include <cmath>
+
+#include "common/units.hh"
+
+namespace libra {
+
+WorkloadIncremental::WorkloadIncremental(const CompiledWorkload& cw)
+    : cw_(&cw)
+{
+    buildTopology();
+}
+
+void
+WorkloadIncremental::setBase(const BwConfig& x)
+{
+    base_ = x;
+    built_ = false;
+}
+
+void
+WorkloadIncremental::buildTopology()
+{
+    const CompiledWorkload& cw = *cw_;
+    const std::size_t dims = cw.numDims_;
+    numOps_ = cw.opOffset_.size() - 1;
+
+    // CSR dimension -> ops. Walk ops in order, bucketing per touched
+    // dimension, so each dimension's op list comes out ascending.
+    std::vector<std::vector<std::uint32_t>> ops(dims);
+    std::vector<std::vector<std::uint32_t>> ks(dims);
+    std::vector<std::uint32_t> touched;
+    std::vector<std::uint32_t> count(dims, 0);
+    std::vector<std::uint32_t> firstK(dims, 0);
+    for (std::size_t op = 0; op < numOps_; ++op) {
+        touched.clear();
+        for (std::uint32_t k = cw.opOffset_[op];
+             k < cw.opOffset_[op + 1]; ++k) {
+            const std::uint32_t d = cw.entryDim_[k];
+            if (count[d]++ == 0) {
+                firstK[d] = k;
+                touched.push_back(d);
+            }
+        }
+        for (std::uint32_t d : touched) {
+            ops[d].push_back(static_cast<std::uint32_t>(op));
+            ks[d].push_back(count[d] == 1 ? firstK[d] : kNone);
+            count[d] = 0;
+        }
+    }
+    opByDimOffset_.assign(dims + 1, 0);
+    for (std::size_t d = 0; d < dims; ++d) {
+        opByDimOffset_[d + 1] =
+            opByDimOffset_[d] +
+            static_cast<std::uint32_t>(ops[d].size());
+    }
+    opByDimOp_.clear();
+    opByDimK_.clear();
+    opByDimOp_.reserve(opByDimOffset_[dims]);
+    opByDimK_.reserve(opByDimOffset_[dims]);
+    for (std::size_t d = 0; d < dims; ++d) {
+        opByDimOp_.insert(opByDimOp_.end(), ops[d].begin(), ops[d].end());
+        opByDimK_.insert(opByDimK_.end(), ks[d].begin(), ks[d].end());
+    }
+
+    if (cw.loop_ == TrainingLoop::TpDpOverlap) {
+        // Rows with nonzero traffic on each dimension: all a probe can
+        // change. (Zero-traffic products stay +0.0 under any finite
+        // reciprocal; the nonfinite case falls back to a full scan.)
+        const std::size_t rows =
+            dims == 0 ? 0 : cw.singles_.size() / dims;
+        rowByDimOffset_.assign(dims + 1, 0);
+        for (std::size_t r = 0; r < rows; ++r) {
+            for (std::size_t d = 0; d < dims; ++d) {
+                if (cw.singles_[r * dims + d] != 0.0)
+                    ++rowByDimOffset_[d + 1];
+            }
+        }
+        for (std::size_t d = 0; d < dims; ++d)
+            rowByDimOffset_[d + 1] += rowByDimOffset_[d];
+        rowByDimRow_.resize(rowByDimOffset_[dims]);
+        std::vector<std::uint32_t> cursor(rowByDimOffset_.begin(),
+                                          rowByDimOffset_.end() - 1);
+        for (std::size_t r = 0; r < rows; ++r) {
+            for (std::size_t d = 0; d < dims; ++d) {
+                if (cw.singles_[r * dims + d] != 0.0) {
+                    rowByDimRow_[cursor[d]++] =
+                        static_cast<std::uint32_t>(r);
+                }
+            }
+        }
+
+        // Phase op ranges in layer order (fwd, ig, wg) and the
+        // reverse op -> phase routing.
+        phaseRanges_.clear();
+        phaseRanges_.reserve(cw.meta_.size() * 3);
+        for (const auto& layer : cw.meta_) {
+            phaseRanges_.push_back(layer.fwd);
+            phaseRanges_.push_back(layer.ig);
+            phaseRanges_.push_back(layer.wg);
+        }
+        opPhase_.assign(numOps_, 0);
+        for (std::size_t p = 0; p < phaseRanges_.size(); ++p) {
+            for (std::uint32_t op = phaseRanges_[p].begin;
+                 op < phaseRanges_[p].end; ++op) {
+                opPhase_[op] = static_cast<std::uint32_t>(p);
+            }
+        }
+    }
+}
+
+void
+WorkloadIncremental::rebase()
+{
+    const CompiledWorkload& cw = *cw_;
+    const std::size_t dims = cw.numDims_;
+
+    recip_.resize(dims);
+    for (std::size_t d = 0; d < dims; ++d)
+        recip_[d] = 1.0 / (base_[d] * kGiga);
+
+    // Per multi-span op: bottleneck value, the entry achieving it, and
+    // the best of the remaining entries. The runner-up lets a probe
+    // that changes the winning entry re-max in O(1): the new bottleneck
+    // is max(newT, runner) because every term is nonnegative.
+    worst_.resize(numOps_);
+    winner_.resize(numOps_);
+    runner_.resize(numOps_);
+    for (std::size_t op = 0; op < numOps_; ++op) {
+        double w = 0.0;
+        std::uint32_t wk = kNone;
+        for (std::uint32_t k = cw.opOffset_[op];
+             k < cw.opOffset_[op + 1]; ++k) {
+            double t = cw.traffic_[k] * recip_[cw.entryDim_[k]];
+            if (t > w) {
+                w = t;
+                wk = k;
+            }
+        }
+        worst_[op] = w;
+        winner_[op] = wk;
+        double r = 0.0;
+        for (std::uint32_t k = cw.opOffset_[op];
+             k < cw.opOffset_[op + 1]; ++k) {
+            if (k == wk)
+                continue;
+            double t = cw.traffic_[k] * recip_[cw.entryDim_[k]];
+            if (t > r)
+                r = t;
+        }
+        runner_[op] = r;
+    }
+
+    if (cw.loop_ == TrainingLoop::NoOverlap) {
+        aprod_.resize(dims);
+        for (std::size_t d = 0; d < dims; ++d)
+            aprod_[d] = cw.allSingles_[d] * recip_[d];
+        const std::size_t numMulti =
+            cw.allMulti_.end - cw.allMulti_.begin;
+        msumPrefix_.resize(numMulti + 1);
+        Seconds msum = 0.0;
+        msumPrefix_[0] = msum;
+        for (std::size_t i = 0; i < numMulti; ++i) {
+            msum += worst_[cw.allMulti_.begin + i];
+            msumPrefix_[i + 1] = msum;
+        }
+        msum_ = msum;
+    } else {
+        // Singles products in the singles_ layout, plus per-row sums
+        // accumulated left to right exactly like singlesTime().
+        sprod_.resize(cw.singles_.size());
+        const std::size_t rows =
+            dims == 0 ? 0 : cw.singles_.size() / dims;
+        rowSums_.resize(rows);
+        for (std::size_t r = 0; r < rows; ++r) {
+            const Bytes* s = cw.singles_.data() + r * dims;
+            double* p = sprod_.data() + r * dims;
+            Seconds total = 0.0;
+            for (std::size_t d = 0; d < dims; ++d) {
+                p[d] = s[d] * recip_[d];
+                total += p[d];
+            }
+            rowSums_[r] = total;
+        }
+
+        // Phase sums mirroring multiOpsTime() over each phase range.
+        phaseSums_.resize(phaseRanges_.size());
+        for (std::size_t p = 0; p < phaseRanges_.size(); ++p) {
+            Seconds total = 0.0;
+            for (std::uint32_t op = phaseRanges_[p].begin;
+                 op < phaseRanges_[p].end; ++op) {
+                total += worst_[op];
+            }
+            phaseSums_[p] = total;
+        }
+    }
+
+    built_ = true;
+}
+
+double
+WorkloadIncremental::opNewWorst(std::uint32_t i, std::size_t d,
+                                double newRecip) const
+{
+    const CompiledWorkload& cw = *cw_;
+    const std::uint32_t op = opByDimOp_[i];
+    const std::uint32_t k = opByDimK_[i];
+    if (k != kNone) {
+        const double t = cw.traffic_[k] * newRecip;
+        if (k == winner_[op])
+            return t > runner_[op] ? t : runner_[op];
+        return t > worst_[op] ? t : worst_[op];
+    }
+    // Several entries of this op sit on d: replay the full entry scan
+    // with the probed reciprocal substituted.
+    double w = 0.0;
+    for (std::uint32_t e = cw.opOffset_[op]; e < cw.opOffset_[op + 1];
+         ++e) {
+        const std::uint32_t ed = cw.entryDim_[e];
+        double t = cw.traffic_[e] * (ed == d ? newRecip : recip_[ed]);
+        if (t > w)
+            w = t;
+    }
+    return w;
+}
+
+Seconds
+WorkloadIncremental::probeNoOverlap(std::size_t d,
+                                    double newRecip) const
+{
+    const CompiledWorkload& cw = *cw_;
+
+    // Find the first op whose bottleneck actually changes, then
+    // restart the sum from the cached prefix just before it and replay
+    // the remaining adds in order, substituting recomputed bottlenecks
+    // for the ops on d as the walk passes them.
+    const std::uint32_t iEnd = opByDimOffset_[d + 1];
+    std::uint32_t i = opByDimOffset_[d];
+    double firstW = 0.0;
+    while (i < iEnd) {
+        firstW = opNewWorst(i, d, newRecip);
+        if (firstW != worst_[opByDimOp_[i]])
+            break;
+        ++i;
+    }
+    Seconds msum = msum_;
+    if (i < iEnd) {
+        const std::uint32_t firstOp = opByDimOp_[i];
+        msum = msumPrefix_[firstOp - cw.allMulti_.begin] + firstW;
+        ++i;
+        for (std::uint32_t op = firstOp + 1; op < cw.allMulti_.end;
+             ++op) {
+            double w;
+            if (i < iEnd && opByDimOp_[i] == op) {
+                w = opNewWorst(i, d, newRecip);
+                ++i;
+            } else {
+                w = worst_[op];
+            }
+            msum += w;
+        }
+    }
+
+    Seconds total = cw.totalCompute_ + msum;
+    for (std::size_t d2 = 0; d2 < cw.numDims_; ++d2)
+        total += d2 == d ? cw.allSingles_[d2] * newRecip : aprod_[d2];
+    return total;
+}
+
+Seconds
+WorkloadIncremental::probeTpDp(std::size_t d, double newRecip)
+{
+    const CompiledWorkload& cw = *cw_;
+    const std::size_t dims = cw.numDims_;
+
+    // Rows whose column-d product changes, re-summed left to right
+    // with the new product substituted in place.
+    rowIdx_.clear();
+    rowVal_.clear();
+    auto patchRow = [&](std::size_t r) {
+        const double np = cw.singles_[r * dims + d] * newRecip;
+        if (np != sprod_[r * dims + d]) {
+            const double* p = sprod_.data() + r * dims;
+            Seconds total = 0.0;
+            for (std::size_t k = 0; k < dims; ++k)
+                total += k == d ? np : p[k];
+            rowIdx_.push_back(static_cast<std::uint32_t>(r));
+            rowVal_.push_back(total);
+        }
+    };
+    if (std::isfinite(newRecip)) {
+        for (std::uint32_t i = rowByDimOffset_[d];
+             i < rowByDimOffset_[d + 1]; ++i) {
+            patchRow(rowByDimRow_[i]);
+        }
+    } else {
+        const std::size_t rows = dims == 0 ? 0 : sprod_.size() / dims;
+        for (std::size_t r = 0; r < rows; ++r)
+            patchRow(r);
+    }
+
+    // Phases holding a changed op, re-summed in op order with the
+    // recomputed bottlenecks substituted as the walk passes them.
+    // Ops on d ascend, so phases come out ascending too.
+    phaseIdx_.clear();
+    phaseVal_.clear();
+    const std::uint32_t iEnd = opByDimOffset_[d + 1];
+    std::uint32_t i = opByDimOffset_[d];
+    while (i < iEnd) {
+        const std::uint32_t op = opByDimOp_[i];
+        if (opNewWorst(i, d, newRecip) == worst_[op]) {
+            ++i;
+            continue;
+        }
+        const std::uint32_t p = opPhase_[op];
+        Seconds total = 0.0;
+        for (std::uint32_t op2 = phaseRanges_[p].begin;
+             op2 < phaseRanges_[p].end; ++op2) {
+            double w;
+            if (i < iEnd && opByDimOp_[i] == op2) {
+                w = opNewWorst(i, d, newRecip);
+                ++i;
+            } else {
+                w = worst_[op2];
+            }
+            total += w;
+        }
+        phaseIdx_.push_back(p);
+        phaseVal_.push_back(total);
+    }
+
+    // Layer walk with the row/phase overrides merged in: rows and
+    // phases both ascend with the layer index.
+    Seconds total = 0.0;
+    std::size_t ri = 0;
+    std::size_t pi = 0;
+    std::size_t phase = 0;
+    auto rowSum = [&](std::size_t row) {
+        if (ri < rowIdx_.size() && rowIdx_[ri] == row)
+            return rowVal_[ri++];
+        return rowSums_[row];
+    };
+    auto phaseSum = [&](std::size_t p) {
+        if (pi < phaseIdx_.size() && phaseIdx_[pi] == p)
+            return phaseVal_[pi++];
+        return phaseSums_[p];
+    };
+    for (const auto& layer : cw.meta_) {
+        const std::size_t row = layer.singlesRow / dims;
+        Seconds fwdComm = rowSum(row) + phaseSum(phase);
+        Seconds igComm = rowSum(row + 1) + phaseSum(phase + 1);
+        Seconds wgComm = rowSum(row + 2) + phaseSum(phase + 2);
+        Seconds dpPath = layer.wgCompute + wgComm;
+        total += layer.fwdCompute + fwdComm + layer.igCompute +
+                 (igComm < dpPath ? dpPath : igComm);
+        phase += 3;
+    }
+    return total;
+}
+
+Seconds
+WorkloadIncremental::baseEstimate()
+{
+    if (!built_)
+        rebase();
+    const CompiledWorkload& cw = *cw_;
+    if (cw.loop_ == TrainingLoop::NoOverlap) {
+        Seconds total = cw.totalCompute_ + msum_;
+        for (std::size_t d = 0; d < cw.numDims_; ++d)
+            total += aprod_[d];
+        return total;
+    }
+    Seconds total = 0.0;
+    const std::size_t dims = cw.numDims_;
+    std::size_t phase = 0;
+    for (const auto& layer : cw.meta_) {
+        const std::size_t row = layer.singlesRow / dims;
+        Seconds fwdComm = rowSums_[row] + phaseSums_[phase];
+        Seconds igComm = rowSums_[row + 1] + phaseSums_[phase + 1];
+        Seconds wgComm = rowSums_[row + 2] + phaseSums_[phase + 2];
+        Seconds dpPath = layer.wgCompute + wgComm;
+        total += layer.fwdCompute + fwdComm + layer.igCompute +
+                 (igComm < dpPath ? dpPath : igComm);
+        phase += 3;
+    }
+    return total;
+}
+
+Seconds
+WorkloadIncremental::probe(std::size_t dim, double value)
+{
+    if (!built_)
+        rebase();
+    const double newRecip = 1.0 / (value * kGiga);
+    if (cw_->loop_ == TrainingLoop::NoOverlap)
+        return probeNoOverlap(dim, newRecip);
+    return probeTpDp(dim, newRecip);
+}
+
+} // namespace libra

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Incremental (differential) evaluation of a CompiledWorkload around a
+ * base bandwidth configuration.
+ *
+ * Pattern-search polls and subgradient probes move exactly one
+ * coordinate of the bandwidth vector, yet the scalar path recomputes
+ * every dimension's reciprocal, every singles product, and every
+ * multi-span op's bottleneck from scratch. WorkloadIncremental caches
+ * all of those partials at the base point; a probe then
+ *
+ *  1. recomputes the one changed reciprocal,
+ *  2. re-maxes only the multi-span ops with an entry on the probed
+ *     dimension (per-op winner/runner-up caches make that O(1) per
+ *     affected op, with a full per-op rescan only when the op has
+ *     several entries on the same dimension), and
+ *  3. re-sums every total a changed term feeds *in the original
+ *     evaluation order* — changed values override cached addends
+ *     in-place during an ordered replay, never by subtracting the old
+ *     term out of a running sum.
+ *
+ * Step 3 is the bit-identity contract: every floating-point operation
+ * that contributes to the returned value uses the same operands, in
+ * the same order, as CompiledWorkload::estimate() at the probed point,
+ * so the result is bit-identical by construction — goldens never move.
+ * (The winner/runner-up re-max shortcut yields the same value the
+ * entry scan would because every term is nonnegative and finite, where
+ * value-equality is bit-equality; NaN edge cases fall out of mirroring
+ * the scalar comparisons exactly.)
+ *
+ * The dimension-to-op index depends only on the compiled workload, so
+ * it is built once at construction; moving the base rebuilds just the
+ * value caches. Probes never mutate the caches — changed values ride
+ * in ordered scratch arrays consumed by merge walks — so a probe is
+ * allocation-free after warm-up and the base stays untouched.
+ *
+ * Instances are single-threaded: each solver invocation owns one (the
+ * CompiledWorkload stays shared and immutable). Value caches build
+ * lazily on the first probe, so rebasing after an accepted move costs
+ * one vector copy.
+ */
+
+#ifndef LIBRA_CORE_INCREMENTAL_HH
+#define LIBRA_CORE_INCREMENTAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/estimator.hh"
+
+namespace libra {
+
+class WorkloadIncremental
+{
+  public:
+    /** @p cw must outlive this evaluator. */
+    explicit WorkloadIncremental(const CompiledWorkload& cw);
+
+    /** Move the base point (cheap; caches rebuild on the next probe). */
+    void setBase(const BwConfig& x);
+
+    /** estimate(base), re-summed from the caches — bit-identical. */
+    Seconds baseEstimate();
+
+    /**
+     * estimate(base with coordinate @p dim set to @p value) —
+     * bit-identical to the full evaluation. Does not move the base.
+     */
+    Seconds probe(std::size_t dim, double value);
+
+  private:
+    void buildTopology();
+    void rebase();
+
+    /** New bottleneck of the op at index @p i of dim @p d's op list. */
+    double opNewWorst(std::uint32_t i, std::size_t d,
+                      double newRecip) const;
+
+    Seconds probeNoOverlap(std::size_t dim, double newRecip) const;
+    Seconds probeTpDp(std::size_t dim, double newRecip);
+
+    const CompiledWorkload* cw_;
+    BwConfig base_;
+    bool built_ = false;
+    std::size_t numOps_ = 0;
+
+    /** Sentinel: no winning entry / op needs a full entry rescan. */
+    static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+    // ---- Topology (depends only on cw_; built once). ----
+
+    /**
+     * CSR dimension -> multi-span ops with an entry there, op ids
+     * ascending. opByDimK_ holds the op's single entry index on that
+     * dimension, or kNone when the op has several entries there (the
+     * probe then replays the op's full entry scan).
+     */
+    std::vector<std::uint32_t> opByDimOffset_;
+    std::vector<std::uint32_t> opByDimOp_;
+    std::vector<std::uint32_t> opByDimK_;
+
+    /**
+     * CSR dimension -> singles rows with nonzero traffic there
+     * (TpDpOverlap). Rows with zero traffic keep a bit-equal product
+     * under any finite reciprocal, so a probe skips them entirely.
+     */
+    std::vector<std::uint32_t> rowByDimOffset_;
+    std::vector<std::uint32_t> rowByDimRow_;
+
+    /** Op ranges per (layer, phase) in fwd/ig/wg order (TpDpOverlap). */
+    std::vector<CompiledWorkload::PhaseRange> phaseRanges_;
+    std::vector<std::uint32_t> opPhase_;
+
+    // ---- Value caches (describe the base point; rebuilt on rebase). ----
+
+    std::vector<double> recip_;  ///< 1 / (base[d] * kGiga).
+    std::vector<double> worst_;  ///< Per multi-op bottleneck value.
+    std::vector<std::uint32_t> winner_; ///< Entry achieving worst_.
+    std::vector<double> runner_; ///< Max over entries != winner_.
+
+    // NoOverlap: per-dim products of the whole-workload singles, the
+    // multi-op bottleneck sum, and its left-to-right prefix sums
+    // (msumPrefix_[i] = sum of the first i ops). A probe whose first
+    // changed op is j restarts from msumPrefix_[j] and replays the
+    // remaining adds — the same adds, in the same order, the full
+    // scan would perform.
+    std::vector<double> aprod_;
+    double msum_ = 0.0;
+    std::vector<double> msumPrefix_;
+
+    // TpDpOverlap: per-(layer, phase) singles products, row sums, and
+    // multi-op sums.
+    std::vector<double> sprod_;    ///< singles_ layout.
+    std::vector<double> rowSums_;  ///< One per singles row.
+    std::vector<double> phaseSums_;
+
+    // Probe scratch (TpDpOverlap): ascending (index, new value)
+    // override pairs consumed by ordered merge walks. Capacity
+    // persists, so steady-state probes never allocate.
+    std::vector<std::uint32_t> rowIdx_;
+    std::vector<double> rowVal_;
+    std::vector<std::uint32_t> phaseIdx_;
+    std::vector<double> phaseVal_;
+};
+
+} // namespace libra
+
+#endif // LIBRA_CORE_INCREMENTAL_HH

@@ -12,10 +12,13 @@
 #ifndef LIBRA_CORE_OBJECTIVE_HH
 #define LIBRA_CORE_OBJECTIVE_HH
 
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/estimator.hh"
 #include "cost/cost_model.hh"
+#include "solver/batch_eval.hh"
 #include "solver/subgradient.hh"
 
 namespace libra {
@@ -43,8 +46,56 @@ Seconds weightedTime(const TrainingEstimator& estimator,
                      const BwConfig& bw);
 
 /**
+ * Precompiled analytical objective: the weighted-time (optionally
+ * x network-cost) function over per-workload CompiledWorkloads.
+ *
+ * Exposes the fast evaluation facets solvers recover with
+ * batchFacet(): candidate-major SIMD batches (evaluateBatch, blocked
+ * and fanned across the thread pool) and incremental coordinate-move
+ * evaluation (makeIncremental). Both are bit-identical to
+ * evaluateOne, which itself performs exactly the historical scalar
+ * evaluation-order — one sum over workloads in declaration order,
+ * then one cost multiply.
+ *
+ * Immutable after construction; shared by any number of solver
+ * threads. Only valid under the built-in analytical timing model
+ * (TrainingEstimator::usesAnalyticalTiming).
+ */
+class CompiledObjective final : public BatchEvaluable
+{
+  public:
+    /** Compiles every target; @p estimator and @p cost_model must
+     *  outlive this objective. */
+    CompiledObjective(OptimizationObjective objective,
+                      const TrainingEstimator& estimator,
+                      const CostModel& cost_model,
+                      const std::vector<TargetWorkload>& targets);
+
+    double evaluateOne(const Vec& x) const override;
+    void evaluateBatch(const Vec* xs, std::size_t n,
+                       double* out) const override;
+    std::unique_ptr<IncrementalEval> makeIncremental() const override;
+
+  private:
+    class Incremental;
+
+    /** Cost factor under PerfPerCostOpt; 1-free pass for PerfOpt. */
+    double applyCost(Seconds time, const Vec& x) const;
+
+    OptimizationObjective objective_;
+    const TrainingEstimator* estimator_;
+    const CostModel* costModel_;
+    std::vector<std::pair<CompiledWorkload, double>> compiled_;
+};
+
+/**
  * Build the scalar objective f(B) minimized by the solver.
  * The estimator and targets must outlive the returned callable.
+ *
+ * Under the built-in analytical timing model the returned callable is
+ * a BatchableObjective over a CompiledObjective, so solvers can
+ * recover the batched/incremental facets with batchFacet(); custom
+ * timing models fall back to a plain per-call lambda.
  */
 ScalarObjective makeObjective(OptimizationObjective objective,
                               const TrainingEstimator& estimator,

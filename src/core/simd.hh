@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Double-precision SIMD lane wrappers for the batched estimator
+ * kernels (core/eval_kernels_impl.hh).
+ *
+ * A Lane holds one IEEE-754 double per candidate and exposes exactly
+ * the operations the scalar estimate() path performs: add, mul, div,
+ * and the `a > b ? a : b` max-update. Each wrapper guarantees the
+ * per-lane result is bit-identical to the corresponding scalar
+ * operation — that is the whole contract that lets estimateBatch()
+ * share goldens with estimate():
+ *
+ *  - add/mul/div map to the IEEE-correctly-rounded vector instructions;
+ *  - maxGt(a, b) implements `a > b ? a : b` including the NaN/zero
+ *    corner cases: x86 MAXPD already returns the second operand on
+ *    NaN or equal-zero inputs (matching the false branch of `a > b`),
+ *    while NEON's FMAX propagates NaN differently, so the NEON lane
+ *    uses an explicit compare+select;
+ *  - no FMA contraction: the kernel translation units are compiled
+ *    with -ffp-contract=off (and -mno-fma on x86), so a mul followed
+ *    by an add never fuses into a differently-rounded fmadd.
+ *
+ * Each ISA struct is guarded by the compiler's own ISA macro; a
+ * translation unit sees exactly the lanes its -m flags enable.
+ */
+
+#ifndef LIBRA_CORE_SIMD_HH
+#define LIBRA_CORE_SIMD_HH
+
+#include <cstddef>
+
+#if defined(__AVX2__) || defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace libra {
+namespace simd {
+
+/** One candidate per "lane": the reference semantics, plain scalar. */
+struct ScalarLane
+{
+    static constexpr std::size_t kWidth = 1;
+    double v;
+
+    static ScalarLane broadcast(double x) { return {x}; }
+    static ScalarLane load(const double* p) { return {*p}; }
+    void store(double* p) const { *p = v; }
+
+    friend ScalarLane
+    operator+(ScalarLane a, ScalarLane b)
+    {
+        return {a.v + b.v};
+    }
+
+    friend ScalarLane
+    operator*(ScalarLane a, ScalarLane b)
+    {
+        return {a.v * b.v};
+    }
+
+    friend ScalarLane
+    operator/(ScalarLane a, ScalarLane b)
+    {
+        return {a.v / b.v};
+    }
+
+    /** a > b ? a : b — the scalar `if (t > worst)` update. */
+    static ScalarLane
+    maxGt(ScalarLane a, ScalarLane b)
+    {
+        return {a.v > b.v ? a.v : b.v};
+    }
+};
+
+#if defined(__AVX2__)
+/** Four candidates per lane (256-bit AVX2). */
+struct Avx2Lane
+{
+    static constexpr std::size_t kWidth = 4;
+    __m256d v;
+
+    static Avx2Lane broadcast(double x) { return {_mm256_set1_pd(x)}; }
+    static Avx2Lane load(const double* p) { return {_mm256_loadu_pd(p)}; }
+    void store(double* p) const { _mm256_storeu_pd(p, v); }
+
+    friend Avx2Lane
+    operator+(Avx2Lane a, Avx2Lane b)
+    {
+        return {_mm256_add_pd(a.v, b.v)};
+    }
+
+    friend Avx2Lane
+    operator*(Avx2Lane a, Avx2Lane b)
+    {
+        return {_mm256_mul_pd(a.v, b.v)};
+    }
+
+    friend Avx2Lane
+    operator/(Avx2Lane a, Avx2Lane b)
+    {
+        return {_mm256_div_pd(a.v, b.v)};
+    }
+
+    /** VMAXPD computes exactly `a > b ? a : b` per lane. */
+    static Avx2Lane
+    maxGt(Avx2Lane a, Avx2Lane b)
+    {
+        return {_mm256_max_pd(a.v, b.v)};
+    }
+};
+#endif // __AVX2__
+
+#if defined(__AVX512F__)
+/** Eight candidates per lane (512-bit AVX-512F). */
+struct Avx512Lane
+{
+    static constexpr std::size_t kWidth = 8;
+    __m512d v;
+
+    static Avx512Lane broadcast(double x) { return {_mm512_set1_pd(x)}; }
+    static Avx512Lane load(const double* p) { return {_mm512_loadu_pd(p)}; }
+    void store(double* p) const { _mm512_storeu_pd(p, v); }
+
+    friend Avx512Lane
+    operator+(Avx512Lane a, Avx512Lane b)
+    {
+        return {_mm512_add_pd(a.v, b.v)};
+    }
+
+    friend Avx512Lane
+    operator*(Avx512Lane a, Avx512Lane b)
+    {
+        return {_mm512_mul_pd(a.v, b.v)};
+    }
+
+    friend Avx512Lane
+    operator/(Avx512Lane a, Avx512Lane b)
+    {
+        return {_mm512_div_pd(a.v, b.v)};
+    }
+
+    /** VMAXPD computes exactly `a > b ? a : b` per lane. */
+    static Avx512Lane
+    maxGt(Avx512Lane a, Avx512Lane b)
+    {
+        return {_mm512_max_pd(a.v, b.v)};
+    }
+};
+#endif // __AVX512F__
+
+#if defined(__aarch64__)
+/** Two candidates per lane (128-bit NEON). */
+struct NeonLane
+{
+    static constexpr std::size_t kWidth = 2;
+    float64x2_t v;
+
+    static NeonLane broadcast(double x) { return {vdupq_n_f64(x)}; }
+    static NeonLane load(const double* p) { return {vld1q_f64(p)}; }
+    void store(double* p) const { vst1q_f64(p, v); }
+
+    friend NeonLane
+    operator+(NeonLane a, NeonLane b)
+    {
+        return {vaddq_f64(a.v, b.v)};
+    }
+
+    friend NeonLane
+    operator*(NeonLane a, NeonLane b)
+    {
+        return {vmulq_f64(a.v, b.v)};
+    }
+
+    friend NeonLane
+    operator/(NeonLane a, NeonLane b)
+    {
+        return {vdivq_f64(a.v, b.v)};
+    }
+
+    /**
+     * Explicit compare+select: FMAX would return NaN whenever either
+     * input is NaN, where `a > b ? a : b` must return b.
+     */
+    static NeonLane
+    maxGt(NeonLane a, NeonLane b)
+    {
+        return {vbslq_f64(vcgtq_f64(a.v, b.v), a.v, b.v)};
+    }
+};
+#endif // __aarch64__
+
+} // namespace simd
+} // namespace libra
+
+#endif // LIBRA_CORE_SIMD_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Batched / incremental evaluation facets of a scalar objective.
+ *
+ * Every solver takes a type-erased `ScalarObjective`; the compiled
+ * analytical objective (core/objective.cc) additionally supports two
+ * much faster evaluation modes:
+ *
+ *  - whole-population batches through the SIMD candidate-major kernels
+ *    (CompiledWorkload::estimateBatch), and
+ *  - incremental re-evaluation of coordinate-local moves (pattern
+ *    search polls and subgradient probes change one dimension).
+ *
+ * Both modes are bit-identical to calling the scalar objective — they
+ * are pure evaluation-order-preserving reformulations — so a solver
+ * may use them opportunistically without changing any result.
+ *
+ * The facets ride inside the `std::function`: `makeObjective` returns
+ * a `BatchableObjective` wrapper, and solvers recover it with
+ * `batchFacet()` (`std::function::target`). Objectives that are plain
+ * lambdas — custom timing models, counting wrappers, tests — simply
+ * yield no facet and every solver falls back to per-call evaluation.
+ */
+
+#ifndef LIBRA_SOLVER_BATCH_EVAL_HH
+#define LIBRA_SOLVER_BATCH_EVAL_HH
+
+#include <cstddef>
+#include <memory>
+
+#include "solver/subgradient.hh"
+
+namespace libra {
+
+/**
+ * Incremental re-evaluation around a movable base point.
+ *
+ * Mutable and strictly single-threaded: each solver invocation builds
+ * its own instance (the shared objective stays immutable). Heavy
+ * per-dimension caches are built lazily on the first probe, so
+ * rebasing after an accepted move costs one vector copy.
+ */
+class IncrementalEval
+{
+  public:
+    virtual ~IncrementalEval() = default;
+
+    /**
+     * Move the base point to @p x. Pass @p knownValue when f(x) was
+     * already computed; otherwise the value is evaluated on demand.
+     */
+    virtual void setBase(const Vec& x,
+                         const double* knownValue = nullptr) = 0;
+
+    /** Objective value at the current base point. */
+    virtual double baseValue() = 0;
+
+    /**
+     * f(base with coordinate @p dim set to @p value) — bit-identical
+     * to a full evaluation at that point. Does not move the base.
+     */
+    virtual double probe(std::size_t dim, double value) = 0;
+
+    /**
+     * Evaluate @p x, choosing the cheapest exact path: the cached base
+     * value when x == base, a probe when x differs from the base in
+     * exactly one coordinate, and a full evaluation (which rebases to
+     * x) otherwise. Always bit-identical to f(x).
+     */
+    virtual double evaluate(const Vec& x) = 0;
+};
+
+/** The batched/incremental evaluation facet of an objective. */
+class BatchEvaluable
+{
+  public:
+    virtual ~BatchEvaluable() = default;
+
+    /** Scalar evaluation; the std::function call forwards here. */
+    virtual double evaluateOne(const Vec& x) const = 0;
+
+    /**
+     * Evaluate @p n candidates into @p out (per-candidate slots, so
+     * results are deterministic at any thread count). Bit-identical
+     * per candidate to evaluateOne.
+     */
+    virtual void evaluateBatch(const Vec* xs, std::size_t n,
+                               double* out) const = 0;
+
+    /** New single-threaded incremental evaluator over this objective. */
+    virtual std::unique_ptr<IncrementalEval> makeIncremental() const = 0;
+};
+
+/**
+ * The concrete callable `makeObjective` stores in the ScalarObjective
+ * when the fast facets are available. Copyable (shared impl), so the
+ * std::function stays cheap to pass around.
+ */
+struct BatchableObjective
+{
+    std::shared_ptr<const BatchEvaluable> impl;
+
+    double
+    operator()(const Vec& x) const
+    {
+        return impl->evaluateOne(x);
+    }
+};
+
+/**
+ * Recover the batched-evaluation facet of @p f, or nullptr when @p f
+ * is a plain callable. The facet shares @p f's lifetime.
+ */
+inline const BatchEvaluable*
+batchFacet(const ScalarObjective& f)
+{
+    const auto* wrapper = f.target<BatchableObjective>();
+    return wrapper ? wrapper->impl.get() : nullptr;
+}
+
+} // namespace libra
+
+#endif // LIBRA_SOLVER_BATCH_EVAL_HH

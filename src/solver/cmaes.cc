@@ -6,6 +6,7 @@
 
 #include "common/random.hh"
 #include "common/thread_pool.hh"
+#include "solver/batch_eval.hh"
 #include "solver/matrix.hh"
 #include "solver/qp.hh"
 
@@ -77,6 +78,7 @@ cmaesSearch(const ScalarObjective& f, const ConstraintSet& constraints,
     std::vector<Vec> cands(lam);
     std::vector<Vec> steps(lam); // Repaired y_i = (x_i - mean) / sigma.
     Vec values(lam, 0.0);
+    const BatchEvaluable* batch = batchFacet(f);
 
     for (int gen = 0;
          gen < options.generations && budgetLeft() && sigma > sigmaFloor;
@@ -105,9 +107,14 @@ cmaesSearch(const ScalarObjective& f, const ConstraintSet& constraints,
         }
 
         // Batched evaluation: one dispatch per generation, results in
-        // per-candidate slots.
-        parallelFor(lam,
-                    [&](std::size_t i) { values[i] = f(cands[i]); });
+        // per-candidate slots. The compiled objective streams the
+        // whole generation through the SIMD kernels (bit-identical to
+        // per-candidate calls); plain objectives fan out per candidate.
+        if (batch)
+            batch->evaluateBatch(cands.data(), lam, values.data());
+        else
+            parallelFor(lam,
+                        [&](std::size_t i) { values[i] = f(cands[i]); });
         evals += static_cast<long long>(lam);
 
         // Rank with ties toward the lower candidate index.

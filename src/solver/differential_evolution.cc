@@ -5,6 +5,7 @@
 
 #include "common/random.hh"
 #include "common/thread_pool.hh"
+#include "solver/batch_eval.hh"
 #include "solver/qp.hh"
 
 namespace libra {
@@ -44,7 +45,14 @@ differentialEvolutionSearch(const ScalarObjective& f,
         // start alone and return it.
         return SearchResult{x0, f(x0), 1};
     }
-    parallelFor(np, [&](std::size_t i) { values[i] = f(pop[i]); });
+    // The compiled objective streams whole generations through the
+    // SIMD kernels (bit-identical to per-candidate calls); plain
+    // objectives fan out per candidate.
+    const BatchEvaluable* batch = batchFacet(f);
+    if (batch)
+        batch->evaluateBatch(pop.data(), np, values.data());
+    else
+        parallelFor(np, [&](std::size_t i) { values[i] = f(pop[i]); });
     evals += static_cast<long long>(np);
 
     std::vector<Vec> trials(np);
@@ -84,9 +92,12 @@ differentialEvolutionSearch(const ScalarObjective& f,
             trials[i] = projectOntoConstraints(constraints, trial);
         }
 
-        parallelFor(np, [&](std::size_t i) {
-            trialValues[i] = f(trials[i]);
-        });
+        if (batch)
+            batch->evaluateBatch(trials.data(), np, trialValues.data());
+        else
+            parallelFor(np, [&](std::size_t i) {
+                trialValues[i] = f(trials[i]);
+            });
         evals += static_cast<long long>(np);
 
         // Greedy one-to-one selection: index i only ever competes

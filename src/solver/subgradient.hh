@@ -22,9 +22,12 @@ namespace libra {
 /** Scalar objective over the bandwidth vector. */
 using ScalarObjective = std::function<double(const Vec&)>;
 
+/** Default relative step of the central-difference gradient. */
+inline constexpr double kGradientRelStep = 1e-6;
+
 /** Central-difference gradient of @p f at @p x with relative step. */
 Vec numericGradient(const ScalarObjective& f, const Vec& x,
-                    double rel_step = 1e-6);
+                    double rel_step = kGradientRelStep);
 
 /** Result of an iterative minimization. */
 struct SearchResult

@@ -8,8 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include "common/random.hh"
 #include "common/thread_pool.hh"
 #include "core/framework.hh"
+#include "core/objective.hh"
 #include "core/optimizer.hh"
 #include "core/study_config.hh"
 #include "core/timing_backend.hh"
@@ -102,6 +104,50 @@ TEST(ParallelDeterminism, CmaesAndDePipelinesAreThreadCountInvariant)
             return opt.optimize({{w, 1.0}}, cfg);
         });
     }
+}
+
+/**
+ * The compiled objective's batched facet fans fixed 32-candidate
+ * blocks across the pool, so its output must be bit-identical at any
+ * thread count — this is what makes the batched CMA-ES and DE
+ * generations above thread-count invariant in the first place.
+ */
+TEST(ParallelDeterminism, EvaluateBatchIsThreadCountInvariant)
+{
+    Network net = topo::threeD512();
+    Workload w = wl::msft1T(net.npus());
+    TrainingEstimator est(net);
+    CostModel cost = CostModel::defaultModel();
+    std::vector<TargetWorkload> targets = {{w, 1.0}};
+    ScalarObjective f = makeObjective(
+        OptimizationObjective::PerfPerCostOpt, est, cost, targets);
+    const BatchEvaluable* batch = batchFacet(f);
+    ASSERT_NE(batch, nullptr);
+
+    Rng rng(0xBA7C4);
+    std::vector<Vec> pool;
+    for (int i = 0; i < 100; ++i) {
+        Vec bw = rng.simplexPoint(net.numDims(), 600.0);
+        for (auto& b : bw)
+            b = std::max(b, 1.0);
+        pool.push_back(std::move(bw));
+    }
+
+    ThreadPool::setGlobalThreads(1);
+    std::vector<double> serial(pool.size(), -1.0);
+    batch->evaluateBatch(pool.data(), pool.size(), serial.data());
+    for (std::size_t threads : {2, 8}) {
+        ThreadPool::setGlobalThreads(threads);
+        std::vector<double> parallel(pool.size(), -2.0);
+        batch->evaluateBatch(pool.data(), pool.size(),
+                             parallel.data());
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+            EXPECT_EQ(serial[i], parallel[i])
+                << "candidate " << i << " at " << threads
+                << " threads";
+        }
+    }
+    ThreadPool::setGlobalThreads(1);
 }
 
 /**

@@ -9,10 +9,15 @@
 #              scenario under --explore prune (the design-space
 #              exploration layer end to end) — each asserting
 #              byte-identical matrix JSON at different thread counts,
-#              cached and fresh — and a fault-injection smoke that
+#              cached and fresh — a fault-injection smoke that
 #              re-runs the golden matrix with injected cache-I/O
 #              faults and asserts the JSON is byte-identical to the
-#              fault-free cached run (docs/ROBUSTNESS.md).
+#              fault-free cached run (docs/ROBUSTNESS.md), a SIMD
+#              smoke that rebuilds the CLI with LIBRA_SIMD=off and
+#              asserts the golden matrix JSON is byte-identical to
+#              the default build's (docs/PERF.md), and an objective
+#              bench smoke asserting BENCH_objective.json emits the
+#              tracked speedup metrics.
 #   --tsan     ThreadSanitizer build in build-tsan/; runs the threading
 #              contract tests (thread pool, parallel determinism, the
 #              scenario-matrix engine whose sweeps exercise
@@ -65,7 +70,7 @@ case "${MODE}" in
     # and line-atomic logging under concurrent cache warnings), the
     # cache-concurrency hammer, and the serve subsystem (LRU +
     # single-flight + socket server; docs/SERVE.md).
-    CTEST_EXTRA+=(-R 'test_thread_pool|test_parallel_determinism|test_study_engine|test_timing_backend|test_sim_crossval|test_explore|test_cache_faults|test_cache_concurrency|test_serve')
+    CTEST_EXTRA+=(-R 'test_thread_pool|test_parallel_determinism|test_study_engine|test_timing_backend|test_sim_crossval|test_explore|test_cache_faults|test_cache_concurrency|test_serve|test_objective_kernels')
     ;;
   asan)
     BUILD_DIR="build-asan"
@@ -182,4 +187,33 @@ if [[ -z "${MODE}" ]]; then
   grep -q '"computed":0,' "${SMOKE_DIR}/ssecond.status"
   grep -Eq '"lruHits": [1-9]' "${SMOKE_DIR}/sstats.json"
   echo "serve smoke: byte-identical golden payloads (one-shot vs disk-served vs LRU-served)"
+
+  # SIMD smoke: the batched candidate-major kernels promise results
+  # bit-identical to the scalar fallback (docs/PERF.md), so a golden
+  # matrix run from a LIBRA_SIMD=off build must emit byte-identical
+  # JSON to the default (auto) build — fresh at 1 thread, then served
+  # from each build's own cache at 8 threads.
+  cmake -B build-simd-off -S . -DLIBRA_WERROR=ON -DLIBRA_SIMD=off \
+    -DLIBRA_BUILD_TESTS=OFF -DLIBRA_BUILD_BENCH=OFF \
+    -DLIBRA_BUILD_EXAMPLES=OFF
+  cmake --build build-simd-off -j"${JOBS}" --target libra_cli
+  for t in 1 8; do
+    "${BUILD_DIR}/libra_cli" run-matrix golden --emit json \
+      --cache-dir "${SMOKE_DIR}/simd-auto-cache" \
+      --out "${SMOKE_DIR}/simd-auto-${t}t.json" --threads "${t}"
+    build-simd-off/libra_cli run-matrix golden --emit json \
+      --cache-dir "${SMOKE_DIR}/simd-off-cache" \
+      --out "${SMOKE_DIR}/simd-off-${t}t.json" --threads "${t}"
+    cmp "${SMOKE_DIR}/simd-auto-${t}t.json" \
+      "${SMOKE_DIR}/simd-off-${t}t.json"
+  done
+  cmp "${SMOKE_DIR}/simd-auto-1t.json" "${SMOKE_DIR}/simd-auto-8t.json"
+  echo "simd smoke: byte-identical matrix JSON (LIBRA_SIMD=off vs auto, fresh 1t vs cached 8t)"
+
+  # Objective-throughput smoke: the bench must run and emit parseable
+  # metrics with the scalar-SoA speedup the perf docs track.
+  BENCH_BIN="$(pwd)/${BUILD_DIR}/micro_objective_eval"
+  (cd "${SMOKE_DIR}" && "${BENCH_BIN}")
+  grep -q '"soa_speedup_vs_nested":' "${SMOKE_DIR}/BENCH_objective.json"
+  echo "objective bench smoke: BENCH_objective.json emitted with speedup metrics"
 fi
