@@ -13,12 +13,25 @@
  * winners — at two thread counts, asserting bit-identical winner sets
  * and winning bandwidth configurations.
  *
+ * A second section benchmarks scale-out sharding (docs/SHARDING.md):
+ * the frontier-xl scenario (120 candidates, deliberately larger than
+ * explore-frontier's 80) runs through the real libra_cli binary
+ * single-process and with `--workers 2`, asserting the emitted matrix
+ * JSON is byte-identical — which pins the Pareto winners — and
+ * reporting both wall clocks. Speedup needs multiple cores; on a
+ * single-core host the numbers simply document the protocol overhead.
+ *
  * Emits machine-readable BENCH_explore.json for CI tracking next to
  * BENCH_objective/solver/backend.json. The acceptance contract:
  * `prune_matches_exhaustive_winner` true with
- * `prune_full_runs <= 0.5 * exhaustive_full_runs`.
+ * `prune_full_runs <= 0.5 * exhaustive_full_runs`, and
+ * `shard_byte_identical` true.
  */
 
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
 
 #include "bench_util.hh"
 #include "common/json.hh"
@@ -70,6 +83,85 @@ winnerFingerprint(const ExploreResult& r)
                bwConfigToString(o.report.optimized.bw) + "; ";
     }
     return out;
+}
+
+/** Slurp one emitted file; "" when unreadable. */
+std::string
+slurpFile(const std::string& path)
+{
+    std::ifstream f(path);
+    std::ostringstream os;
+    os << f.rdbuf();
+    return os.str();
+}
+
+/**
+ * Scale-out section: frontier-xl through the real CLI, single-process
+ * vs `--workers 2`, byte-identity asserted (it pins the Pareto
+ * winners), wall clocks recorded into @p j.
+ */
+void
+shardSection(Json* j)
+{
+#ifdef LIBRA_CLI_PATH
+    bench::banner("micro",
+                  "sharded frontier-xl (single-process vs --workers 2, "
+                  "byte-identity + wall clock)");
+
+    const std::string dir =
+        (std::filesystem::temp_directory_path() / "libra-bench-shard")
+            .string();
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    auto timedRun = [&](const std::string& extra,
+                        const std::string& out) -> double {
+        std::string cmd = std::string(LIBRA_CLI_PATH) +
+                          " run-matrix frontier-xl --emit json --out " +
+                          out + extra + " 2>/dev/null";
+        auto t0 = std::chrono::steady_clock::now();
+        int status = std::system(cmd.c_str());
+        auto t1 = std::chrono::steady_clock::now();
+        if (status != 0)
+            fatal("bench: '", cmd, "' failed");
+        return std::chrono::duration<double>(t1 - t0).count();
+    };
+
+    const std::string single = dir + "/single.json";
+    const std::string sharded = dir + "/workers2.json";
+    double singleSec = timedRun("", single);
+    double shardedSec = timedRun(" --workers 2", sharded);
+
+    const std::string singleBytes = slurpFile(single);
+    bool identical =
+        !singleBytes.empty() && singleBytes == slurpFile(sharded);
+    if (!identical)
+        fatal("bench: sharded frontier-xl output diverged from "
+              "single-process (sharding must be byte-transparent)");
+
+    Table t;
+    t.header({"Execution", "wall s", "output"});
+    t.row({"single-process", Table::num(singleSec, 2),
+           "reference"});
+    t.row({"--workers 2", Table::num(shardedSec, 2),
+           "byte-identical"});
+    t.print(std::cout);
+    std::cout << "sharded/single wall-clock ratio: "
+              << Table::num(shardedSec / singleSec, 2)
+              << " (speedup needs >1 core; identity is the "
+                 "contract)\n";
+
+    (*j)["shard_space"] = "frontier-xl";
+    (*j)["shard_single_seconds"] = singleSec;
+    (*j)["shard_workers2_seconds"] = shardedSec;
+    (*j)["shard_byte_identical"] = identical;
+
+    std::filesystem::remove_all(dir);
+#else
+    (void)j;
+    std::cout << "\n(sharded section skipped: built without "
+                 "LIBRA_CLI_PATH)\n";
+#endif
 }
 
 void
@@ -138,6 +230,8 @@ run()
     j["prune_thread_stable"] = threadStable;
     j["exhaustive_winners"] = winnerFingerprint(exhaustive.result);
     j["prune_winners"] = winnerFingerprint(prune.result);
+
+    shardSection(&j);
 
     bench::writeBenchJson("BENCH_explore.json", j);
     std::cout << "\nWrote BENCH_explore.json (prune reached the "

@@ -1,0 +1,117 @@
+#include "serve/framing.hh"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace libra {
+
+std::string
+frameMessage(Json status, const std::string& payload)
+{
+    status["bytes"] = payload.size();
+    return status.dump() + "\n" + payload;
+}
+
+std::string
+frameErrorMessage(const std::string& error)
+{
+    Json status = Json::object();
+    status["ok"] = false;
+    status["error"] = error;
+    return frameMessage(std::move(status), "");
+}
+
+std::size_t
+framePayloadBytes(const Json& status, const char* who)
+{
+    if (!status.has("bytes"))
+        return 0;
+    const Json& field = status.at("bytes");
+    if (!field.isNumber())
+        fatal(who, ": status-line 'bytes' is not a number: ",
+              field.dump());
+    const double value = field.asNumber();
+    // NaN fails the >= 0 comparison; negatives and fractions are
+    // rejected explicitly. Only then is the size_t cast safe.
+    if (!(value >= 0.0) || value != std::floor(value))
+        fatal(who, ": status-line 'bytes' is not a nonnegative "
+              "integer: ", field.dump());
+    if (value > static_cast<double>(kMaxFramePayload))
+        fatal(who, ": status-line 'bytes' exceeds the ",
+              kMaxFramePayload, "-byte payload cap: ", field.dump());
+    return static_cast<std::size_t>(value);
+}
+
+void
+FrameBuffer::append(const char* data, std::size_t n)
+{
+    data_.append(data, n);
+}
+
+std::optional<Frame>
+FrameBuffer::next()
+{
+    const std::size_t eol = data_.find('\n');
+    if (eol == std::string::npos) {
+        if (data_.size() > kMaxFrameLine)
+            fatal(who_, ": status line exceeds ", kMaxFrameLine,
+                  " bytes without a newline");
+        return std::nullopt;
+    }
+    if (eol > kMaxFrameLine)
+        fatal(who_, ": status line exceeds ", kMaxFrameLine, " bytes");
+
+    Frame frame;
+    try {
+        frame.status = Json::parse(data_.substr(0, eol));
+    } catch (const FatalError&) {
+        fatal(who_, ": malformed status line from peer");
+    }
+    const std::size_t bytes = framePayloadBytes(frame.status, who_);
+    if (data_.size() - (eol + 1) < bytes)
+        return std::nullopt; // Payload still in flight.
+    frame.payload = data_.substr(eol + 1, bytes);
+    data_.erase(0, eol + 1 + bytes);
+    return frame;
+}
+
+bool
+sendAllFd(int fd, const std::string& data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+Frame
+readFrameFd(int fd, FrameBuffer& buffer, const char* who)
+{
+    for (;;) {
+        if (std::optional<Frame> frame = buffer.next())
+            return std::move(*frame);
+        char buf[4096];
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            fatal(who, ": connection closed mid-frame (",
+                  buffer.pending(), " bytes buffered)");
+        buffer.append(buf, static_cast<std::size_t>(n));
+    }
+}
+
+} // namespace libra

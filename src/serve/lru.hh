@@ -10,10 +10,17 @@
  * the reports that produced them, so a matrix served from this cache
  * emits byte-identical output to a fresh or disk-cached run.
  *
+ * Two independent bounds, each optional (0 = unbounded on that axis):
+ * a capacity in entries and a byte budget over the resident entries'
+ * estimated memory (key text + report vectors + bookkeeping). Crossing
+ * either bound evicts from the cold end until both hold again; an
+ * entry larger than the whole byte budget is simply not retained. With
+ * both bounds 0 the cache is disabled (get always misses, put no-ops),
+ * preserving the pre-budget `capacity == 0` contract.
+ *
  * Thread-safe: one internal mutex guards the recency list and index
  * (every operation is a few pointer moves — far below the cost of the
- * optimize() calls the cache amortizes). Capacity is in entries; a
- * capacity of 0 disables the cache (get always misses, put no-ops).
+ * optimize() calls the cache amortizes).
  */
 
 #ifndef LIBRA_SERVE_LRU_HH
@@ -43,9 +50,18 @@ class LruCache
         std::uint64_t evictions = 0;
         std::size_t entries = 0;  ///< Current resident entries.
         std::size_t capacity = 0;
+        std::size_t bytes = 0;    ///< Estimated resident bytes.
+        std::size_t maxBytes = 0; ///< Byte budget; 0 = unbounded.
     };
 
-    explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+    /**
+     * @p capacity bounds entries, @p maxBytes bounds estimated
+     * resident bytes; 0 leaves that axis unbounded, both 0 disables
+     * the cache.
+     */
+    explicit LruCache(std::size_t capacity, std::size_t maxBytes = 0)
+        : capacity_(capacity), maxBytes_(maxBytes)
+    {}
 
     /**
      * Look up @p key; a hit copies the report into @p out and marks
@@ -56,9 +72,18 @@ class LruCache
 
     /**
      * Insert (or refresh) @p key -> @p report as the most recently
-     * used entry, evicting from the cold end above capacity.
+     * used entry, evicting from the cold end until both bounds hold.
      */
     void put(const std::string& key, const LibraReport& report);
+
+    /**
+     * Estimated resident cost of one entry: list/index bookkeeping
+     * plus the key text and the report's heap vectors. An estimate is
+     * enough — the budget protects against runaway growth, not an
+     * allocator-exact accounting.
+     */
+    static std::size_t entryBytes(const std::string& key,
+                                  const LibraReport& report);
 
     /** Counter snapshot since construction. */
     Stats stats() const;
@@ -66,11 +91,17 @@ class LruCache
   private:
     using Entry = std::pair<std::string, LibraReport>;
 
+    bool disabled() const { return capacity_ == 0 && maxBytes_ == 0; }
+    bool overBudget() const;
+    void evictColdest();
+
     std::size_t capacity_;
+    std::size_t maxBytes_;
 
     mutable std::mutex mutex_;
     std::list<Entry> order_; ///< Front = most recently used.
     std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+    std::size_t bytes_ = 0;  ///< Sum of entryBytes over residents.
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t evictions_ = 0;

@@ -11,6 +11,7 @@
 
 #include "common/logging.hh"
 #include "core/timing_backend.hh"
+#include "serve/framing.hh"
 #include "explore/explore.hh"
 #include "solver/strategy.hh"
 #include "study/scenario.hh"
@@ -22,8 +23,8 @@ namespace libra {
 // ---------------------------------------------------------------------
 
 ServeStore::ServeStore(const std::string& cacheDir,
-                       std::size_t lruCapacity)
-    : lru_(lruCapacity)
+                       std::size_t lruCapacity, std::size_t lruBytes)
+    : lru_(lruCapacity, lruBytes)
 {
     if (!cacheDir.empty())
         disk_.emplace(cacheDir);
@@ -120,23 +121,6 @@ stripFatalPrefix(std::string msg)
     return msg;
 }
 
-/** Frame a response: compact status line, then the raw payload. */
-std::string
-frame(Json status, const std::string& payload)
-{
-    status["bytes"] = payload.size();
-    return status.dump() + "\n" + payload;
-}
-
-std::string
-frameError(const std::string& error)
-{
-    Json status = Json::object();
-    status["ok"] = false;
-    status["error"] = error;
-    return frame(std::move(status), "");
-}
-
 /** A request's scenario field: one name or an array of names. */
 std::vector<std::string>
 scenarioNames(const Json& field)
@@ -180,14 +164,14 @@ Server::handleLine(const std::string& line, bool* shutdown)
             Json status = Json::object();
             status["ok"] = true;
             status["op"] = "ping";
-            return frame(std::move(status), "");
+            return frameMessage(std::move(status), "");
         }
         if (op == "shutdown") {
             *shutdown = true;
             Json status = Json::object();
             status["ok"] = true;
             status["op"] = "shutdown";
-            return frame(std::move(status), "");
+            return frameMessage(std::move(status), "");
         }
         if (op == "stats") {
             ServeStore::Stats s = store_.stats();
@@ -199,6 +183,8 @@ Server::handleLine(const std::string& line, bool* shutdown)
             j["lruEntries"] = s.lru.entries;
             j["lruCapacity"] = s.lru.capacity;
             j["lruEvictions"] = s.lru.evictions;
+            j["lruBytes"] = s.lru.bytes;
+            j["lruMaxBytes"] = s.lru.maxBytes;
             j["diskHits"] = s.diskHits;
             j["misses"] = s.misses;
             j["coalesced"] = s.coalesced;
@@ -206,7 +192,7 @@ Server::handleLine(const std::string& line, bool* shutdown)
             Json status = Json::object();
             status["ok"] = true;
             status["op"] = "stats";
-            return frame(std::move(status), j.dump(1) + "\n");
+            return frameMessage(std::move(status), j.dump(1) + "\n");
         }
         if (op != "run")
             fatal("unknown op '", op, "'");
@@ -258,16 +244,16 @@ Server::handleLine(const std::string& line, bool* shutdown)
         status["coalesced"] = result.coalesced;
         status["computed"] = result.computed;
         status["failed"] = result.failed;
-        return frame(std::move(status), payload.str());
+        return frameMessage(std::move(status), payload.str());
     } catch (const FatalError& e) {
         // A request error (bad JSON, unknown scenario, a failing
         // design point under abort mode) is this request's problem;
         // the server keeps serving.
         errors_.fetch_add(1, std::memory_order_relaxed);
-        return frameError(stripFatalPrefix(e.what()));
+        return frameErrorMessage(stripFatalPrefix(e.what()));
     } catch (const std::exception& e) {
         errors_.fetch_add(1, std::memory_order_relaxed);
-        return frameError(std::string("internal error: ") + e.what());
+        return frameErrorMessage(std::string("internal error: ") + e.what());
     }
 }
 
@@ -276,25 +262,6 @@ Server::handleLine(const std::string& line, bool* shutdown)
 // ---------------------------------------------------------------------
 
 namespace {
-
-/** Write all of @p data; MSG_NOSIGNAL so a dead peer is an error, not
- * a process-killing SIGPIPE. */
-bool
-sendAll(int fd, const std::string& data)
-{
-    std::size_t sent = 0;
-    while (sent < data.size()) {
-        ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                           MSG_NOSIGNAL);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        sent += static_cast<std::size_t>(n);
-    }
-    return true;
-}
 
 void
 fillSocketAddress(const std::string& path, sockaddr_un* addr)
@@ -313,7 +280,8 @@ fillSocketAddress(const std::string& path, sockaddr_un* addr)
 
 Server::Server(ServeOptions options)
     : options_(std::move(options)),
-      store_(options_.cacheDir, options_.lruCapacity)
+      store_(options_.cacheDir, options_.lruCapacity,
+             options_.lruBytes)
 {}
 
 Server::~Server()
@@ -418,7 +386,7 @@ Server::handleConnection(int fd)
                 continue;
             bool shutdown = false;
             std::string response = handleLine(line, &shutdown);
-            if (!sendAll(fd, response))
+            if (!sendAllFd(fd, response))
                 open = false;
             if (shutdown) {
                 // stop() waits for this very connection to drain, so
@@ -426,6 +394,17 @@ Server::handleConnection(int fd)
                 std::thread([this] { stop(); }).detach();
                 open = false;
             }
+        }
+        // Every complete line has been consumed above, so leftover
+        // bytes are one partial request line. A peer streaming more
+        // than kMaxFrameLine without a newline would otherwise grow
+        // `pending` without bound — answer an error and hang up.
+        if (open && pending.size() > kMaxFrameLine) {
+            errors_.fetch_add(1, std::memory_order_relaxed);
+            sendAllFd(fd, frameErrorMessage(detail::concat(
+                              "request line exceeds ", kMaxFrameLine,
+                              " bytes")));
+            open = false;
         }
     }
     {
@@ -499,56 +478,30 @@ serveRequest(const std::string& socketPath,
         fatal("serve: cannot connect to '", socketPath,
               "': ", std::strerror(err));
     }
-    if (!sendAll(fd, requestLine + "\n")) {
+    if (!sendAllFd(fd, requestLine + "\n")) {
         int err = errno;
         ::close(fd);
         fatal("serve: send failed: ", std::strerror(err));
     }
 
-    // Read the status line, then exactly status.bytes payload bytes.
-    std::string data;
-    char buf[4096];
-    std::size_t eol;
-    while ((eol = data.find('\n')) == std::string::npos) {
-        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-        if (n < 0 && errno == EINTR)
-            continue;
-        if (n <= 0) {
-            ::close(fd);
-            fatal("serve: connection closed before a status line");
-        }
-        data.append(buf, static_cast<std::size_t>(n));
-    }
-
-    ServeReply reply;
+    // Read one framed reply. The FrameBuffer validates the status
+    // line's `bytes` field (nonnegative integer under the payload
+    // cap), so a corrupt server can never drive a giant allocation or
+    // a truncating size_t cast here.
+    FrameBuffer buffer("serve");
+    Frame frame;
     try {
-        reply.status = Json::parse(data.substr(0, eol));
+        frame = readFrameFd(fd, buffer, "serve");
     } catch (const FatalError&) {
         ::close(fd);
-        fatal("serve: malformed status line from server");
-    }
-    const std::size_t bytes =
-        reply.status.has("bytes")
-            ? static_cast<std::size_t>(
-                  reply.status.at("bytes").asNumber())
-            : 0;
-    reply.payload = data.substr(eol + 1);
-    while (reply.payload.size() < bytes) {
-        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-        if (n < 0 && errno == EINTR)
-            continue;
-        if (n <= 0) {
-            ::close(fd);
-            fatal("serve: connection closed mid-payload (",
-                  reply.payload.size(), " of ", bytes, " bytes)");
-        }
-        reply.payload.append(buf, static_cast<std::size_t>(n));
+        throw;
     }
     ::close(fd);
-    if (reply.payload.size() > bytes)
-        fatal("serve: payload overrun (", reply.payload.size(),
-              " > ", bytes, " bytes)");
-    return reply;
+    if (buffer.pending() != 0)
+        fatal("serve: payload overrun (", buffer.pending(),
+              " bytes past the framed reply)");
+    return ServeReply{std::move(frame.status),
+                      std::move(frame.payload)};
 }
 
 } // namespace libra

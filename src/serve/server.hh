@@ -75,9 +75,11 @@ class ServeStore : public StudyStore
 
     /**
      * @p cacheDir empty runs memory-only (no disk layer);
-     * @p lruCapacity 0 disables the LRU (disk-only).
+     * @p lruCapacity / @p lruBytes bound the LRU in entries / bytes
+     * (0 = unbounded on that axis; both 0 disables it — disk-only).
      */
-    ServeStore(const std::string& cacheDir, std::size_t lruCapacity);
+    ServeStore(const std::string& cacheDir, std::size_t lruCapacity,
+               std::size_t lruBytes = 0);
 
     bool load(std::uint64_t key, const std::string& canonical,
               LibraReport* out) override;
@@ -114,6 +116,7 @@ struct ServeOptions
     std::string socketPath;      ///< AF_UNIX path; created on start.
     std::string cacheDir;        ///< "" = memory-only store.
     std::size_t lruCapacity = 1024;
+    std::size_t lruBytes = 0;    ///< LRU byte budget; 0 = unbounded.
 
     /** Default FailMode for requests without a "failMode" field. */
     FailMode failMode = FailMode::Abort;

@@ -14,6 +14,8 @@
 #include "explore/explore.hh"
 #include "solver/strategy.hh"
 #include "study/cache.hh"
+#include "study/checkpoint.hh"
+#include "study/shard.hh"
 
 namespace libra {
 
@@ -31,6 +33,27 @@ struct SweepBatch
                                       ///< sweep's in-flight claim.
     std::size_t failed = 0;           ///< Points whose evaluation failed.
 };
+
+/**
+ * Execution add-ons for one cached sweep: a shard recipe spawns
+ * worker processes for the owned batch (the main shared batch only —
+ * adaptive explore rounds cannot be rebuilt from scenario names), and
+ * a checkpoint log records completed slots durably.
+ */
+struct SweepContext
+{
+    const ShardOptions* shard = nullptr;
+    CheckpointLog* checkpoint = nullptr;
+};
+
+/**
+ * In-process chunk size when a checkpoint is armed: completed slots
+ * must reach the cache + manifest incrementally, not after the whole
+ * batch, or a kill loses everything. Sub-batching cannot change
+ * results — evaluation is a pure function of each point (the property
+ * the content-addressed cache already relies on).
+ */
+constexpr std::size_t kCheckpointChunk = 8;
 
 /**
  * Deduplicate @p points by content, serve what the store already has,
@@ -60,31 +83,22 @@ struct SweepBatch
  * under Abort the lowest-index failing point's error unwinds,
  * deterministically. Failed slots are never stored to the cache, but
  * their status is still published so waiters observe the same failure.
+ *
+ * Sharded execution (ctx.shard) changes only *where* owned slots are
+ * evaluated, never what: fault injection runs here before dispatch,
+ * results merge by slot index as they arrive (store + publish +
+ * checkpoint per slot), and the final assembly below is index-ordered
+ * — so emitted bytes are identical at any worker count.
  */
 SweepBatch
 cachedSweep(const std::vector<LibraInputs>& points, StudyStore* store,
-            bool update_cache, FailMode failMode)
+            bool update_cache, FailMode failMode,
+            const SweepContext& ctx = {})
 {
-    std::vector<std::size_t> slotOf(points.size());
-    std::vector<std::string> slotKey; // Canonical text; "" = private.
-    std::vector<std::size_t> slotRep; // Slot -> representative point.
-    std::unordered_map<std::string, std::size_t> slotByKey;
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        if (!studyPointCacheable(points[i])) {
-            slotOf[i] = slotRep.size();
-            slotKey.emplace_back();
-            slotRep.push_back(i);
-            continue;
-        }
-        std::string key = canonicalStudyKey(points[i]);
-        auto [it, inserted] =
-            slotByKey.try_emplace(std::move(key), slotRep.size());
-        if (inserted) {
-            slotKey.push_back(it->first);
-            slotRep.push_back(i);
-        }
-        slotOf[i] = it->second;
-    }
+    SlotMap map = buildSlotMap(points);
+    const std::vector<std::size_t>& slotOf = map.slotOf;
+    const std::vector<std::string>& slotKey = map.slotKey;
+    const std::vector<std::size_t>& slotRep = map.slotRep;
 
     const std::size_t slots = slotRep.size();
     std::vector<LibraReport> slotReport(slots);
@@ -99,6 +113,23 @@ cachedSweep(const std::vector<LibraInputs>& points, StudyStore* store,
         } else {
             missing.push_back(s);
         }
+    }
+
+    // A checkpointed slot is promised to be cache-servable (manifest
+    // entries are appended only after the store). Missing one means
+    // the cache was wiped or degraded underneath the manifest — a
+    // recompute costs work, never correctness.
+    if (ctx.checkpoint) {
+        std::size_t lost = 0;
+        for (std::size_t s : missing) {
+            if (!slotKey[s].empty() &&
+                ctx.checkpoint->contains(
+                    studyCacheHashOfKey(slotKey[s])))
+                ++lost;
+        }
+        if (lost > 0)
+            warn("checkpoint: ", lost, " recorded slots missing from "
+                 "the cache; recomputing them");
     }
 
     // Claim phase: ask the store who computes each missed key. Keys
@@ -146,23 +177,77 @@ cachedSweep(const std::vector<LibraInputs>& points, StudyStore* store,
         batch.push_back(points[slotRep[s]]);
         batchSlot.push_back(s);
     }
-    std::size_t resolved = 0; // Batch slots published so far.
-    try {
-        SweepOutcome computed = runLibraSweepIsolated(batch);
-        for (std::size_t k = 0; k < batchSlot.size(); ++k) {
-            std::size_t s = batchSlot[k];
-            slotStatus[s] = std::move(computed.status[k]);
-            if (slotStatus[s].ok) {
-                slotReport[s] = std::move(computed.reports[k]);
-                if (store && update_cache && !slotKey[s].empty()) {
-                    store->store(studyCacheHashOfKey(slotKey[s]),
-                                 slotKey[s], slotReport[s]);
-                }
+    // Per-batch-slot completion flags: sharded results arrive in
+    // completion order, not index order, so a plain counter cannot
+    // tell resolved slots from abandoned ones in the unwind below.
+    std::vector<char> done(batchSlot.size(), 0);
+    auto finishSlot = [&](std::size_t k, PointStatus status,
+                          LibraReport report) {
+        const std::size_t s = batchSlot[k];
+        slotStatus[s] = std::move(status);
+        if (slotStatus[s].ok) {
+            slotReport[s] = std::move(report);
+            if (store && update_cache && !slotKey[s].empty()) {
+                const std::uint64_t hash =
+                    studyCacheHashOfKey(slotKey[s]);
+                store->store(hash, slotKey[s], slotReport[s]);
+                // Store first, then record: manifest ⊆ cache, so a
+                // recorded slot is always servable on resume.
+                if (ctx.checkpoint)
+                    ctx.checkpoint->append(hash);
             }
-            if (store && !slotKey[s].empty())
-                store->publishCompute(slotKey[s], slotStatus[s],
-                                      slotReport[s]);
-            ++resolved;
+        }
+        if (store && !slotKey[s].empty())
+            store->publishCompute(slotKey[s], slotStatus[s],
+                                  slotReport[s]);
+        done[k] = 1;
+    };
+    try {
+        if (ctx.shard && !batchSlot.empty()) {
+            // Sharded: ship slot indices to worker processes; merge
+            // each result as it lands. Workers rebuild the identical
+            // point list, so `batch` itself never crosses the wire.
+            std::unordered_map<std::size_t, std::size_t> batchIndex;
+            batchIndex.reserve(batchSlot.size());
+            for (std::size_t k = 0; k < batchSlot.size(); ++k)
+                batchIndex.emplace(batchSlot[k], k);
+            ShardPool pool(*ctx.shard, map);
+            pool.evaluate(
+                batchSlot,
+                [&](std::size_t slot, PointStatus status,
+                    LibraReport report) {
+                    auto it = batchIndex.find(slot);
+                    if (it == batchIndex.end())
+                        fatal("shard: result for undispatched slot ",
+                              slot);
+                    finishSlot(it->second, std::move(status),
+                               std::move(report));
+                });
+            pool.shutdown();
+        } else if (ctx.checkpoint &&
+                   batchSlot.size() > kCheckpointChunk) {
+            // Checkpointed in-process run: compute in chunks so
+            // progress reaches the cache + manifest as it happens.
+            for (std::size_t base = 0; base < batchSlot.size();
+                 base += kCheckpointChunk) {
+                const std::size_t count = std::min(
+                    kCheckpointChunk, batchSlot.size() - base);
+                std::vector<LibraInputs> chunk(
+                    batch.begin() +
+                        static_cast<std::ptrdiff_t>(base),
+                    batch.begin() +
+                        static_cast<std::ptrdiff_t>(base + count));
+                SweepOutcome computed = runLibraSweepIsolated(chunk);
+                for (std::size_t j = 0; j < count; ++j)
+                    finishSlot(base + j,
+                               std::move(computed.status[j]),
+                               std::move(computed.reports[j]));
+            }
+        } else {
+            SweepOutcome computed = runLibraSweepIsolated(batch);
+            for (std::size_t k = 0; k < batchSlot.size(); ++k)
+                finishSlot(k, std::move(computed.status[k]),
+                           std::move(computed.reports[k]));
         }
     } catch (...) {
         // An internal error is unwinding this sweep. Every owned claim
@@ -173,7 +258,9 @@ cachedSweep(const std::vector<LibraInputs>& points, StudyStore* store,
         // so the drain cannot deadlock) so no slot stays pinned by a
         // waiter that never showed up.
         if (store) {
-            for (std::size_t k = resolved; k < batchSlot.size(); ++k) {
+            for (std::size_t k = 0; k < batchSlot.size(); ++k) {
+                if (done[k])
+                    continue;
                 std::size_t s = batchSlot[k];
                 if (slotKey[s].empty())
                     continue;
@@ -220,16 +307,43 @@ cachedSweep(const std::vector<LibraInputs>& points, StudyStore* store,
     return out;
 }
 
-} // namespace
+/** One scenario's span of the shared batch (or its adaptive spec). */
+struct Slice
+{
+    std::size_t begin = 0;
+    std::size_t count = 0;
+    std::vector<Candidate> candidates; ///< Space scenarios only.
+    std::string exploreSpec; ///< Non-default strategy; "" = batch.
+};
 
-MatrixResult
-runScenarioMatrix(const std::vector<std::string>& names,
-                  const MatrixOptions& options)
+/** Resolved scenarios + the phase-1 shared batch and its slices. */
+struct MatrixPlan
+{
+    std::vector<const Scenario*> scenarios;
+    std::vector<LibraInputs> points;
+    std::vector<Slice> slices;
+};
+
+/**
+ * Phase 1: resolve @p names, validate overrides, and build every
+ * scenario's design points into one batch. Fully deterministic — the
+ * property shard workers rely on to rebuild the master's batch from
+ * nothing but the (names, options) recipe.
+ *
+ * Design-space scenarios expand through the explore layer: under the
+ * exhaustive default their candidates join the shared batch
+ * (bit-identical to a hand-built point list in the same order); a
+ * non-default strategy runs adaptively in phase 3, through the same
+ * cache-aware sweep.
+ */
+MatrixPlan
+buildMatrixPlan(const std::vector<std::string>& names,
+                const MatrixOptions& options)
 {
     const ScenarioRegistry& registry = ScenarioRegistry::global();
 
-    std::vector<const Scenario*> scenarios;
-    scenarios.reserve(names.size());
+    MatrixPlan plan;
+    plan.scenarios.reserve(names.size());
     for (const auto& name : names) {
         const Scenario* s = registry.find(name);
         if (!s) {
@@ -238,7 +352,7 @@ runScenarioMatrix(const std::vector<std::string>& names,
                 known += known.empty() ? n : (", " + n);
             fatal("unknown scenario '", name, "' (known: ", known, ")");
         }
-        scenarios.push_back(s);
+        plan.scenarios.push_back(s);
     }
 
     // Validate overrides once, up front.
@@ -259,25 +373,10 @@ runScenarioMatrix(const std::vector<std::string>& names,
             p.config.estimator.timingBackend = options.timingBackend;
     };
 
-    // Phase 1: build every scenario's design points into one batch.
-    // Design-space scenarios expand through the explore layer: under
-    // the exhaustive default their candidates join the shared batch
-    // (bit-identical to a hand-built point list in the same order); a
-    // non-default strategy runs adaptively in phase 3, through the
-    // same cache-aware sweep.
-    struct Slice
-    {
-        std::size_t begin = 0;
-        std::size_t count = 0;
-        std::vector<Candidate> candidates; ///< Space scenarios only.
-        std::string exploreSpec; ///< Non-default strategy; "" = batch.
-    };
-    std::vector<LibraInputs> points;
-    std::vector<Slice> slices;
-    slices.reserve(scenarios.size());
-    for (const Scenario* s : scenarios) {
+    plan.slices.reserve(plan.scenarios.size());
+    for (const Scenario* s : plan.scenarios) {
         Slice slice;
-        slice.begin = points.size();
+        slice.begin = plan.points.size();
         if (s->space) {
             slice.candidates = expandDesignSpace(s->space());
             std::string spec = canonicalExploreSpec(
@@ -293,7 +392,7 @@ runScenarioMatrix(const std::vector<std::string>& names,
             if (spec.empty()) {
                 slice.count = slice.candidates.size();
                 for (const auto& c : slice.candidates)
-                    points.push_back(c.inputs);
+                    plan.points.push_back(c.inputs);
             } else {
                 slice.exploreSpec = std::move(spec);
             }
@@ -302,11 +401,31 @@ runScenarioMatrix(const std::vector<std::string>& names,
             slice.count = built.size();
             for (auto& p : built) {
                 applyOverrides(p);
-                points.push_back(std::move(p));
+                plan.points.push_back(std::move(p));
             }
         }
-        slices.push_back(std::move(slice));
+        plan.slices.push_back(std::move(slice));
     }
+    return plan;
+}
+
+} // namespace
+
+std::vector<LibraInputs>
+buildMatrixSharedBatch(const std::vector<std::string>& names,
+                       const MatrixOptions& options)
+{
+    return std::move(buildMatrixPlan(names, options).points);
+}
+
+MatrixResult
+runScenarioMatrix(const std::vector<std::string>& names,
+                  const MatrixOptions& options)
+{
+    MatrixPlan plan = buildMatrixPlan(names, options);
+    std::vector<const Scenario*>& scenarios = plan.scenarios;
+    std::vector<LibraInputs>& points = plan.points;
+    std::vector<Slice>& slices = plan.slices;
 
     // An externally owned store (serve mode's shared LRU + single-
     // flight + disk layering) wins over a per-run disk cache.
@@ -317,10 +436,43 @@ runScenarioMatrix(const std::vector<std::string>& names,
         store = &*localCache;
     }
 
+    // A checkpoint without a cache could record completions it can
+    // never serve back — reject the combination outright.
+    std::optional<CheckpointLog> checkpoint;
+    if (!options.checkpointPath.empty()) {
+        if (!store)
+            fatal("--checkpoint requires a result cache "
+                  "(--cache-dir): resume serves recorded slots from "
+                  "the cache");
+        checkpoint.emplace(options.checkpointPath);
+        if (checkpoint->resumedSlots() > 0)
+            inform("checkpoint: resuming from '",
+                   options.checkpointPath, "' (",
+                   checkpoint->resumedSlots(), " slots recorded)");
+    }
+
+    ShardOptions shard;
+    const bool sharded = options.workers > 1;
+    if (sharded) {
+        if (options.workerExe.empty())
+            fatal("sharded execution (--workers > 1) needs the worker "
+                  "executable path");
+        shard.workers = options.workers;
+        shard.workerExe = options.workerExe;
+        shard.workerThreads = options.workerThreads;
+        shard.scenarios = names;
+        shard.solverPipeline = options.solverPipeline;
+        shard.timingBackend = options.timingBackend;
+        shard.exploreSpec = options.exploreSpec;
+    }
+    SweepContext mainCtx;
+    mainCtx.shard = sharded ? &shard : nullptr;
+    mainCtx.checkpoint = checkpoint ? &*checkpoint : nullptr;
+
     // Phase 2: the shared batch — dedup, cache, one sharded sweep.
     SweepBatch main =
         cachedSweep(points, store, options.updateCache,
-                    options.failMode);
+                    options.failMode, mainCtx);
 
     MatrixResult result;
     result.points = points.size();
@@ -348,11 +500,16 @@ runScenarioMatrix(const std::vector<std::string>& names,
             // failing point aborts this exploration (deterministic
             // lowest-index error), and under Isolate that error is
             // recorded instead of unwinding the matrix.
+            // Adaptive rounds stay in-process (each batch derives
+            // from earlier results, so workers cannot rebuild it from
+            // the recipe) but still checkpoint completed slots.
+            SweepContext adaptiveCtx;
+            adaptiveCtx.checkpoint = mainCtx.checkpoint;
             ExploreSweepFn sweep =
-                [&](const std::vector<LibraInputs>& batch) {
+                [&, adaptiveCtx](const std::vector<LibraInputs>& batch) {
                     SweepBatch b =
                         cachedSweep(batch, store, options.updateCache,
-                                    FailMode::Abort);
+                                    FailMode::Abort, adaptiveCtx);
                     run.points += batch.size();
                     result.points += batch.size();
                     result.unique += b.unique;

@@ -91,6 +91,35 @@ struct MatrixOptions
 
     /** Failure handling for design-point evaluation (see FailMode). */
     FailMode failMode = FailMode::Abort;
+
+    /**
+     * Shard the shared batch's owned computation across this many
+     * forked worker processes — the `--workers` flag (docs/SHARDING.md).
+     * 0 or 1 keeps the classic in-process sweep. Results merge by slot
+     * index through the content-addressed cache, so emitted bytes are
+     * identical at any worker count. Adaptive (non-default EXPLORE)
+     * rounds always run in-process: their batches are derived from
+     * earlier results and cannot be rebuilt from the scenario recipe.
+     */
+    std::size_t workers = 0;
+
+    /**
+     * Executable exec'd as `<workerExe> worker` for sharded runs
+     * (normally libra_cli itself). Required when workers > 1.
+     */
+    std::string workerExe;
+
+    /** Threads per worker; 0 = hardware concurrency / workers. */
+    int workerThreads = 0;
+
+    /**
+     * Checkpoint manifest path — the `--checkpoint` flag. Every
+     * completed slot's content hash is appended (fsynced) after its
+     * report reaches the cache, so a killed run resumes without
+     * recomputing finished slots. Requires a cache (store or
+     * cacheDir); "" disables checkpointing.
+     */
+    std::string checkpointPath;
 };
 
 /** One failed design point inside a scenario (FailMode::Isolate). */
@@ -138,6 +167,19 @@ struct MatrixResult
  */
 MatrixResult runScenarioMatrix(const std::vector<std::string>& names,
                                const MatrixOptions& options = {});
+
+/**
+ * Build the matrix's phase-1 shared batch: every selected scenario's
+ * design points (exhaustive design spaces expanded through the explore
+ * layer) with @p options' solver/backend/explore overrides applied, in
+ * scenario order. Deterministic — shard workers call this with the
+ * master's recipe to rebuild the identical point list, so the master
+ * only ever ships slot indices (src/study/shard.hh).
+ * @throws FatalError on an unknown scenario name or invalid override.
+ */
+std::vector<LibraInputs>
+buildMatrixSharedBatch(const std::vector<std::string>& names,
+                       const MatrixOptions& options);
 
 /**
  * Stable JSON form of a matrix result. Contains only run-independent

@@ -864,6 +864,62 @@ frontierSpace()
     return space;
 }
 
+/**
+ * Shared frontier formatter: the time-vs-dollars Pareto set over the
+ * full-budget designs; minimize (iteration time, network dollars). A
+ * design survives when no other full-budget design is at least as good
+ * on both axes and better on one. Used by explore-frontier and its
+ * scaled-up sibling frontier-xl.
+ */
+ScenarioOutput
+formatFrontier(const ExploreResult& r)
+{
+    ScenarioOutput out;
+
+    auto dominated = [&](const ExploreOutcome& o) {
+        for (const ExploreOutcome& other : r.outcomes) {
+            if (!other.fullBudget || &other == &o)
+                continue;
+            double t0 = o.report.optimized.weightedTime;
+            double c0 = o.report.optimized.cost;
+            double t1 = other.report.optimized.weightedTime;
+            double c1 = other.report.optimized.cost;
+            if (t1 <= t0 && c1 <= c0 && (t1 < t0 || c1 < c0))
+                return true;
+        }
+        return false;
+    };
+
+    std::size_t frontier = 0;
+    for (const ExploreOutcome& o : r.outcomes) {
+        bool pareto = o.fullBudget && !dominated(o);
+        frontier += pareto ? 1 : 0;
+        ScenarioRow row;
+        row.label("net", o.candidate.topology);
+        row.label("bw_per_npu", bwLabel(o.candidate.budget));
+        row.label("objective", objectiveName(o.candidate.objective));
+        row.label("stage", o.fullBudget ? "full" : "screened");
+        row.metric("iter_time_s", o.report.optimized.weightedTime);
+        row.metric("network_cost", o.report.optimized.cost);
+        row.metric("speedup", o.report.speedup);
+        row.metric("pareto", pareto ? 1.0 : 0.0);
+        out.rows.push_back(std::move(row));
+    }
+    out.summarize("candidates",
+                  static_cast<double>(r.outcomes.size()));
+    out.summarize("full_runs", static_cast<double>(r.fullRuns));
+    out.summarize("screen_runs",
+                  static_cast<double>(r.screenRuns));
+    out.summarize("pareto_size", static_cast<double>(frontier));
+    out.notes.push_back(
+        "The frontier spans budget-bound small shapes (cheapest) "
+        "to 4D-4K at 1,000 GB/s (fastest); dominated shapes never "
+        "pay for their dimensionality. Screened rows show the "
+        "cheap ranking pass a pruning strategy used; only 'full' "
+        "rows are Pareto-eligible.");
+    return out;
+}
+
 Scenario
 frontierScenario()
 {
@@ -872,56 +928,37 @@ frontierScenario()
     s.title = "MSFT-1T shape x scale x budget frontier (time vs "
               "dollars Pareto set)";
     s.space = frontierSpace;
-    s.formatSpace = [](const ExploreResult& r) {
-        ScenarioOutput out;
+    s.formatSpace = formatFrontier;
+    return s;
+}
 
-        // Pareto frontier over the full-budget designs: minimize
-        // (iteration time, network dollars); a design survives when no
-        // other full-budget design is at least as good on both axes
-        // and better on one.
-        auto dominated = [&](const ExploreOutcome& o) {
-            for (const ExploreOutcome& other : r.outcomes) {
-                if (!other.fullBudget || &other == &o)
-                    continue;
-                double t0 = o.report.optimized.weightedTime;
-                double c0 = o.report.optimized.cost;
-                double t1 = other.report.optimized.weightedTime;
-                double c1 = other.report.optimized.cost;
-                if (t1 <= t0 && c1 <= c0 && (t1 < t0 || c1 < c0))
-                    return true;
-            }
-            return false;
-        };
+/**
+ * frontier-xl: the same study scaled past what one process frontier
+ * sweep should have to shoulder — two extra topology compositions and
+ * a sixth budget rung, 120 candidates against explore-frontier's 80.
+ * The bench harness runs it single-process vs `--workers N` to
+ * demonstrate wall-clock scaling at byte-identical output
+ * (docs/SHARDING.md); the Pareto winners must not move.
+ */
+DesignSpace
+frontierXlSpace()
+{
+    DesignSpace space = frontierSpace();
+    space.topologies.push_back({"2D-2K", "RI(64)_SW(32)"});
+    space.topologies.push_back({"4D-1K", "RI(4)_FC(4)_RI(8)_SW(8)"});
+    space.budgets.push_back(375.0);
+    return space;
+}
 
-        std::size_t frontier = 0;
-        for (const ExploreOutcome& o : r.outcomes) {
-            bool pareto = o.fullBudget && !dominated(o);
-            frontier += pareto ? 1 : 0;
-            ScenarioRow row;
-            row.label("net", o.candidate.topology);
-            row.label("bw_per_npu", bwLabel(o.candidate.budget));
-            row.label("objective", objectiveName(o.candidate.objective));
-            row.label("stage", o.fullBudget ? "full" : "screened");
-            row.metric("iter_time_s", o.report.optimized.weightedTime);
-            row.metric("network_cost", o.report.optimized.cost);
-            row.metric("speedup", o.report.speedup);
-            row.metric("pareto", pareto ? 1.0 : 0.0);
-            out.rows.push_back(std::move(row));
-        }
-        out.summarize("candidates",
-                      static_cast<double>(r.outcomes.size()));
-        out.summarize("full_runs", static_cast<double>(r.fullRuns));
-        out.summarize("screen_runs",
-                      static_cast<double>(r.screenRuns));
-        out.summarize("pareto_size", static_cast<double>(frontier));
-        out.notes.push_back(
-            "The frontier spans budget-bound small shapes (cheapest) "
-            "to 4D-4K at 1,000 GB/s (fastest); dominated shapes never "
-            "pay for their dimensionality. Screened rows show the "
-            "cheap ranking pass a pruning strategy used; only 'full' "
-            "rows are Pareto-eligible.");
-        return out;
-    };
+Scenario
+frontierXlScenario()
+{
+    Scenario s;
+    s.name = "frontier-xl";
+    s.title = "scaled-up MSFT-1T frontier (sharded-execution "
+              "benchmark space)";
+    s.space = frontierXlSpace;
+    s.formatSpace = formatFrontier;
     return s;
 }
 
@@ -1067,6 +1104,7 @@ registerBuiltinScenarios(ScenarioRegistry& registry)
     registry.add(fig18Scenario());
     registry.add(fig21Scenario());
     registry.add(frontierScenario());
+    registry.add(frontierXlScenario());
     registry.add(crossvalScenario());
 }
 

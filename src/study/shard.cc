@@ -1,0 +1,565 @@
+#include "study/shard.hh"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <thread>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "study/cache.hh"
+#include "study/matrix.hh"
+
+namespace libra {
+
+// ---------------------------------------------------------------------
+// Slot map
+// ---------------------------------------------------------------------
+
+SlotMap
+buildSlotMap(const std::vector<LibraInputs>& points)
+{
+    SlotMap map;
+    map.slotOf.resize(points.size());
+    std::unordered_map<std::string, std::size_t> slotByKey;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (!studyPointCacheable(points[i])) {
+            map.slotOf[i] = map.slotRep.size();
+            map.slotKey.emplace_back();
+            map.slotRep.push_back(i);
+            continue;
+        }
+        std::string key = canonicalStudyKey(points[i]);
+        auto [it, inserted] =
+            slotByKey.try_emplace(std::move(key), map.slotRep.size());
+        if (inserted) {
+            map.slotKey.push_back(it->first);
+            map.slotRep.push_back(i);
+        }
+        map.slotOf[i] = it->second;
+    }
+    return map;
+}
+
+std::string
+slotMapFingerprint(const SlotMap& map)
+{
+    // Length-prefixed keys in slot order: equal fingerprints mean
+    // equal key sequences, so slot indices carry the same identity in
+    // both processes. Private slots contribute their (empty) key and
+    // their representative point index — content-free, but position
+    // must still agree.
+    std::string text;
+    text += std::to_string(map.slotOf.size());
+    text += '/';
+    for (std::size_t s = 0; s < map.slots(); ++s) {
+        appendCanonicalString(text, map.slotKey[s]);
+        text += std::to_string(map.slotRep[s]);
+        text += ' ';
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(
+                      studyCacheHashOfKey(text)));
+    return buf;
+}
+
+// ---------------------------------------------------------------------
+// Protocol helpers
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::string
+stripFatalPrefix(std::string msg)
+{
+    const std::string prefix = "fatal: ";
+    if (msg.rfind(prefix, 0) == 0)
+        msg.erase(0, prefix.size());
+    return msg;
+}
+
+Json
+okStatus(const char* op)
+{
+    Json status = Json::object();
+    status["ok"] = true;
+    status["op"] = op;
+    return status;
+}
+
+/** Frame status sanity shared by both sides of the protocol. */
+std::string
+frameOp(const Frame& frame, const char* who)
+{
+    if (!frame.status.isObject() || !frame.status.has("ok"))
+        fatal(who, ": malformed frame status: ", frame.status.dump());
+    if (!frame.status.at("ok").asBool()) {
+        fatal(who, ": peer reported an error: ",
+              frame.status.has("error")
+                  ? frame.status.at("error").asString()
+                  : std::string("(no message)"));
+    }
+    if (!frame.status.has("op"))
+        fatal(who, ": frame status has no op: ", frame.status.dump());
+    return frame.status.at("op").asString();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// ShardPool (master side)
+// ---------------------------------------------------------------------
+
+ShardPool::ShardPool(const ShardOptions& options, const SlotMap& map)
+    : options_(options)
+{
+    if (options_.workers < 2)
+        fatal("shard: need at least 2 workers to shard (got ",
+              options_.workers, ")");
+    if (options_.workerExe.empty())
+        fatal("shard: no worker executable configured");
+
+    int threads = options_.workerThreads;
+    if (threads <= 0) {
+        const std::size_t hw =
+            std::max<std::size_t>(std::thread::hardware_concurrency(),
+                                  1);
+        threads = static_cast<int>(
+            std::max<std::size_t>(hw / options_.workers, 1));
+    }
+
+    Json body = Json::object();
+    Json scenarios = Json::array();
+    for (const auto& name : options_.scenarios)
+        scenarios.push(name);
+    body["scenarios"] = std::move(scenarios);
+    Json solver = Json::array();
+    for (const auto& name : options_.solverPipeline)
+        solver.push(name);
+    body["solver"] = std::move(solver);
+    body["backend"] = options_.timingBackend;
+    body["explore"] = options_.exploreSpec;
+    body["threads"] = threads;
+    const std::string init =
+        frameMessage(okStatus("init"), body.dump());
+
+    workers_.resize(options_.workers);
+    for (Worker& w : workers_) {
+        spawnWorker(&w);
+        if (!sendAllFd(w.fd, init))
+            fatal("shard: cannot send init to worker ", w.pid);
+    }
+
+    // Handshake: every worker must rebuild the exact slot map this
+    // master holds, or slot indices would silently mean different
+    // design points.
+    const std::string expect = slotMapFingerprint(map);
+    for (Worker& w : workers_) {
+        Frame ready = readFrameFd(w.fd, w.buffer, "shard");
+        if (frameOp(ready, "shard") != "ready")
+            fatal("shard: worker sent ", ready.status.dump(),
+                  " instead of ready");
+        Json info = Json::parse(ready.payload);
+        const auto slots =
+            static_cast<std::size_t>(info.at("slots").asNumber());
+        const std::string& fp = info.at("fingerprint").asString();
+        if (slots != map.slots() || fp != expect) {
+            fatal("shard: worker slot map mismatch (worker ", slots,
+                  " slots/", fp, ", master ", map.slots(), " slots/",
+                  expect, ") — worker executable out of sync?");
+        }
+    }
+}
+
+ShardPool::~ShardPool()
+{
+    // Abnormal teardown (shutdown() was not reached): don't wait for
+    // a worker mid-batch, kill and reap.
+    for (Worker& w : workers_) {
+        if (!w.alive)
+            continue;
+        if (w.fd >= 0)
+            ::close(w.fd);
+        w.fd = -1;
+        ::kill(w.pid, SIGKILL);
+        reap(&w);
+        w.alive = false;
+    }
+}
+
+void
+ShardPool::spawnWorker(Worker* w)
+{
+    // CLOEXEC on both ends: a later worker's fork must not inherit an
+    // earlier worker's channel (dup2 below clears the flag on the fds
+    // the child actually uses).
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, sv) != 0)
+        fatal("shard: socketpair failed: ", std::strerror(errno));
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        int err = errno;
+        ::close(sv[0]);
+        ::close(sv[1]);
+        fatal("shard: fork failed: ", std::strerror(err));
+    }
+    if (pid == 0) {
+        ::dup2(sv[1], 0);
+        ::dup2(sv[1], 1);
+        ::execl(options_.workerExe.c_str(), options_.workerExe.c_str(),
+                "worker", static_cast<char*>(nullptr));
+        // Still the child: exec failed. stderr is inherited; stdout is
+        // the protocol channel, so the master sees EOF and reacts.
+        std::fprintf(stderr, "shard worker: cannot exec %s: %s\n",
+                     options_.workerExe.c_str(), std::strerror(errno));
+        ::_exit(127);
+    }
+    ::close(sv[1]);
+    w->pid = pid;
+    w->fd = sv[0];
+    w->alive = true;
+    w->batch = -1;
+}
+
+void
+ShardPool::reap(Worker* w)
+{
+    int status = 0;
+    while (::waitpid(w->pid, &status, 0) < 0 && errno == EINTR) {
+    }
+}
+
+std::size_t
+ShardPool::liveWorkers() const
+{
+    std::size_t n = 0;
+    for (const Worker& w : workers_)
+        n += w.alive ? 1 : 0;
+    return n;
+}
+
+void
+ShardPool::workerFailed(Worker* w, std::vector<int>* requeue,
+                        std::vector<int>* attempts)
+{
+    if (w->batch >= 0)
+        warn("shard: worker ", w->pid,
+             " died mid-batch; requeueing its batch");
+    else
+        warn("shard: worker ", w->pid, " died");
+    if (w->fd >= 0)
+        ::close(w->fd);
+    w->fd = -1;
+    reap(w);
+    w->alive = false;
+    if (w->batch >= 0) {
+        const int id = w->batch;
+        w->batch = -1;
+        if (++(*attempts)[static_cast<std::size_t>(id)] >= 3)
+            fatal("shard: batch ", id,
+                  " failed on every worker that tried it");
+        requeue->push_back(id);
+    }
+}
+
+void
+ShardPool::evaluate(const std::vector<std::size_t>& slots,
+                    const ResultFn& onResult)
+{
+    if (slots.empty())
+        return;
+
+    // Deterministic index-ordered batches, sized for dynamic balance
+    // (~4 batches per worker, so a slow batch doesn't serialize the
+    // tail). Assignment to workers is load-driven and nondeterministic
+    // — merge-by-slot keeps the emitted bytes independent of it.
+    struct Batch
+    {
+        std::vector<std::size_t> slots;
+        bool done = false;
+    };
+    const std::size_t batchSize = std::max<std::size_t>(
+        1,
+        (slots.size() + options_.workers * 4 - 1) /
+            (options_.workers * 4));
+    std::vector<Batch> batches;
+    for (std::size_t i = 0; i < slots.size(); i += batchSize) {
+        Batch b;
+        b.slots.assign(slots.begin() + static_cast<std::ptrdiff_t>(i),
+                       slots.begin() +
+                           static_cast<std::ptrdiff_t>(
+                               std::min(i + batchSize, slots.size())));
+        batches.push_back(std::move(b));
+    }
+    std::deque<int> queue;
+    for (std::size_t i = 0; i < batches.size(); ++i)
+        queue.push_back(static_cast<int>(i));
+    std::vector<int> attempts(batches.size(), 0);
+    std::vector<int> requeue;
+    std::size_t doneBatches = 0;
+
+    auto handleResult = [&](Worker& w, const Frame& frame) {
+        if (frameOp(frame, "shard") != "result")
+            fatal("shard: unexpected frame ", frame.status.dump());
+        const int id =
+            static_cast<int>(frame.status.at("id").asNumber());
+        if (id != w.batch)
+            fatal("shard: result for batch ", id, " from a worker on ",
+                  w.batch);
+        Batch& batch = batches[static_cast<std::size_t>(id)];
+        const Json body = Json::parse(frame.payload);
+        const Json::Array& results = body.at("results").items();
+        if (results.size() != batch.slots.size())
+            fatal("shard: batch ", id, " returned ", results.size(),
+                  " results for ", batch.slots.size(), " slots");
+        for (std::size_t k = 0; k < results.size(); ++k) {
+            const Json& entry = results[k];
+            const auto slot = static_cast<std::size_t>(
+                entry.at("slot").asNumber());
+            if (slot != batch.slots[k])
+                fatal("shard: batch ", id, " result ", k,
+                      " is for slot ", slot, ", expected ",
+                      batch.slots[k]);
+            PointStatus status;
+            LibraReport report;
+            if (entry.at("ok").asBool()) {
+                status.ok = true;
+                report = reportFromJson(entry.at("report"));
+            } else {
+                status.ok = false;
+                status.error = entry.at("error").asString();
+            }
+            onResult(slot, std::move(status), std::move(report));
+        }
+        batch.done = true;
+        ++doneBatches;
+        w.batch = -1;
+    };
+
+    while (doneBatches < batches.size()) {
+        // Requeued batches jump the line: they were dispatched first,
+        // and downstream progress may be waiting on them.
+        for (int id : requeue)
+            queue.push_front(id);
+        requeue.clear();
+
+        // Dispatch to every idle live worker.
+        for (Worker& w : workers_) {
+            if (!w.alive || w.batch >= 0 || queue.empty())
+                continue;
+            const int id = queue.front();
+            Json status = okStatus("batch");
+            status["id"] = id;
+            Json body = Json::object();
+            Json list = Json::array();
+            for (std::size_t s :
+                 batches[static_cast<std::size_t>(id)].slots)
+                list.push(s);
+            body["slots"] = std::move(list);
+            if (!sendAllFd(w.fd, frameMessage(std::move(status),
+                                              body.dump()))) {
+                workerFailed(&w, &requeue, &attempts);
+                continue;
+            }
+            queue.pop_front();
+            w.batch = id;
+        }
+        if (!requeue.empty())
+            continue; // A send failed; re-dispatch before polling.
+
+        std::vector<pollfd> fds;
+        std::vector<std::size_t> fdWorker;
+        for (std::size_t i = 0; i < workers_.size(); ++i) {
+            if (workers_[i].alive && workers_[i].batch >= 0) {
+                fds.push_back(pollfd{workers_[i].fd, POLLIN, 0});
+                fdWorker.push_back(i);
+            }
+        }
+        if (fds.empty()) {
+            if (doneBatches < batches.size())
+                fatal("shard: every worker died with ",
+                      batches.size() - doneBatches,
+                      " batches outstanding");
+            break;
+        }
+        if (::poll(fds.data(), fds.size(), -1) < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("shard: poll failed: ", std::strerror(errno));
+        }
+        for (std::size_t j = 0; j < fds.size(); ++j) {
+            if (fds[j].revents == 0)
+                continue;
+            Worker& w = workers_[fdWorker[j]];
+            char buf[65536];
+            ssize_t n = ::recv(w.fd, buf, sizeof(buf), 0);
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n <= 0) {
+                workerFailed(&w, &requeue, &attempts);
+                continue;
+            }
+            w.buffer.append(buf, static_cast<std::size_t>(n));
+            while (std::optional<Frame> frame = w.buffer.next())
+                handleResult(w, *frame);
+        }
+    }
+}
+
+void
+ShardPool::shutdown()
+{
+    for (Worker& w : workers_) {
+        if (!w.alive)
+            continue;
+        // Best-effort exit op; EOF from the close() is what actually
+        // guarantees the worker leaves.
+        sendAllFd(w.fd, frameMessage(okStatus("exit"), ""));
+        ::close(w.fd);
+        w.fd = -1;
+        reap(&w);
+        w.alive = false;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------
+
+namespace {
+
+/**
+ * Blocking read of one frame from fd 0.
+ * @return false on clean EOF at a frame boundary (master gone or done
+ * — either way the worker's job is over).
+ */
+bool
+readWorkerFrame(FrameBuffer& buffer, Frame* out)
+{
+    for (;;) {
+        if (std::optional<Frame> frame = buffer.next()) {
+            *out = std::move(*frame);
+            return true;
+        }
+        char buf[4096];
+        ssize_t n = ::recv(0, buf, sizeof(buf), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n == 0) {
+            if (buffer.pending() != 0)
+                fatal("worker: master closed mid-frame");
+            return false;
+        }
+        if (n < 0)
+            fatal("worker: recv failed: ", std::strerror(errno));
+        buffer.append(buf, static_cast<std::size_t>(n));
+    }
+}
+
+} // namespace
+
+int
+runShardWorker()
+{
+    // stdout is the protocol channel; keep chatty status off it and
+    // make a vanished master an error return, not a SIGPIPE death.
+    ::signal(SIGPIPE, SIG_IGN);
+    setInformEnabled(false);
+
+    FrameBuffer buffer("worker");
+    try {
+        Frame init;
+        if (!readWorkerFrame(buffer, &init))
+            return 0;
+        if (frameOp(init, "worker") != "init")
+            fatal("worker: expected init, got ", init.status.dump());
+        const Json config = Json::parse(init.payload);
+
+        std::vector<std::string> names;
+        for (const Json& n : config.at("scenarios").items())
+            names.push_back(n.asString());
+        MatrixOptions options;
+        for (const Json& n : config.at("solver").items())
+            options.solverPipeline.push_back(n.asString());
+        options.timingBackend = config.at("backend").asString();
+        options.exploreSpec = config.at("explore").asString();
+        ThreadPool::setGlobalThreads(static_cast<std::size_t>(
+            config.at("threads").asNumber()));
+
+        // Rebuild the master's shared batch and slot map from the
+        // recipe; the fingerprint lets the master verify the rebuild.
+        const std::vector<LibraInputs> points =
+            buildMatrixSharedBatch(names, options);
+        const SlotMap map = buildSlotMap(points);
+
+        Json ready = Json::object();
+        ready["slots"] = map.slots();
+        ready["fingerprint"] = slotMapFingerprint(map);
+        if (!sendAllFd(1, frameMessage(okStatus("ready"),
+                                       ready.dump())))
+            return 1;
+
+        Frame frame;
+        while (readWorkerFrame(buffer, &frame)) {
+            const std::string op = frameOp(frame, "worker");
+            if (op == "exit")
+                return 0;
+            if (op != "batch")
+                fatal("worker: unexpected op '", op, "'");
+            const Json request = Json::parse(frame.payload);
+
+            std::vector<std::size_t> slots;
+            std::vector<LibraInputs> batch;
+            for (const Json& s : request.at("slots").items()) {
+                const auto slot =
+                    static_cast<std::size_t>(s.asNumber());
+                if (slot >= map.slots())
+                    fatal("worker: slot ", slot, " out of range (",
+                          map.slots(), " slots)");
+                slots.push_back(slot);
+                batch.push_back(points[map.slotRep[slot]]);
+            }
+            // Per-point isolation mirrors the in-process sweep: a
+            // failing point becomes a status, never a dead worker.
+            SweepOutcome outcome = runLibraSweepIsolated(batch);
+
+            Json results = Json::array();
+            for (std::size_t k = 0; k < slots.size(); ++k) {
+                Json entry = Json::object();
+                entry["slot"] = slots[k];
+                entry["ok"] = outcome.status[k].ok;
+                if (outcome.status[k].ok)
+                    entry["report"] = reportToJson(outcome.reports[k]);
+                else
+                    entry["error"] = outcome.status[k].error;
+                results.push(std::move(entry));
+            }
+            Json body = Json::object();
+            body["results"] = std::move(results);
+            Json status = okStatus("result");
+            status["id"] = frame.status.at("id");
+            if (!sendAllFd(1, frameMessage(std::move(status),
+                                           body.dump())))
+                return 1; // Master gone; nothing left to do.
+        }
+        return 0;
+    } catch (const FatalError& e) {
+        // Tell the master why (best effort), then die loudly enough
+        // for its requeue/abort logic to see.
+        sendAllFd(1, frameErrorMessage(stripFatalPrefix(e.what())));
+        std::fprintf(stderr, "shard worker: %s\n", e.what());
+        return 1;
+    }
+}
+
+} // namespace libra

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Multi-process sharded execution of the matrix shared batch
+ * (docs/SHARDING.md).
+ *
+ * One process caps the reachable design-space size; `run-matrix
+ * --workers N` forks N worker processes (`libra_cli worker`, a hidden
+ * subcommand) and ships deterministic index-ordered batches of deduped
+ * slots to them over the serve layer's newline-JSON framing
+ * (src/serve/framing.hh) on a socketpair.
+ *
+ * Workers do not receive serialized design points: a LibraInputs
+ * carries workload IR and closures that have no wire form. Instead the
+ * master sends the *recipe* — scenario names plus the point-rewriting
+ * overrides — and each worker rebuilds the identical shared batch and
+ * slot map through the same library code (buildMatrixSharedBatch +
+ * buildSlotMap, both deterministic). The handshake then compares slot
+ * counts and a fingerprint over every canonical slot key, so a
+ * version-skewed or misconfigured worker is rejected before any result
+ * can be merged. After that, a batch is just a list of slot indices;
+ * results return inline as bit-exact report JSON
+ * (reportToJson/reportFromJson) and the master merges them by slot
+ * index and stores them through the content-addressed ResultCache —
+ * which is why emitted matrix JSON is cmp-equal to a single-process
+ * run at any worker count, fresh or cached.
+ *
+ * Fault model: a worker that dies mid-batch gets its batch requeued to
+ * the survivors (a bounded number of times); losing every worker with
+ * work outstanding is fatal. Workers exit on EOF, so a killed master
+ * never leaves orphans computing.
+ */
+
+#ifndef LIBRA_STUDY_SHARD_HH
+#define LIBRA_STUDY_SHARD_HH
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/framework.hh"
+#include "serve/framing.hh"
+
+namespace libra {
+
+/**
+ * Content-identity dedup of a point list: every point maps to a slot,
+ * equal canonical keys share one slot, and uncacheable points (custom
+ * commTimeFn — no content identity) get a private slot each. Built
+ * identically by the master's cached sweep and by every worker, so a
+ * slot index means the same design point on both sides.
+ */
+struct SlotMap
+{
+    std::vector<std::size_t> slotOf;  ///< Point -> slot.
+    std::vector<std::string> slotKey; ///< Canonical text; "" = private.
+    std::vector<std::size_t> slotRep; ///< Slot -> representative point.
+
+    std::size_t slots() const { return slotRep.size(); }
+};
+
+/** Deduplicate @p points by content; see SlotMap. */
+SlotMap buildSlotMap(const std::vector<LibraInputs>& points);
+
+/**
+ * Order-sensitive fingerprint over a slot map's canonical keys
+ * (16-hex). Two processes that agree on it agree on every slot's
+ * content identity and position, making slot indices safe to exchange.
+ */
+std::string slotMapFingerprint(const SlotMap& map);
+
+/** How `run-matrix --workers N` spawns and instructs its workers. */
+struct ShardOptions
+{
+    std::size_t workers = 2;   ///< Worker processes (>= 2 to shard).
+    std::string workerExe;     ///< Executable exec'd as `... worker`.
+
+    /** Threads per worker; 0 = hardware concurrency / workers. */
+    int workerThreads = 0;
+
+    /**
+     * The batch recipe workers rebuild from: the expanded scenario
+     * names and every override that rewrites points before dedup.
+     * Must match what the master's buildMatrixSharedBatch saw.
+     */
+    std::vector<std::string> scenarios;
+    std::vector<std::string> solverPipeline;
+    std::string timingBackend;
+    std::string exploreSpec;
+};
+
+/**
+ * The master side: spawns workers, handshakes them against the
+ * master's own slot map, and drives batch dispatch; see file comment.
+ */
+class ShardPool
+{
+  public:
+    /**
+     * Result delivery: one call per evaluated slot, in completion
+     * order (NOT slot order — the caller merges by index).
+     */
+    using ResultFn = std::function<void(
+        std::size_t slot, PointStatus status, LibraReport report)>;
+
+    /**
+     * Fork and handshake @p options.workers workers against @p map.
+     * @throws FatalError when spawning fails or a worker's slot count
+     * / fingerprint disagrees with the master's.
+     */
+    ShardPool(const ShardOptions& options, const SlotMap& map);
+
+    /** Kills (SIGKILL) and reaps any worker shutdown() didn't. */
+    ~ShardPool();
+
+    ShardPool(const ShardPool&) = delete;
+    ShardPool& operator=(const ShardPool&) = delete;
+
+    /**
+     * Evaluate @p slots across the pool: deterministic index-ordered
+     * batches, dispatched dynamically to idle workers. Returns when
+     * every slot was delivered through @p onResult exactly once.
+     * @throws FatalError when a batch exhausts its retries or every
+     * worker died with work outstanding.
+     */
+    void evaluate(const std::vector<std::size_t>& slots,
+                  const ResultFn& onResult);
+
+    /** Graceful teardown: send exit, close, reap. Idempotent. */
+    void shutdown();
+
+    std::size_t liveWorkers() const;
+
+  private:
+    struct Worker
+    {
+        pid_t pid = -1;
+        int fd = -1;
+        bool alive = false;
+        int batch = -1; ///< Outstanding batch id; -1 = idle.
+        FrameBuffer buffer{"shard"};
+    };
+
+    void spawnWorker(Worker* w);
+    void workerFailed(Worker* w, std::vector<int>* requeue,
+                      std::vector<int>* attempts);
+    void reap(Worker* w);
+
+    ShardOptions options_;
+    std::vector<Worker> workers_;
+};
+
+/**
+ * The worker side of the protocol: speak frames on stdin/stdout until
+ * an exit op or EOF. The entry point behind `libra_cli worker`.
+ * @return process exit code.
+ */
+int runShardWorker();
+
+} // namespace libra
+
+#endif // LIBRA_STUDY_SHARD_HH

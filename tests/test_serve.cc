@@ -7,7 +7,12 @@
  * per-request error isolation. See docs/SERVE.md.
  */
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cstring>
 #include <filesystem>
 #include <sstream>
 #include <string>
@@ -19,6 +24,7 @@
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "core/study_config.hh"
+#include "serve/framing.hh"
 #include "serve/lru.hh"
 #include "serve/server.hh"
 #include "serve/single_flight.hh"
@@ -146,6 +152,77 @@ TEST(ServeLru, ZeroCapacityDisablesTheCache)
     lru.put("k", r);
     EXPECT_FALSE(lru.get("k", &r));
     EXPECT_EQ(lru.stats().entries, 0u);
+}
+
+/** A report whose entryBytes is deterministic and non-trivial. */
+LibraReport
+sizedReport(std::size_t dims, double speedup = 1.0)
+{
+    LibraReport r;
+    r.speedup = speedup;
+    r.optimized.bw.assign(dims, 1.0);
+    r.equalBw.bw.assign(dims, 1.0);
+    return r;
+}
+
+TEST(ServeLru, ByteBudgetEvictsFromTheColdEndUntilUnderBudget)
+{
+    LibraReport r = sizedReport(4);
+    const std::size_t per = LruCache::entryBytes("a", r);
+    ASSERT_GT(per, 0u);
+
+    // Room for exactly two same-sized entries, unbounded entry count.
+    LruCache lru(0, 2 * per);
+    lru.put("a", sizedReport(4, 1.0));
+    lru.put("b", sizedReport(4, 2.0));
+    EXPECT_EQ(lru.stats().entries, 2u);
+    EXPECT_EQ(lru.stats().bytes, 2 * per);
+    EXPECT_EQ(lru.stats().maxBytes, 2 * per);
+
+    LibraReport out;
+    ASSERT_TRUE(lru.get("a", &out)); // Promote "a"; "b" is coldest.
+
+    lru.put("c", sizedReport(4, 3.0)); // Over budget: "b" must go.
+    EXPECT_FALSE(lru.get("b", &out));
+    EXPECT_TRUE(lru.get("a", &out));
+    EXPECT_TRUE(lru.get("c", &out));
+    EXPECT_EQ(lru.stats().entries, 2u);
+    EXPECT_EQ(lru.stats().evictions, 1u);
+    EXPECT_LE(lru.stats().bytes, lru.stats().maxBytes);
+}
+
+TEST(ServeLru, RefreshingAKeyReaccountsItsBytes)
+{
+    LruCache lru(0, 1 << 20);
+    lru.put("k", sizedReport(4));
+    EXPECT_EQ(lru.stats().bytes,
+              LruCache::entryBytes("k", sizedReport(4)));
+    lru.put("k", sizedReport(64)); // Bigger value, same key.
+    EXPECT_EQ(lru.stats().entries, 1u);
+    EXPECT_EQ(lru.stats().bytes,
+              LruCache::entryBytes("k", sizedReport(64)));
+}
+
+TEST(ServeLru, AnEntryLargerThanTheWholeBudgetIsNotRetained)
+{
+    LibraReport big = sizedReport(1024);
+    LruCache lru(0, LruCache::entryBytes("k", big) - 1);
+    lru.put("k", big);
+    LibraReport out;
+    EXPECT_FALSE(lru.get("k", &out));
+    EXPECT_EQ(lru.stats().entries, 0u);
+    EXPECT_EQ(lru.stats().bytes, 0u);
+    EXPECT_EQ(lru.stats().evictions, 1u);
+}
+
+TEST(ServeLru, ByteBudgetAloneEnablesTheCache)
+{
+    // capacity == 0 disables only when the byte budget is 0 too.
+    LruCache lru(0, 1 << 20);
+    lru.put("k", sizedReport(2, 5.0));
+    LibraReport out;
+    ASSERT_TRUE(lru.get("k", &out));
+    EXPECT_EQ(out.speedup, 5.0);
 }
 
 // --- Single flight -----------------------------------------------------
@@ -415,6 +492,142 @@ TEST(Serve, RequestErrorsAreIsolatedFromTheServer)
     EXPECT_EQ(server.stats().errors, 3u);
 
     server.stop();
+}
+
+// --- Serve hardening ---------------------------------------------------
+
+/** Raw client socket to a Unix-domain server; -1 on failure. */
+int
+rawConnect(const std::string& path)
+{
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+TEST(Serve, OversizedRequestLineIsAnsweredAndTheConnectionClosed)
+{
+    ServeOptions options;
+    options.socketPath = testing::TempDir() + "libra-serve-e.sock";
+    Server server(std::move(options));
+    server.start();
+
+    int fd = rawConnect(server.socketPath());
+    ASSERT_GE(fd, 0);
+
+    // One byte past the request-line cap, never a newline: the server
+    // must refuse instead of buffering the "line" forever.
+    std::string junk(kMaxFrameLine + 1, 'x');
+    ASSERT_TRUE(sendAllFd(fd, junk));
+
+    std::string reply;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+        reply.append(buf, static_cast<std::size_t>(n));
+    EXPECT_EQ(n, 0); // Server closed the connection after answering.
+    ::close(fd);
+
+    EXPECT_NE(reply.find("\"ok\":false"), std::string::npos);
+    EXPECT_NE(reply.find("request line exceeds"), std::string::npos);
+    EXPECT_EQ(server.stats().errors, 1u);
+
+    // The refusal is per-connection: the server still answers.
+    ServeReply ok =
+        serveRequest(server.socketPath(), "{\"op\": \"ping\"}");
+    EXPECT_TRUE(ok.status.at("ok").asBool());
+
+    server.stop();
+}
+
+/**
+ * A fake "server" that accepts one connection, drains the request
+ * line, answers with @p response verbatim, and closes.
+ */
+void
+answerOnce(int listenFd, const std::string& response)
+{
+    int fd = ::accept(listenFd, nullptr, nullptr);
+    ASSERT_GE(fd, 0);
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+        if (std::memchr(buf, '\n', static_cast<std::size_t>(n)))
+            break;
+    }
+    ASSERT_TRUE(sendAllFd(fd, response));
+    ::close(fd);
+}
+
+TEST(Serve, GarbageStatusLinesFromAPeerAreFatalNotCrashes)
+{
+    const std::string path =
+        testing::TempDir() + "libra-serve-f.sock";
+    std::filesystem::remove(path);
+    int listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(listenFd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(::bind(listenFd, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    ASSERT_EQ(::listen(listenFd, 4), 0);
+
+    // A negative, a non-integer, an absurdly large, and a non-numeric
+    // `bytes` — each must surface as a clean FatalError in the client
+    // (historically the value was cast straight to size_t, turning -1
+    // into an 18-exabyte read).
+    const std::string bads[] = {
+        "{\"ok\":true,\"bytes\":-1}\n",
+        "{\"ok\":true,\"bytes\":1.5}\n",
+        "{\"ok\":true,\"bytes\":1e18}\n",
+        "{\"ok\":true,\"bytes\":\"nope\"}\n",
+    };
+    for (const std::string& bad : bads) {
+        std::thread peer([&] { answerOnce(listenFd, bad); });
+        EXPECT_THROW(serveRequest(path, "{\"op\": \"ping\"}"),
+                     FatalError)
+            << "status line: " << bad;
+        peer.join();
+    }
+
+    // A truncated frame (fewer payload bytes than promised, then EOF)
+    // is fatal too, not a hang or a short read passed to the caller.
+    std::thread peer([&] {
+        answerOnce(listenFd, "{\"ok\":true,\"bytes\":64}\nshort");
+    });
+    EXPECT_THROW(serveRequest(path, "{\"op\": \"ping\"}"),
+                 FatalError);
+    peer.join();
+
+    ::close(listenFd);
+    std::filesystem::remove(path);
+}
+
+TEST(Serve, StatsExposeTheLruByteBudget)
+{
+    ServeOptions options;
+    options.socketPath = testing::TempDir() + "libra-serve-g.sock";
+    options.lruBytes = 123456;
+    Server server(std::move(options));
+    bool shutdown = false;
+    std::string stats =
+        server.handleLine("{\"op\": \"stats\"}", &shutdown);
+    EXPECT_NE(stats.find("\"lruMaxBytes\": 123456"),
+              std::string::npos);
+    EXPECT_NE(stats.find("\"lruBytes\": "), std::string::npos);
 }
 
 TEST(Serve, ProtocolOpsWorkWithoutASocket)

@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Sharded-execution and checkpoint tests (docs/SHARDING.md).
+ *
+ * The slot map and checkpoint manifest are tested in-process; the
+ * worker protocol is tested end to end by spawning the real libra_cli
+ * binary (LIBRA_CLI_PATH, injected by CMake) and comparing its matrix
+ * JSON byte for byte across worker counts, cache states, and a
+ * kill-mid-run resume.
+ */
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/estimator.hh"
+#include "core/study_config.hh"
+#include "study/cache.hh"
+#include "study/checkpoint.hh"
+#include "study/shard.hh"
+
+namespace libra {
+namespace {
+
+LibraInputs
+miniInputs(const char* extra = "")
+{
+    std::string text = "NETWORK SW(4)_RI(4)\nTOTAL_BW 200\n"
+                       "STARTS 2\nWORKLOAD resnet50\n";
+    text += extra;
+    return parseStudyConfigString(text);
+}
+
+std::string
+freshDir(const char* name)
+{
+    std::string dir = testing::TempDir() + name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+// --- Slot map ----------------------------------------------------------
+
+TEST(SlotMap, DedupsByContentAndGivesUncacheablePointsPrivateSlots)
+{
+    std::vector<LibraInputs> points;
+    points.push_back(miniInputs());
+    points.push_back(miniInputs("SEED 5\n"));
+    points.push_back(miniInputs()); // Content-equal to points[0].
+    LibraInputs custom = miniInputs();
+    custom.config.estimator.commTimeFn =
+        [](CollectiveType, Bytes, const std::vector<DimSpan>&,
+           const BwConfig&, bool) { return CollectiveTiming{}; };
+    points.push_back(custom); // No content identity: private slot.
+    points.push_back(custom); // ...and a second private slot.
+
+    SlotMap map = buildSlotMap(points);
+    ASSERT_EQ(map.slotOf.size(), 5u);
+    EXPECT_EQ(map.slots(), 4u);
+    EXPECT_EQ(map.slotOf[0], map.slotOf[2]);
+    EXPECT_NE(map.slotOf[0], map.slotOf[1]);
+    EXPECT_NE(map.slotOf[3], map.slotOf[4]); // Privates never merge.
+    EXPECT_TRUE(map.slotKey[map.slotOf[3]].empty());
+    EXPECT_EQ(map.slotKey[map.slotOf[0]],
+              canonicalStudyKey(points[0]));
+    EXPECT_EQ(map.slotRep[map.slotOf[2]], 0u);
+}
+
+TEST(SlotMap, FingerprintIsStableAndOrderSensitive)
+{
+    std::vector<LibraInputs> points;
+    points.push_back(miniInputs());
+    points.push_back(miniInputs("SEED 5\n"));
+
+    std::string fp = slotMapFingerprint(buildSlotMap(points));
+    EXPECT_EQ(fp.size(), 16u);
+    EXPECT_EQ(fp, slotMapFingerprint(buildSlotMap(points)));
+
+    std::swap(points[0], points[1]); // Same content, new order.
+    EXPECT_NE(fp, slotMapFingerprint(buildSlotMap(points)));
+}
+
+// --- Checkpoint manifest -----------------------------------------------
+
+TEST(Checkpoint, AppendedHashesSurviveReopen)
+{
+    std::string dir = freshDir("libra-ckpt-a");
+    std::string path = dir + "/manifest";
+    {
+        CheckpointLog log(path);
+        EXPECT_EQ(log.resumedSlots(), 0u);
+        log.append(0x1234u);
+        log.append(0xabcdef0123456789u);
+        log.append(0x1234u); // Idempotent.
+        EXPECT_TRUE(log.contains(0x1234u));
+        EXPECT_FALSE(log.contains(0x9999u));
+    }
+    CheckpointLog log(path);
+    EXPECT_EQ(log.resumedSlots(), 2u);
+    EXPECT_TRUE(log.contains(0x1234u));
+    EXPECT_TRUE(log.contains(0xabcdef0123456789u));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Checkpoint, TornTailIsSkippedWrongHeaderIsFatal)
+{
+    std::string dir = freshDir("libra-ckpt-b");
+
+    // A kill -9 mid-append leaves a torn last line; everything before
+    // it must still resume.
+    std::string torn = dir + "/torn";
+    {
+        std::ofstream f(torn);
+        f << "libra-checkpoint-v1\n"
+          << "00000000000000aa\n"
+          << "00000000000000"; // Truncated mid-hash.
+    }
+    CheckpointLog log(torn);
+    EXPECT_EQ(log.resumedSlots(), 1u);
+    EXPECT_TRUE(log.contains(0xaau));
+
+    // A file that is not a manifest must never be appended to.
+    std::string other = dir + "/other";
+    {
+        std::ofstream f(other);
+        f << "{\"some\": \"json\"}\n";
+    }
+    EXPECT_THROW(CheckpointLog bad(other), FatalError);
+
+    std::filesystem::remove_all(dir);
+}
+
+// --- End to end through libra_cli --------------------------------------
+
+#ifdef LIBRA_CLI_PATH
+
+/** Run `libra_cli run-matrix <args>`; returns the exit code. */
+int
+runCli(const std::string& args, const std::string& stderrPath = "")
+{
+    std::string cmd = std::string(LIBRA_CLI_PATH) + " run-matrix " +
+                      args + " 2>" +
+                      (stderrPath.empty() ? "/dev/null" : stderrPath);
+    int status = std::system(cmd.c_str());
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string
+slurp(const std::string& path)
+{
+    std::ifstream f(path);
+    std::ostringstream os;
+    os << f.rdbuf();
+    return os.str();
+}
+
+/** Hash lines recorded in a manifest (total lines minus the header). */
+std::size_t
+recordedSlots(const std::string& manifest)
+{
+    std::ifstream f(manifest);
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(f, line))
+        ++lines;
+    return lines > 0 ? lines - 1 : 0;
+}
+
+// The scenario the e2e tests shard: big enough for several batches
+// per worker, small enough for smoke-test wall clock.
+constexpr const char* kScenario = "explore-frontier";
+
+TEST(ShardCli, WorkerCountsEmitByteIdenticalMatrixJson)
+{
+    std::string dir = freshDir("libra-shard-e2e");
+    std::string ref = dir + "/ref.json";
+    ASSERT_EQ(runCli(std::string(kScenario) + " --emit json --out " +
+                     ref),
+              0);
+    const std::string expected = slurp(ref);
+    ASSERT_FALSE(expected.empty());
+
+    // Fresh sharded runs at several worker counts (1 = classic path).
+    for (const char* workers : {"1", "2", "4"}) {
+        std::string out = dir + "/w" + workers + ".json";
+        ASSERT_EQ(runCli(std::string(kScenario) + " --workers " +
+                         workers + " --emit json --out " + out),
+                  0)
+            << "workers=" << workers;
+        EXPECT_EQ(slurp(out), expected) << "workers=" << workers;
+    }
+
+    // Sharded against a cold then a warm cache: still the same bytes.
+    std::string cache = dir + "/cache";
+    for (const char* label : {"cold", "warm"}) {
+        std::string out = dir + "/cache-" + label + ".json";
+        ASSERT_EQ(runCli(std::string(kScenario) +
+                         " --workers 2 --cache-dir " + cache +
+                         " --emit json --out " + out),
+                  0)
+            << label;
+        EXPECT_EQ(slurp(out), expected) << label;
+    }
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ShardCli, KilledCheckpointedRunResumesWithoutRecompute)
+{
+    std::string dir = freshDir("libra-shard-kill");
+    std::string ref = dir + "/ref.json";
+    ASSERT_EQ(runCli(std::string(kScenario) + " --emit json --out " +
+                     ref),
+              0);
+    const std::string expected = slurp(ref);
+
+    std::string cache = dir + "/cache";
+    std::string manifest = dir + "/manifest";
+
+    // Start a checkpointed run and SIGKILL it once the manifest shows
+    // real progress — no cooperation from the victim.
+    pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        std::string out = dir + "/killed.json";
+        ::execl(LIBRA_CLI_PATH, LIBRA_CLI_PATH, "run-matrix",
+                kScenario, "--cache-dir", cache.c_str(),
+                "--checkpoint", manifest.c_str(), "--emit", "json",
+                "--out", out.c_str(), static_cast<char*>(nullptr));
+        _exit(127);
+    }
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(60);
+    bool killed = false;
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (recordedSlots(manifest) >= 8) {
+            ::kill(pid, SIGKILL);
+            killed = true;
+            break;
+        }
+        int status = 0;
+        if (::waitpid(pid, &status, WNOHANG) == pid) {
+            pid = -1; // Finished before we could kill it (slow FS
+                      // poll): resume still must be byte-identical.
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    if (pid > 0) {
+        if (!killed)
+            ::kill(pid, SIGKILL);
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+    }
+    const std::size_t recorded = recordedSlots(manifest);
+    ASSERT_GE(recorded, 8u);
+
+    // Resume: recorded slots must come from the cache, not recompute,
+    // and the completed output must be byte-identical to the
+    // uninterrupted reference.
+    std::string out = dir + "/resumed.json";
+    std::string err = dir + "/resumed.err";
+    ASSERT_EQ(runCli(std::string(kScenario) + " --cache-dir " + cache +
+                     " --checkpoint " + manifest +
+                     " --emit json --out " + out,
+                     err),
+              0);
+    EXPECT_EQ(slurp(out), expected);
+
+    const std::string provenance = slurp(err);
+    EXPECT_NE(provenance.find("checkpoint: resuming"),
+              std::string::npos)
+        << provenance;
+    // "matrix: ... (80 unique, N from cache, M computed)" — every
+    // recorded slot is served from the cache, never recomputed. The
+    // cache may hold at most a few slots more than the manifest
+    // (store-before-append), so N >= recorded, not ==.
+    const std::string tag = " unique, ";
+    auto pos = provenance.find(tag);
+    ASSERT_NE(pos, std::string::npos) << provenance;
+    std::size_t fromCache =
+        std::strtoull(provenance.c_str() + pos + tag.size(), nullptr,
+                      10);
+    EXPECT_GE(fromCache, recorded) << provenance;
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ShardCli, ShardingWithoutScenarioOverridesMatchesCheckpointedRun)
+{
+    // Sharded *and* checkpointed in one run: the manifest must end up
+    // complete and a rerun must be served entirely from the cache.
+    std::string dir = freshDir("libra-shard-ckpt");
+    std::string cache = dir + "/cache";
+    std::string manifest = dir + "/manifest";
+    std::string out1 = dir + "/one.json";
+    std::string out2 = dir + "/two.json";
+    std::string err = dir + "/two.err";
+
+    ASSERT_EQ(runCli(std::string(kScenario) +
+                     " --workers 2 --cache-dir " + cache +
+                     " --checkpoint " + manifest +
+                     " --emit json --out " + out1),
+              0);
+    EXPECT_EQ(recordedSlots(manifest), 80u);
+
+    ASSERT_EQ(runCli(std::string(kScenario) + " --cache-dir " + cache +
+                     " --checkpoint " + manifest +
+                     " --emit json --out " + out2,
+                     err),
+              0);
+    EXPECT_EQ(slurp(out1), slurp(out2));
+    EXPECT_NE(slurp(err).find("80 from cache"), std::string::npos);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ShardCli, CheckpointWithoutACacheIsAUserError)
+{
+    std::string dir = freshDir("libra-shard-nocache");
+    EXPECT_EQ(runCli(std::string(kScenario) + " --checkpoint " + dir +
+                     "/manifest --emit json --out /dev/null"),
+              1);
+    std::filesystem::remove_all(dir);
+}
+
+#endif // LIBRA_CLI_PATH
+
+} // namespace
+} // namespace libra

@@ -45,6 +45,16 @@
  *                      --faults cache-load-read=0.25,seed=7 (the
  *                      LIBRA_FAULTS environment variable is the
  *                      fallback; the flag wins)
+ *   --workers N        shard the shared batch's owned computation
+ *                      across N forked worker processes
+ *                      (docs/SHARDING.md); emitted bytes are identical
+ *                      at any worker count. 1 = classic in-process
+ *   --worker-threads N solver threads per worker (default: hardware
+ *                      concurrency / workers)
+ *   --checkpoint FILE  append every completed design point's content
+ *                      hash to FILE (fsynced), so a killed run resumes
+ *                      without recomputing finished points; requires
+ *                      --cache-dir
  *   --update-golden    rewrite the golden-figure files for the golden
  *                      scenarios included in this run
  *   --golden-dir DIR   golden file directory (default: tests/golden)
@@ -58,6 +68,10 @@
  *   --cache-dir DIR    disk result cache under the LRU (optional)
  *   --lru N            in-memory LRU capacity in entries (default
  *                      1024; 0 disables the LRU)
+ *   --lru-bytes N      LRU byte budget: evict from the cold end until
+ *                      resident entries fit (0 = unbounded, the
+ *                      default; combines with --lru, either limit
+ *                      evicts)
  *   --threads N        size the shared evaluation pool
  *   --fail-mode MODE   default failMode for requests that set none
  *   --faults SPEC      arm the fault injector (tests, CI)
@@ -79,6 +93,8 @@
  * JSON is byte-identical whether points were computed or cached.
  */
 
+#include <unistd.h>
+
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -98,6 +114,7 @@
 #include "serve/server.hh"
 #include "solver/strategy.hh"
 #include "study/matrix.hh"
+#include "study/shard.hh"
 
 namespace {
 
@@ -359,7 +376,28 @@ struct MatrixCliOptions
     std::string goldenDir = "tests/golden";
     int threads = 0;
     libra::FailMode failMode = libra::FailMode::Abort;
+    std::size_t workers = 0;    // 0/1 = classic in-process sweep.
+    int workerThreads = 0;      // 0 = hardware concurrency / workers.
+    std::string checkpointPath; // "" = no checkpoint manifest.
+    std::string workerExe;      // Resolved self path (sharded runs).
 };
+
+/**
+ * The executable to exec as `... worker` for sharded runs: this very
+ * binary, resolved through /proc/self/exe so it survives argv[0] being
+ * a bare name or a PATH lookup. Falls back to argv[0].
+ */
+std::string
+selfExecutable(const char* argv0)
+{
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+    return argv0;
+}
 
 int
 runMatrixCommand(const MatrixCliOptions& cli)
@@ -408,6 +446,10 @@ runMatrixCommand(const MatrixCliOptions& cli)
     options.timingBackend = cli.backend;
     options.exploreSpec = cli.explore;
     options.failMode = cli.failMode;
+    options.workers = cli.workers;
+    options.workerExe = cli.workerExe;
+    options.workerThreads = cli.workerThreads;
+    options.checkpointPath = cli.checkpointPath;
     MatrixResult result = runScenarioMatrix(names, options);
 
     std::ofstream outFile;
@@ -513,6 +555,16 @@ runServeCommand(const std::vector<std::string>& args)
                 return 1;
             }
             options.lruCapacity = static_cast<std::size_t>(v);
+        } else if (arg == "--lru-bytes") {
+            std::string text = value("a byte budget");
+            char* end = nullptr;
+            long long v = std::strtoll(text.c_str(), &end, 10);
+            if (end == text.c_str() || *end != '\0' || v < 0) {
+                std::cerr << "libra_cli: bad --lru-bytes budget '"
+                          << text << "'\n";
+                return 1;
+            }
+            options.lruBytes = static_cast<std::size_t>(v);
         } else if (arg == "--threads") {
             std::string text = value("a count");
             char* end = nullptr;
@@ -636,11 +688,14 @@ usage()
            "[--explore SPEC]\n"
         << "                 [--fail-mode abort|isolate] "
            "[--faults SPEC]\n"
+        << "                 [--workers N] [--worker-threads N] "
+           "[--checkpoint FILE]\n"
         << "                 [--update-golden] [--golden-dir DIR]\n"
         << "       libra_cli serve --socket PATH [--cache-dir DIR] "
            "[--lru N]\n"
-        << "                 [--threads N] [--fail-mode abort|isolate] "
-           "[--faults SPEC]\n"
+        << "                 [--lru-bytes N] [--threads N] "
+           "[--fail-mode abort|isolate]\n"
+        << "                 [--faults SPEC]\n"
         << "       libra_cli serve-request --socket PATH "
            "<request-json>\n";
 }
@@ -651,6 +706,14 @@ int
 main(int argc, char** argv)
 {
     std::vector<std::string> args(argv + 1, argv + argc);
+
+    // Hidden shard-worker mode (docs/SHARDING.md): speak the frame
+    // protocol on stdin/stdout until exit/EOF. Dispatched before the
+    // LIBRA_FAULTS env arming on purpose — the master injects faults
+    // before dispatch, so workers must stay injector-free or content-
+    // keyed faults would fire twice.
+    if (!args.empty() && args[0] == "worker")
+        return libra::runShardWorker();
 
     if (!args.empty() && args[0] == "--example") {
         std::cout << kTemplate;
@@ -701,6 +764,7 @@ main(int argc, char** argv)
         }
         if (!args.empty() && args[0] == "run-matrix") {
             MatrixCliOptions cli;
+            cli.workerExe = selfExecutable(argv[0]);
             for (std::size_t i = 1; i < args.size(); ++i) {
                 const std::string& arg = args[i];
                 auto value = [&](const char* what) -> std::string {
@@ -752,6 +816,24 @@ main(int argc, char** argv)
                         parseThreads(value("a count").c_str());
                     if (cli.threads < 0)
                         return 1;
+                } else if (arg == "--workers") {
+                    std::string text = value("a worker count");
+                    char* end = nullptr;
+                    long v = std::strtol(text.c_str(), &end, 10);
+                    if (end == text.c_str() || *end != '\0' || v < 1 ||
+                        v > 256) {
+                        std::cerr << "libra_cli: bad --workers count '"
+                                  << text << "' (expected 1..256)\n";
+                        return 1;
+                    }
+                    cli.workers = static_cast<std::size_t>(v);
+                } else if (arg == "--worker-threads") {
+                    cli.workerThreads =
+                        parseThreads(value("a count").c_str());
+                    if (cli.workerThreads < 0)
+                        return 1;
+                } else if (arg == "--checkpoint") {
+                    cli.checkpointPath = value("a manifest path");
                 } else if (!arg.empty() && arg[0] == '-') {
                     std::cerr << "libra_cli: unknown run-matrix flag '"
                               << arg << "'\n";

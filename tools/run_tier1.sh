@@ -188,6 +188,56 @@ if [[ -z "${MODE}" ]]; then
   grep -Eq '"lruHits": [1-9]' "${SMOKE_DIR}/sstats.json"
   echo "serve smoke: byte-identical golden payloads (one-shot vs disk-served vs LRU-served)"
 
+  # Sharded smoke: run-matrix --workers forks worker processes and
+  # merges their results through the cache; the matrix JSON must be
+  # byte-identical to the single-process run, fresh and cached
+  # (docs/SHARDING.md).
+  "${BUILD_DIR}/libra_cli" run-matrix explore-frontier \
+    --emit json --out "${SMOKE_DIR}/shsingle.json"
+  "${BUILD_DIR}/libra_cli" run-matrix explore-frontier --workers 2 \
+    --emit json --cache-dir "${SMOKE_DIR}/shcache" \
+    --out "${SMOKE_DIR}/shfresh.json"
+  "${BUILD_DIR}/libra_cli" run-matrix explore-frontier --workers 2 \
+    --emit json --cache-dir "${SMOKE_DIR}/shcache" \
+    --out "${SMOKE_DIR}/shcached.json"
+  cmp "${SMOKE_DIR}/shsingle.json" "${SMOKE_DIR}/shfresh.json"
+  cmp "${SMOKE_DIR}/shsingle.json" "${SMOKE_DIR}/shcached.json"
+  echo "shard smoke: byte-identical matrix JSON (single-process vs --workers 2, fresh and cached)"
+
+  # Checkpoint-resume smoke: SIGKILL a checkpointed sharded run once
+  # its manifest shows progress, then resume — the completed output
+  # must be byte-identical and every recorded slot must be served from
+  # the cache, not recomputed (docs/SHARDING.md).
+  "${BUILD_DIR}/libra_cli" run-matrix explore-frontier --workers 2 \
+    --cache-dir "${SMOKE_DIR}/ckcache" \
+    --checkpoint "${SMOKE_DIR}/ckmanifest" \
+    --emit json --out "${SMOKE_DIR}/ckkilled.json" 2>/dev/null &
+  CKPT_PID=$!
+  for _ in $(seq 3000); do
+    LINES="$(wc -l < "${SMOKE_DIR}/ckmanifest" 2>/dev/null || echo 0)"
+    [[ "${LINES}" -ge 9 ]] && break
+    kill -0 "${CKPT_PID}" 2>/dev/null || break
+    sleep 0.01
+  done
+  kill -9 "${CKPT_PID}" 2>/dev/null || true
+  wait "${CKPT_PID}" 2>/dev/null || true
+  RECORDED="$(($(wc -l < "${SMOKE_DIR}/ckmanifest") - 1))"
+  [[ "${RECORDED}" -ge 1 ]]
+  "${BUILD_DIR}/libra_cli" run-matrix explore-frontier --workers 2 \
+    --cache-dir "${SMOKE_DIR}/ckcache" \
+    --checkpoint "${SMOKE_DIR}/ckmanifest" \
+    --emit json --out "${SMOKE_DIR}/ckresumed.json" \
+    2> "${SMOKE_DIR}/ckresumed.status"
+  cmp "${SMOKE_DIR}/shsingle.json" "${SMOKE_DIR}/ckresumed.json"
+  grep -q "checkpoint: resuming" "${SMOKE_DIR}/ckresumed.status"
+  # Store-before-append: the cache may hold at most a slot more than
+  # the manifest when the kill landed between the two, so the resume
+  # serves at least every recorded slot from the cache.
+  FROMCACHE="$(sed -nE 's/.*unique, ([0-9]+) from cache.*/\1/p' \
+    "${SMOKE_DIR}/ckresumed.status")"
+  [[ "${FROMCACHE}" -ge "${RECORDED}" ]]
+  echo "checkpoint smoke: killed run (${RECORDED} slots recorded) resumed byte-identically without recompute"
+
   # SIMD smoke: the batched candidate-major kernels promise results
   # bit-identical to the scalar fallback (docs/PERF.md), so a golden
   # matrix run from a LIBRA_SIMD=off build must emit byte-identical
