@@ -251,6 +251,17 @@ parseStudyConfig(std::istream& in)
         } else if (keyword == "STARTS") {
             inputs.config.search.starts = static_cast<int>(parseNumber(
                 wantToken("start count"), lineNo, "start count"));
+        } else if (keyword == "MAX_EVALS") {
+            double v = parseNumber(wantToken("eval budget"), lineNo,
+                                   "eval budget");
+            // Same NaN-safe range idiom as THREADS; 0 means
+            // unlimited, matching the in-memory default.
+            if (!(v >= 0.0 && v <= 1e15) || v != std::floor(v))
+                fatal("study line ", lineNo,
+                      ": MAX_EVALS must be an integer in [0, 1e15], "
+                      "got ", v);
+            inputs.config.search.maxEvalsPerStart =
+                static_cast<long long>(v);
         } else if (keyword == "COST") {
             PhysicalLevel level =
                 parseLevel(wantToken("physical level"), lineNo);
@@ -403,9 +414,7 @@ studyConfigToString(const LibraInputs& inputs)
             defaults.config.search.useSubgradient ||
         cfg.search.useNelderMead !=
             defaults.config.search.useNelderMead ||
-        cfg.search.parallel != defaults.config.search.parallel ||
-        cfg.search.maxEvalsPerStart !=
-            defaults.config.search.maxEvalsPerStart) {
+        cfg.search.parallel != defaults.config.search.parallel) {
         fatal("cannot serialize non-default search-driver toggles (no "
               "study-file directive)");
     }
@@ -443,6 +452,8 @@ studyConfigToString(const LibraInputs& inputs)
         out << "THREADS " << inputs.threads << "\n";
     out << "SEED " << cfg.search.seed << "\n";
     out << "STARTS " << cfg.search.starts << "\n";
+    if (cfg.search.maxEvalsPerStart != 0)
+        out << "MAX_EVALS " << cfg.search.maxEvalsPerStart << "\n";
     if (!cfg.search.pipeline.empty())
         out << "SOLVER " << solverSpecToString(cfg.search.pipeline)
             << "\n";
@@ -481,6 +492,17 @@ studyConfigToString(const LibraInputs& inputs)
             << jsonNumberToString(target.weight) << "\n";
     }
     return out.str();
+}
+
+bool
+studyConfigSerializable(const LibraInputs& inputs)
+{
+    try {
+        studyConfigToString(inputs);
+        return true;
+    } catch (const FatalError&) {
+        return false;
+    }
 }
 
 } // namespace libra

@@ -18,6 +18,9 @@
  *     COST Pod LINK 7.8 SWITCH 18.0 NIC 31.6   # cost-model override
  *     THREADS 8                 # solver parallelism (results are
  *                               # identical at any thread count)
+ *     MAX_EVALS 240             # per-start objective-eval budget
+ *                               # (0 = unlimited; screening rounds
+ *                               # of EXPLORE prune use this)
  *     SOLVER cmaes,pattern-search  # search-strategy pipeline
  *                               # (`libra_cli list-solvers`; default
  *                               # is the subgradient/pattern/NM chain)
@@ -67,6 +70,13 @@ LibraInputs parseStudyConfigString(const std::string& text);
  * (e.g. WORKLOAD_FILE-loaded or programmatically built ones).
  */
 std::string studyConfigToString(const LibraInputs& inputs);
+
+/**
+ * True when @p inputs has a study-file form (studyConfigToString would
+ * succeed). The shard layer uses this to decide whether a design point
+ * can ship to a worker as an eval frame or must run in-process.
+ */
+bool studyConfigSerializable(const LibraInputs& inputs);
 
 /** Deep equality of two parsed study inputs (round-trip testing). */
 bool studyInputsEqual(const LibraInputs& a, const LibraInputs& b);

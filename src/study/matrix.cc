@@ -10,6 +10,7 @@
 #include "common/fault.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "core/study_config.hh"
 #include "core/timing_backend.hh"
 #include "explore/explore.hh"
 #include "solver/strategy.hh"
@@ -35,25 +36,49 @@ struct SweepBatch
 };
 
 /**
- * Execution add-ons for one cached sweep: a shard recipe spawns
- * worker processes for the owned batch (the main shared batch only —
- * adaptive explore rounds cannot be rebuilt from scenario names), and
- * a checkpoint log records completed slots durably.
+ * The warm worker pool for one run-matrix invocation. Workers are
+ * forked and handshaken at most once — on the first sweep with work to
+ * dispatch — then reused by the shared batch and every adaptive
+ * explore round, paying fork/exec/handshake once per run instead of
+ * once per round (docs/SHARDING.md). The handshake expectation is the
+ * *shared-batch* slot map (what workers rebuild from the recipe),
+ * recorded by the phase-2 sweep before any dispatch.
  */
-struct SweepContext
+struct ShardRuntime
 {
-    const ShardOptions* shard = nullptr;
-    CheckpointLog* checkpoint = nullptr;
+    ShardOptions options;
+    std::size_t expectedSlots = 0;
+    std::string expectedFingerprint;
+    std::optional<ShardPool> pool;
+
+    ShardPool& ensurePool()
+    {
+        if (!pool)
+            pool.emplace(options, expectedSlots, expectedFingerprint);
+        return *pool;
+    }
+
+    void shutdown()
+    {
+        if (pool)
+            pool->shutdown();
+    }
 };
 
 /**
- * In-process chunk size when a checkpoint is armed: completed slots
- * must reach the cache + manifest incrementally, not after the whole
- * batch, or a kill loses everything. Sub-batching cannot change
- * results — evaluation is a pure function of each point (the property
- * the content-addressed cache already relies on).
+ * Execution add-ons for one cached sweep: a warm shard pool evaluates
+ * the owned batch in worker processes (by slot index for the shared
+ * batch, by serialized wire point for adaptive rounds), and a
+ * checkpoint log records completed slots durably.
  */
-constexpr std::size_t kCheckpointChunk = 8;
+struct SweepContext
+{
+    ShardRuntime* shard = nullptr; ///< Null = in-process only.
+    bool shardByRecipe = false;    ///< Ship recipe slot indices
+                                   ///< (the phase-2 shared batch).
+    CheckpointLog* checkpoint = nullptr;
+    std::size_t checkpointChunk = 8;
+};
 
 /**
  * Deduplicate @p points by content, serve what the store already has,
@@ -203,16 +228,24 @@ cachedSweep(const std::vector<LibraInputs>& points, StudyStore* store,
         done[k] = 1;
     };
     try {
-        if (ctx.shard && !batchSlot.empty()) {
-            // Sharded: ship slot indices to worker processes; merge
-            // each result as it lands. Workers rebuild the identical
-            // point list, so `batch` itself never crosses the wire.
+        if (ctx.shard && ctx.shardByRecipe) {
+            // The shared batch defines the handshake: workers rebuild
+            // exactly this slot map from the recipe. Record it even
+            // when everything was cached — a later adaptive round may
+            // be the first to actually need the pool.
+            ctx.shard->expectedSlots = map.slots();
+            ctx.shard->expectedFingerprint = slotMapFingerprint(map);
+        }
+        if (ctx.shard && ctx.shardByRecipe && !batchSlot.empty()) {
+            // Sharded shared batch: ship slot indices to worker
+            // processes; merge each result as it lands. Workers
+            // rebuild the identical point list, so `batch` itself
+            // never crosses the wire.
             std::unordered_map<std::size_t, std::size_t> batchIndex;
             batchIndex.reserve(batchSlot.size());
             for (std::size_t k = 0; k < batchSlot.size(); ++k)
                 batchIndex.emplace(batchSlot[k], k);
-            ShardPool pool(*ctx.shard, map);
-            pool.evaluate(
+            ctx.shard->ensurePool().evaluate(
                 batchSlot,
                 [&](std::size_t slot, PointStatus status,
                     LibraReport report) {
@@ -223,15 +256,69 @@ cachedSweep(const std::vector<LibraInputs>& points, StudyStore* store,
                     finishSlot(it->second, std::move(status),
                                std::move(report));
                 });
-            pool.shutdown();
+        } else if (ctx.shard && !batchSlot.empty()) {
+            // Sharded adaptive round: no recipe describes these
+            // points, so each ships as its studyConfigToString wire
+            // form (an eval frame). The rare point without a wire
+            // form — custom commTimeFn, non-zoo workload — stays
+            // in-process; both legs merge through finishSlot, so
+            // store/publish/checkpoint semantics are identical.
+            std::vector<WirePoint> wire;
+            std::vector<std::size_t> local;
+            for (std::size_t k = 0; k < batchSlot.size(); ++k) {
+                if (studyConfigSerializable(batch[k])) {
+                    WirePoint wp;
+                    wp.index = k;
+                    wp.text = studyConfigToString(batch[k]);
+                    wp.key = pointWireKey(batch[k]);
+                    wire.push_back(std::move(wp));
+                } else {
+                    local.push_back(k);
+                }
+            }
+            if (!wire.empty()) {
+                ctx.shard->ensurePool().evaluatePoints(
+                    wire,
+                    [&](std::size_t k, PointStatus status,
+                        LibraReport report) {
+                        if (k >= batchSlot.size())
+                            fatal("shard: eval result for unknown "
+                                  "item ", k);
+                        finishSlot(k, std::move(status),
+                                   std::move(report));
+                    });
+            }
+            if (!local.empty()) {
+                const std::size_t chunkSize =
+                    ctx.checkpoint ? ctx.checkpointChunk
+                                   : local.size();
+                for (std::size_t base = 0; base < local.size();
+                     base += chunkSize) {
+                    const std::size_t count =
+                        std::min(chunkSize, local.size() - base);
+                    std::vector<LibraInputs> chunk;
+                    chunk.reserve(count);
+                    for (std::size_t j = 0; j < count; ++j)
+                        chunk.push_back(batch[local[base + j]]);
+                    SweepOutcome computed =
+                        runLibraSweepIsolated(chunk);
+                    for (std::size_t j = 0; j < count; ++j)
+                        finishSlot(local[base + j],
+                                   std::move(computed.status[j]),
+                                   std::move(computed.reports[j]));
+                }
+            }
         } else if (ctx.checkpoint &&
-                   batchSlot.size() > kCheckpointChunk) {
+                   batchSlot.size() > ctx.checkpointChunk) {
             // Checkpointed in-process run: compute in chunks so
             // progress reaches the cache + manifest as it happens.
+            // Sub-batching cannot change results — evaluation is a
+            // pure function of each point (the property the
+            // content-addressed cache already relies on).
             for (std::size_t base = 0; base < batchSlot.size();
-                 base += kCheckpointChunk) {
+                 base += ctx.checkpointChunk) {
                 const std::size_t count = std::min(
-                    kCheckpointChunk, batchSlot.size() - base);
+                    ctx.checkpointChunk, batchSlot.size() - base);
                 std::vector<LibraInputs> chunk(
                     batch.begin() +
                         static_cast<std::ptrdiff_t>(base),
@@ -451,23 +538,27 @@ runScenarioMatrix(const std::vector<std::string>& names,
                    checkpoint->resumedSlots(), " slots recorded)");
     }
 
-    ShardOptions shard;
+    ShardRuntime shardRuntime;
     const bool sharded = options.workers > 1;
     if (sharded) {
         if (options.workerExe.empty())
             fatal("sharded execution (--workers > 1) needs the worker "
                   "executable path");
-        shard.workers = options.workers;
-        shard.workerExe = options.workerExe;
-        shard.workerThreads = options.workerThreads;
-        shard.scenarios = names;
-        shard.solverPipeline = options.solverPipeline;
-        shard.timingBackend = options.timingBackend;
-        shard.exploreSpec = options.exploreSpec;
+        shardRuntime.options.workers = options.workers;
+        shardRuntime.options.workerExe = options.workerExe;
+        shardRuntime.options.workerThreads = options.workerThreads;
+        shardRuntime.options.scenarios = names;
+        shardRuntime.options.solverPipeline = options.solverPipeline;
+        shardRuntime.options.timingBackend = options.timingBackend;
+        shardRuntime.options.exploreSpec = options.exploreSpec;
     }
+    if (options.checkpointChunk == 0)
+        fatal("checkpoint chunk size must be >= 1");
     SweepContext mainCtx;
-    mainCtx.shard = sharded ? &shard : nullptr;
+    mainCtx.shard = sharded ? &shardRuntime : nullptr;
+    mainCtx.shardByRecipe = true;
     mainCtx.checkpoint = checkpoint ? &*checkpoint : nullptr;
+    mainCtx.checkpointChunk = options.checkpointChunk;
 
     // Phase 2: the shared batch — dedup, cache, one sharded sweep.
     SweepBatch main =
@@ -500,11 +591,12 @@ runScenarioMatrix(const std::vector<std::string>& names,
             // failing point aborts this exploration (deterministic
             // lowest-index error), and under Isolate that error is
             // recorded instead of unwinding the matrix.
-            // Adaptive rounds stay in-process (each batch derives
-            // from earlier results, so workers cannot rebuild it from
-            // the recipe) but still checkpoint completed slots.
-            SweepContext adaptiveCtx;
-            adaptiveCtx.checkpoint = mainCtx.checkpoint;
+            // Adaptive rounds reuse the warm worker pool: batches the
+            // recipe cannot describe ship as serialized wire points
+            // (eval frames), and completed slots still checkpoint
+            // mid-round.
+            SweepContext adaptiveCtx = mainCtx;
+            adaptiveCtx.shardByRecipe = false;
             ExploreSweepFn sweep =
                 [&, adaptiveCtx](const std::vector<LibraInputs>& batch) {
                     SweepBatch b =
@@ -592,6 +684,7 @@ runScenarioMatrix(const std::vector<std::string>& names,
         }
         result.scenarios.push_back(std::move(run));
     }
+    shardRuntime.shutdown();
     return result;
 }
 

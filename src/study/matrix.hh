@@ -93,13 +93,15 @@ struct MatrixOptions
     FailMode failMode = FailMode::Abort;
 
     /**
-     * Shard the shared batch's owned computation across this many
-     * forked worker processes — the `--workers` flag (docs/SHARDING.md).
-     * 0 or 1 keeps the classic in-process sweep. Results merge by slot
-     * index through the content-addressed cache, so emitted bytes are
-     * identical at any worker count. Adaptive (non-default EXPLORE)
-     * rounds always run in-process: their batches are derived from
-     * earlier results and cannot be rebuilt from the scenario recipe.
+     * Shard owned computation across this many forked worker
+     * processes — the `--workers` flag (docs/SHARDING.md). 0 or 1
+     * keeps the classic in-process sweep. The pool is warm: workers
+     * fork and handshake once per run, serve the shared batch by slot
+     * index, and serve adaptive (non-default EXPLORE) rounds as
+     * serialized wire points (eval frames). Results merge by index
+     * through the content-addressed cache, so emitted bytes are
+     * identical at any worker count. Points without a study-file wire
+     * form (custom commTimeFn, non-zoo workloads) stay in-process.
      */
     std::size_t workers = 0;
 
@@ -120,6 +122,16 @@ struct MatrixOptions
      * cacheDir); "" disables checkpointing.
      */
     std::string checkpointPath;
+
+    /**
+     * In-process sub-batch size when a checkpoint is armed — the
+     * `--checkpoint-chunk` flag. Completed slots must reach the cache
+     * + manifest incrementally, not after the whole batch, or a kill
+     * loses everything; smaller chunks checkpoint (and fsync) more
+     * often, larger ones batch better. Chunking cannot change results
+     * — evaluation is a pure function of each point. Must be >= 1.
+     */
+    std::size_t checkpointChunk = 8;
 };
 
 /** One failed design point inside a scenario (FailMode::Isolate). */

@@ -8,6 +8,8 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <deque>
@@ -16,6 +18,7 @@
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "core/study_config.hh"
 #include "study/cache.hh"
 #include "study/matrix.hh"
 
@@ -50,6 +53,19 @@ buildSlotMap(const std::vector<LibraInputs>& points)
     return map;
 }
 
+namespace {
+
+std::string
+hashHex16(std::uint64_t h)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+} // namespace
+
 std::string
 slotMapFingerprint(const SlotMap& map)
 {
@@ -66,11 +82,74 @@ slotMapFingerprint(const SlotMap& map)
         text += std::to_string(map.slotRep[s]);
         text += ' ';
     }
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(
-                      studyCacheHashOfKey(text)));
-    return buf;
+    return hashHex16(studyCacheHashOfKey(text));
+}
+
+// ---------------------------------------------------------------------
+// Point wire codec
+// ---------------------------------------------------------------------
+
+std::string
+pointWireKey(const LibraInputs& inputs)
+{
+    return hashHex16(studyCacheHashOfKey(canonicalStudyKey(inputs)));
+}
+
+Json
+evalPayloadJson(const std::vector<WirePoint>& points)
+{
+    Json body = Json::object();
+    Json list = Json::array();
+    for (const WirePoint& wp : points) {
+        Json entry = Json::object();
+        entry["index"] = wp.index;
+        entry["point"] = wp.text;
+        entry["key"] = wp.key;
+        list.push(std::move(entry));
+    }
+    body["points"] = std::move(list);
+    return body;
+}
+
+std::vector<WirePoint>
+parseEvalPayload(const Json& body)
+{
+    if (!body.isObject() || !body.has("points"))
+        fatal("eval frame: payload has no points array");
+    const Json& list = body.at("points");
+    if (!list.isArray())
+        fatal("eval frame: points is not an array");
+    std::vector<WirePoint> out;
+    for (const Json& entry : list.items()) {
+        if (!entry.isObject() || !entry.has("index") ||
+            !entry.has("point") || !entry.has("key")) {
+            fatal("eval frame: point entry needs index/point/key: ",
+                  entry.dump());
+        }
+        const Json& idx = entry.at("index");
+        if (!idx.isNumber())
+            fatal("eval frame: point index is not a number");
+        double v = idx.asNumber();
+        if (!(v >= 0.0 && v <= 1e15) || v != std::floor(v))
+            fatal("eval frame: bad point index ", idx.dump());
+        WirePoint wp;
+        wp.index = static_cast<std::size_t>(v);
+        if (!entry.at("point").isString() ||
+            !entry.at("key").isString())
+            fatal("eval frame: point/key must be strings");
+        wp.text = entry.at("point").asString();
+        wp.key = entry.at("key").asString();
+        if (wp.text.empty())
+            fatal("eval frame: empty point text");
+        if (wp.key.size() != 16 ||
+            wp.key.find_first_not_of("0123456789abcdef") !=
+                std::string::npos) {
+            fatal("eval frame: bad point key '", wp.key,
+                  "' (want 16 hex digits)");
+        }
+        out.push_back(std::move(wp));
+    }
+    return out;
 }
 
 // ---------------------------------------------------------------------
@@ -120,7 +199,9 @@ frameOp(const Frame& frame, const char* who)
 // ShardPool (master side)
 // ---------------------------------------------------------------------
 
-ShardPool::ShardPool(const ShardOptions& options, const SlotMap& map)
+ShardPool::ShardPool(const ShardOptions& options,
+                     std::size_t expectedSlots,
+                     const std::string& expectedFingerprint)
     : options_(options)
 {
     if (options_.workers < 2)
@@ -163,7 +244,6 @@ ShardPool::ShardPool(const ShardOptions& options, const SlotMap& map)
     // Handshake: every worker must rebuild the exact slot map this
     // master holds, or slot indices would silently mean different
     // design points.
-    const std::string expect = slotMapFingerprint(map);
     for (Worker& w : workers_) {
         Frame ready = readFrameFd(w.fd, w.buffer, "shard");
         if (frameOp(ready, "shard") != "ready")
@@ -173,10 +253,11 @@ ShardPool::ShardPool(const ShardOptions& options, const SlotMap& map)
         const auto slots =
             static_cast<std::size_t>(info.at("slots").asNumber());
         const std::string& fp = info.at("fingerprint").asString();
-        if (slots != map.slots() || fp != expect) {
+        if (slots != expectedSlots || fp != expectedFingerprint) {
             fatal("shard: worker slot map mismatch (worker ", slots,
-                  " slots/", fp, ", master ", map.slots(), " slots/",
-                  expect, ") — worker executable out of sync?");
+                  " slots/", fp, ", master ", expectedSlots,
+                  " slots/", expectedFingerprint,
+                  ") — worker executable out of sync?");
         }
     }
 }
@@ -248,6 +329,16 @@ ShardPool::liveWorkers() const
     return n;
 }
 
+std::vector<pid_t>
+ShardPool::workerPids() const
+{
+    std::vector<pid_t> pids;
+    for (const Worker& w : workers_)
+        if (w.alive)
+            pids.push_back(w.pid);
+    return pids;
+}
+
 void
 ShardPool::workerFailed(Worker* w, std::vector<int>* requeue,
                         std::vector<int>* attempts)
@@ -272,35 +363,80 @@ ShardPool::workerFailed(Worker* w, std::vector<int>* requeue,
     }
 }
 
+std::vector<std::vector<std::size_t>>
+ShardPool::splitIndices(std::size_t count) const
+{
+    // Deterministic index-ordered batches, sized for dynamic balance
+    // (~4 batches per worker, so a slow batch doesn't serialize the
+    // tail). Assignment to workers is load-driven and nondeterministic
+    // — merge-by-index keeps the emitted bytes independent of it.
+    const std::size_t batchSize = std::max<std::size_t>(
+        1,
+        (count + options_.workers * 4 - 1) / (options_.workers * 4));
+    std::vector<std::vector<std::size_t>> spans;
+    for (std::size_t i = 0; i < count; i += batchSize) {
+        std::vector<std::size_t> span;
+        for (std::size_t k = i; k < std::min(i + batchSize, count);
+             ++k)
+            span.push_back(k);
+        spans.push_back(std::move(span));
+    }
+    return spans;
+}
+
 void
 ShardPool::evaluate(const std::vector<std::size_t>& slots,
                     const ResultFn& onResult)
 {
     if (slots.empty())
         return;
-
-    // Deterministic index-ordered batches, sized for dynamic balance
-    // (~4 batches per worker, so a slow batch doesn't serialize the
-    // tail). Assignment to workers is load-driven and nondeterministic
-    // — merge-by-slot keeps the emitted bytes independent of it.
-    struct Batch
-    {
-        std::vector<std::size_t> slots;
-        bool done = false;
-    };
-    const std::size_t batchSize = std::max<std::size_t>(
-        1,
-        (slots.size() + options_.workers * 4 - 1) /
-            (options_.workers * 4));
-    std::vector<Batch> batches;
-    for (std::size_t i = 0; i < slots.size(); i += batchSize) {
-        Batch b;
-        b.slots.assign(slots.begin() + static_cast<std::ptrdiff_t>(i),
-                       slots.begin() +
-                           static_cast<std::ptrdiff_t>(
-                               std::min(i + batchSize, slots.size())));
+    std::vector<PendingBatch> batches;
+    for (const std::vector<std::size_t>& span :
+         splitIndices(slots.size())) {
+        PendingBatch b;
+        Json status = okStatus("batch");
+        status["id"] = batches.size();
+        Json body = Json::object();
+        Json list = Json::array();
+        for (std::size_t k : span) {
+            b.items.push_back(slots[k]);
+            list.push(slots[k]);
+        }
+        body["slots"] = std::move(list);
+        b.frame = frameMessage(std::move(status), body.dump());
         batches.push_back(std::move(b));
     }
+    runBatches(batches, onResult);
+}
+
+void
+ShardPool::evaluatePoints(const std::vector<WirePoint>& points,
+                          const ResultFn& onResult)
+{
+    if (points.empty())
+        return;
+    std::vector<PendingBatch> batches;
+    for (const std::vector<std::size_t>& span :
+         splitIndices(points.size())) {
+        PendingBatch b;
+        Json status = okStatus("eval");
+        status["id"] = batches.size();
+        std::vector<WirePoint> chunk;
+        for (std::size_t k : span) {
+            b.items.push_back(points[k].index);
+            chunk.push_back(points[k]);
+        }
+        b.frame = frameMessage(std::move(status),
+                               evalPayloadJson(chunk).dump());
+        batches.push_back(std::move(b));
+    }
+    runBatches(batches, onResult);
+}
+
+void
+ShardPool::runBatches(std::vector<PendingBatch>& batches,
+                      const ResultFn& onResult)
+{
     std::deque<int> queue;
     for (std::size_t i = 0; i < batches.size(); ++i)
         queue.push_back(static_cast<int>(i));
@@ -316,20 +452,20 @@ ShardPool::evaluate(const std::vector<std::size_t>& slots,
         if (id != w.batch)
             fatal("shard: result for batch ", id, " from a worker on ",
                   w.batch);
-        Batch& batch = batches[static_cast<std::size_t>(id)];
+        PendingBatch& batch = batches[static_cast<std::size_t>(id)];
         const Json body = Json::parse(frame.payload);
         const Json::Array& results = body.at("results").items();
-        if (results.size() != batch.slots.size())
+        if (results.size() != batch.items.size())
             fatal("shard: batch ", id, " returned ", results.size(),
-                  " results for ", batch.slots.size(), " slots");
+                  " results for ", batch.items.size(), " items");
         for (std::size_t k = 0; k < results.size(); ++k) {
             const Json& entry = results[k];
             const auto slot = static_cast<std::size_t>(
                 entry.at("slot").asNumber());
-            if (slot != batch.slots[k])
+            if (slot != batch.items[k])
                 fatal("shard: batch ", id, " result ", k,
-                      " is for slot ", slot, ", expected ",
-                      batch.slots[k]);
+                      " is for item ", slot, ", expected ",
+                      batch.items[k]);
             PointStatus status;
             LibraReport report;
             if (entry.at("ok").asBool()) {
@@ -358,16 +494,9 @@ ShardPool::evaluate(const std::vector<std::size_t>& slots,
             if (!w.alive || w.batch >= 0 || queue.empty())
                 continue;
             const int id = queue.front();
-            Json status = okStatus("batch");
-            status["id"] = id;
-            Json body = Json::object();
-            Json list = Json::array();
-            for (std::size_t s :
-                 batches[static_cast<std::size_t>(id)].slots)
-                list.push(s);
-            body["slots"] = std::move(list);
-            if (!sendAllFd(w.fd, frameMessage(std::move(status),
-                                              body.dump()))) {
+            if (!sendAllFd(
+                    w.fd,
+                    batches[static_cast<std::size_t>(id)].frame)) {
                 workerFailed(&w, &requeue, &attempts);
                 continue;
             }
@@ -514,29 +643,48 @@ runShardWorker()
             const std::string op = frameOp(frame, "worker");
             if (op == "exit")
                 return 0;
-            if (op != "batch")
+            if (op != "batch" && op != "eval")
                 fatal("worker: unexpected op '", op, "'");
             const Json request = Json::parse(frame.payload);
 
-            std::vector<std::size_t> slots;
+            std::vector<std::size_t> items;
             std::vector<LibraInputs> batch;
-            for (const Json& s : request.at("slots").items()) {
-                const auto slot =
-                    static_cast<std::size_t>(s.asNumber());
-                if (slot >= map.slots())
-                    fatal("worker: slot ", slot, " out of range (",
-                          map.slots(), " slots)");
-                slots.push_back(slot);
-                batch.push_back(points[map.slotRep[slot]]);
+            if (op == "batch") {
+                for (const Json& s : request.at("slots").items()) {
+                    const auto slot =
+                        static_cast<std::size_t>(s.asNumber());
+                    if (slot >= map.slots())
+                        fatal("worker: slot ", slot,
+                              " out of range (", map.slots(),
+                              " slots)");
+                    items.push_back(slot);
+                    batch.push_back(points[map.slotRep[slot]]);
+                }
+            } else {
+                // Serialized design points: reparse each and verify
+                // its canonical-key hash, so a version-skewed build
+                // is rejected exactly like a fingerprint mismatch in
+                // the handshake.
+                for (const WirePoint& wp : parseEvalPayload(request)) {
+                    LibraInputs p = parseStudyConfigString(wp.text);
+                    const std::string key = pointWireKey(p);
+                    if (key != wp.key)
+                        fatal("worker: eval point ", wp.index,
+                              " key mismatch (reparse ", key,
+                              ", frame ", wp.key,
+                              ") — worker executable out of sync?");
+                    items.push_back(wp.index);
+                    batch.push_back(std::move(p));
+                }
             }
             // Per-point isolation mirrors the in-process sweep: a
             // failing point becomes a status, never a dead worker.
             SweepOutcome outcome = runLibraSweepIsolated(batch);
 
             Json results = Json::array();
-            for (std::size_t k = 0; k < slots.size(); ++k) {
+            for (std::size_t k = 0; k < items.size(); ++k) {
                 Json entry = Json::object();
-                entry["slot"] = slots[k];
+                entry["slot"] = items[k];
                 entry["ok"] = outcome.status[k].ok;
                 if (outcome.status[k].ok)
                     entry["report"] = reportToJson(outcome.reports[k]);

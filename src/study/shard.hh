@@ -1,28 +1,44 @@
 /**
  * @file
- * Multi-process sharded execution of the matrix shared batch
+ * Multi-process sharded execution of the scenario matrix
  * (docs/SHARDING.md).
  *
  * One process caps the reachable design-space size; `run-matrix
  * --workers N` forks N worker processes (`libra_cli worker`, a hidden
- * subcommand) and ships deterministic index-ordered batches of deduped
- * slots to them over the serve layer's newline-JSON framing
+ * subcommand) and ships deterministic index-ordered batches of work to
+ * them over the serve layer's newline-JSON framing
  * (src/serve/framing.hh) on a socketpair.
  *
- * Workers do not receive serialized design points: a LibraInputs
- * carries workload IR and closures that have no wire form. Instead the
- * master sends the *recipe* — scenario names plus the point-rewriting
- * overrides — and each worker rebuilds the identical shared batch and
- * slot map through the same library code (buildMatrixSharedBatch +
- * buildSlotMap, both deterministic). The handshake then compares slot
- * counts and a fingerprint over every canonical slot key, so a
- * version-skewed or misconfigured worker is rejected before any result
- * can be merged. After that, a batch is just a list of slot indices;
- * results return inline as bit-exact report JSON
- * (reportToJson/reportFromJson) and the master merges them by slot
- * index and stores them through the content-addressed ResultCache —
- * which is why emitted matrix JSON is cmp-equal to a single-process
- * run at any worker count, fresh or cached.
+ * Work crosses the wire in two forms:
+ *
+ * - **batch frames** ship slot indices into the shared phase-1 batch.
+ *   The master sends the *recipe* — scenario names plus the
+ *   point-rewriting overrides — in the init frame, and each worker
+ *   rebuilds the identical shared batch and slot map through the same
+ *   library code (buildMatrixSharedBatch + buildSlotMap, both
+ *   deterministic). The handshake compares slot counts and a
+ *   fingerprint over every canonical slot key, so a version-skewed or
+ *   misconfigured worker is rejected before any result can be merged.
+ *
+ * - **eval frames** ship serialized design points for work no recipe
+ *   describes: the rounds an adaptive ExploreStrategy synthesizes
+ *   mid-search. Each point travels as its studyConfigToString text (a
+ *   WirePoint) tagged with its canonical-key hash; the worker reparses
+ *   the text and verifies the hash, extending the same skew rejection
+ *   to points that never appeared in the handshake. Points without a
+ *   study-file form (custom commTimeFn, non-zoo workloads) cannot ship
+ *   and stay in the master.
+ *
+ * Either way, results return inline as bit-exact report JSON
+ * (reportToJson/reportFromJson) and the master merges them by index
+ * and stores them through the content-addressed ResultCache — which is
+ * why emitted matrix JSON is cmp-equal to a single-process run at any
+ * worker count, fresh or cached.
+ *
+ * The pool is warm: `run-matrix` forks and handshakes once, then
+ * reuses the same workers for the shared batch and every adaptive
+ * round, paying fork/exec/handshake once per run instead of once per
+ * round.
  *
  * Fault model: a worker that dies mid-batch gets its batch requeued to
  * the survivors (a bounded number of times); losing every worker with
@@ -71,6 +87,38 @@ SlotMap buildSlotMap(const std::vector<LibraInputs>& points);
  */
 std::string slotMapFingerprint(const SlotMap& map);
 
+/**
+ * One design point in wire form: the studyConfigToString text plus the
+ * 16-hex hash of its canonical study key, under a caller-chosen item
+ * index. The text is the authoritative payload — the key only lets the
+ * receiver prove its reparse means the same design point (the eval
+ * frames' analogue of the handshake fingerprint).
+ */
+struct WirePoint
+{
+    std::size_t index = 0; ///< Caller-chosen id echoed back in results.
+    std::string text;      ///< studyConfigToString(point).
+    std::string key;       ///< pointWireKey(point), 16-hex.
+};
+
+/**
+ * The 16-hex canonical-key hash of @p inputs
+ * (studyCacheHashOfKey over canonicalStudyKey). Only meaningful for
+ * points with a wire form (studyConfigSerializable).
+ */
+std::string pointWireKey(const LibraInputs& inputs);
+
+/** Build the eval-frame payload `{"points":[{index,point,key}...]}`. */
+Json evalPayloadJson(const std::vector<WirePoint>& points);
+
+/**
+ * Parse and validate an eval-frame payload.
+ * @throws FatalError on any malformed shape: missing/ill-typed
+ * "points", entries missing index/point/key, fractional or negative
+ * indices, or keys that are not 16 lowercase hex digits.
+ */
+std::vector<WirePoint> parseEvalPayload(const Json& body);
+
 /** How `run-matrix --workers N` spawns and instructs its workers. */
 struct ShardOptions
 {
@@ -99,18 +147,23 @@ class ShardPool
 {
   public:
     /**
-     * Result delivery: one call per evaluated slot, in completion
-     * order (NOT slot order — the caller merges by index).
+     * Result delivery: one call per evaluated item, in completion
+     * order (NOT index order — the caller merges by index). For
+     * evaluate() the index is a slot; for evaluatePoints() it is the
+     * WirePoint's caller-chosen index.
      */
     using ResultFn = std::function<void(
         std::size_t slot, PointStatus status, LibraReport report)>;
 
     /**
-     * Fork and handshake @p options.workers workers against @p map.
+     * Fork and handshake @p options.workers workers against the
+     * master's slot map, given as its size and fingerprint (what the
+     * handshake actually compares).
      * @throws FatalError when spawning fails or a worker's slot count
      * / fingerprint disagrees with the master's.
      */
-    ShardPool(const ShardOptions& options, const SlotMap& map);
+    ShardPool(const ShardOptions& options, std::size_t expectedSlots,
+              const std::string& expectedFingerprint);
 
     /** Kills (SIGKILL) and reaps any worker shutdown() didn't. */
     ~ShardPool();
@@ -128,10 +181,22 @@ class ShardPool
     void evaluate(const std::vector<std::size_t>& slots,
                   const ResultFn& onResult);
 
+    /**
+     * Evaluate serialized design points across the pool via eval
+     * frames — same batching, dispatch, requeue, and delivery
+     * contract as evaluate(), with @p onResult receiving each
+     * WirePoint's index. Callable any number of times on a warm pool.
+     */
+    void evaluatePoints(const std::vector<WirePoint>& points,
+                        const ResultFn& onResult);
+
     /** Graceful teardown: send exit, close, reap. Idempotent. */
     void shutdown();
 
     std::size_t liveWorkers() const;
+
+    /** Live worker pids, for tests that kill one mid-flight. */
+    std::vector<pid_t> workerPids() const;
 
   private:
     struct Worker
@@ -142,6 +207,26 @@ class ShardPool
         int batch = -1; ///< Outstanding batch id; -1 = idle.
         FrameBuffer buffer{"shard"};
     };
+
+    /**
+     * One dispatchable request: the expected result item ids (slot
+     * indices or WirePoint indices, in payload order) plus the
+     * precomputed request frame — requeues resend the same bytes.
+     */
+    struct PendingBatch
+    {
+        std::vector<std::size_t> items;
+        std::string frame;
+        bool done = false;
+    };
+
+    /** Shared dispatch/requeue/merge loop behind both evaluate()s. */
+    void runBatches(std::vector<PendingBatch>& batches,
+                    const ResultFn& onResult);
+
+    /** Deterministic index-ordered split, ~4 batches per worker. */
+    std::vector<std::vector<std::size_t>>
+    splitIndices(std::size_t count) const;
 
     void spawnWorker(Worker* w);
     void workerFailed(Worker* w, std::vector<int>* requeue,

@@ -17,6 +17,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -335,6 +336,233 @@ TEST(ShardCli, CheckpointWithoutACacheIsAUserError)
                      "/manifest --emit json --out /dev/null"),
               1);
     std::filesystem::remove_all(dir);
+}
+
+TEST(ShardCli, CheckpointChunkFlagIsValidatedAndPreservesBytes)
+{
+    std::string dir = freshDir("libra-shard-chunk");
+    std::string cache = dir + "/cache";
+    std::string manifest = dir + "/manifest";
+
+    // The flag only means something under --checkpoint; out-of-range
+    // sizes are rejected at parse time.
+    EXPECT_EQ(runCli(std::string(kScenario) +
+                     " --checkpoint-chunk 4 --emit json --out "
+                     "/dev/null"),
+              1);
+    EXPECT_EQ(runCli(std::string(kScenario) + " --cache-dir " + cache +
+                     " --checkpoint " + manifest +
+                     " --checkpoint-chunk 0 --emit json --out "
+                     "/dev/null"),
+              1);
+    EXPECT_EQ(runCli(std::string(kScenario) + " --cache-dir " + cache +
+                     " --checkpoint " + manifest +
+                     " --checkpoint-chunk 9999 --emit json --out "
+                     "/dev/null"),
+              1);
+
+    // A small chunk changes the fsync cadence, never the bytes or the
+    // completed manifest.
+    std::string ref = dir + "/ref.json";
+    std::string out = dir + "/chunked.json";
+    ASSERT_EQ(runCli(std::string(kScenario) + " --emit json --out " +
+                     ref),
+              0);
+    ASSERT_EQ(runCli(std::string(kScenario) + " --cache-dir " + cache +
+                     " --checkpoint " + manifest +
+                     " --checkpoint-chunk 2 --emit json --out " + out),
+              0);
+    EXPECT_EQ(slurp(out), slurp(ref));
+    EXPECT_EQ(recordedSlots(manifest), 80u);
+
+    std::filesystem::remove_all(dir);
+}
+
+// --- Sharded adaptive exploration (eval frames) -------------------------
+
+TEST(ShardCli, AdaptivePruneByteIdenticalAcrossWorkerCounts)
+{
+    std::string dir = freshDir("libra-shard-prune");
+    std::string ref = dir + "/ref.json";
+    ASSERT_EQ(runCli(std::string(kScenario) +
+                     " --explore prune --emit json --out " + ref),
+              0);
+    const std::string expected = slurp(ref);
+    ASSERT_FALSE(expected.empty());
+
+    // Fresh sharded prune at several worker counts: the adaptive
+    // rounds cross the wire as eval frames, the emitted bytes must
+    // not notice.
+    for (const char* workers : {"1", "2", "4"}) {
+        std::string out = dir + "/w" + workers + ".json";
+        ASSERT_EQ(runCli(std::string(kScenario) +
+                         " --explore prune --workers " + workers +
+                         " --emit json --out " + out),
+                  0)
+            << "workers=" << workers;
+        EXPECT_EQ(slurp(out), expected) << "workers=" << workers;
+    }
+
+    // Cold cache (workers store through the master), then warm cache
+    // (every adaptive round served without touching the pool).
+    std::string cache = dir + "/cache";
+    for (const char* label : {"cold", "warm"}) {
+        std::string out = dir + "/cache-" + label + ".json";
+        std::string err = dir + "/cache-" + label + ".err";
+        ASSERT_EQ(runCli(std::string(kScenario) +
+                         " --explore prune --workers 2 --cache-dir " +
+                         cache + " --emit json --out " + out,
+                         err),
+                  0)
+            << label;
+        EXPECT_EQ(slurp(out), expected) << label;
+        if (std::string(label) == "warm") {
+            EXPECT_NE(slurp(err).find(" 0 computed"),
+                      std::string::npos)
+                << slurp(err);
+        }
+    }
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ShardCli, KilledShardedAdaptivePruneResumes)
+{
+    std::string dir = freshDir("libra-shard-prune-kill");
+    std::string ref = dir + "/ref.json";
+    ASSERT_EQ(runCli(std::string(kScenario) +
+                     " --explore prune --emit json --out " + ref),
+              0);
+    const std::string expected = slurp(ref);
+
+    std::string cache = dir + "/cache";
+    std::string manifest = dir + "/manifest";
+
+    // SIGKILL a sharded, checkpointed prune run mid-flight — slots
+    // completed by eval frames must already be in cache + manifest.
+    pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        std::string out = dir + "/killed.json";
+        ::execl(LIBRA_CLI_PATH, LIBRA_CLI_PATH, "run-matrix",
+                kScenario, "--explore", "prune", "--workers", "2",
+                "--cache-dir", cache.c_str(), "--checkpoint",
+                manifest.c_str(), "--emit", "json", "--out",
+                out.c_str(), static_cast<char*>(nullptr));
+        _exit(127);
+    }
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(60);
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (recordedSlots(manifest) >= 8) {
+            ::kill(pid, SIGKILL);
+            break;
+        }
+        int status = 0;
+        if (::waitpid(pid, &status, WNOHANG) == pid) {
+            pid = -1; // Finished first; resume must still be exact.
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    if (pid > 0) {
+        ::kill(pid, SIGKILL);
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+    }
+    const std::size_t recorded = recordedSlots(manifest);
+    ASSERT_GE(recorded, 8u);
+
+    // Resume sharded: recorded slots come from the cache, and the
+    // completed output is byte-identical to the uninterrupted
+    // single-process reference.
+    std::string out = dir + "/resumed.json";
+    std::string err = dir + "/resumed.err";
+    ASSERT_EQ(runCli(std::string(kScenario) +
+                     " --explore prune --workers 2 --cache-dir " +
+                     cache + " --checkpoint " + manifest +
+                     " --emit json --out " + out,
+                     err),
+              0);
+    EXPECT_EQ(slurp(out), expected);
+
+    const std::string provenance = slurp(err);
+    EXPECT_NE(provenance.find("checkpoint: resuming"),
+              std::string::npos)
+        << provenance;
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ShardPoolEval, WarmPoolServesEvalFramesAndRequeuesOnWorkerDeath)
+{
+    // A pool handshaken over an empty recipe is a pure eval-frame
+    // server: nothing in the shared batch, everything over the wire.
+    ShardOptions options;
+    options.workers = 2;
+    options.workerExe = LIBRA_CLI_PATH;
+    SlotMap empty = buildSlotMap(std::vector<LibraInputs>{});
+    ShardPool pool(options, empty.slots(), slotMapFingerprint(empty));
+    ASSERT_EQ(pool.liveWorkers(), 2u);
+
+    auto makeRound = [](int seedBase, std::size_t count) {
+        std::vector<LibraInputs> round;
+        for (std::size_t k = 0; k < count; ++k)
+            round.push_back(miniInputs(
+                ("SEED " + std::to_string(seedBase + int(k)) + "\n")
+                    .c_str()));
+        return round;
+    };
+    auto runRound = [&pool](const std::vector<LibraInputs>& round) {
+        // Sparse, caller-chosen indices, as the adaptive sweep uses.
+        std::vector<WirePoint> wire;
+        for (std::size_t k = 0; k < round.size(); ++k) {
+            WirePoint wp;
+            wp.index = 2 * k + 1;
+            wp.text = studyConfigToString(round[k]);
+            wp.key = pointWireKey(round[k]);
+            wire.push_back(std::move(wp));
+        }
+        std::map<std::size_t, std::string> got;
+        pool.evaluatePoints(
+            wire, [&](std::size_t slot, PointStatus status,
+                      LibraReport report) {
+                EXPECT_TRUE(status.ok) << status.error;
+                EXPECT_TRUE(
+                    got.emplace(slot, reportToJson(report).dump())
+                        .second)
+                    << "item " << slot << " delivered twice";
+            });
+        return got;
+    };
+    auto expectMatchesInProcess =
+        [](const std::map<std::size_t, std::string>& got,
+           const std::vector<LibraInputs>& round) {
+            SweepOutcome ref = runLibraSweepIsolated(round);
+            ASSERT_EQ(got.size(), round.size());
+            for (std::size_t k = 0; k < round.size(); ++k)
+                EXPECT_EQ(got.at(2 * k + 1),
+                          reportToJson(ref.reports[k]).dump())
+                    << "point " << k;
+        };
+
+    // Round 1: eval frames come back bit-identical to in-process.
+    std::vector<LibraInputs> round1 = makeRound(100, 6);
+    expectMatchesInProcess(runRound(round1), round1);
+
+    // Kill one worker between rounds; the next round's batches that
+    // land on the corpse get requeued to the survivor, and the warm
+    // pool still delivers every result.
+    std::vector<pid_t> pids = pool.workerPids();
+    ASSERT_EQ(pids.size(), 2u);
+    ::kill(pids.front(), SIGKILL);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    std::vector<LibraInputs> round2 = makeRound(200, 6);
+    expectMatchesInProcess(runRound(round2), round2);
+    EXPECT_EQ(pool.liveWorkers(), 1u);
+
+    pool.shutdown();
 }
 
 #endif // LIBRA_CLI_PATH

@@ -22,7 +22,8 @@ namespace {
  * The directive corpus. Every keyword the parser understands appears
  * in at least one entry: NETWORK, TOTAL_BW, OBJECTIVE, LOOP,
  * CONSTRAINT, WORKLOAD (+WEIGHT), NORMALIZE_WEIGHTS, IN_NETWORK,
- * DOLLAR_CAP, THREADS, SEED, STARTS, SOLVER, BACKEND, and COST.
+ * DOLLAR_CAP, THREADS, SEED, STARTS, MAX_EVALS, SOLVER, BACKEND, and
+ * COST.
  */
 const char* kCorpus[] = {
     // Minimal study.
@@ -56,6 +57,17 @@ const char* kCorpus[] = {
     "SEED 7\n"
     "STARTS 5\n"
     "WORKLOAD msft1t\n",
+    // Per-start eval budget (what prune's screening rounds set; the
+    // wire form of a screened point depends on this round-tripping).
+    "NETWORK RI(4)_SW(8)\n"
+    "MAX_EVALS 240\n"
+    "WORKLOAD resnet50\n",
+    "NETWORK RI(4)_SW(8)\n"
+    "STARTS 1\n"
+    "MAX_EVALS 120\n"
+    "SOLVER cmaes\n"
+    "EXPLORE prune\n"
+    "WORKLOAD resnet50\n",
     // Dollar cap (implies a relaxed BW budget) and threads.
     "NETWORK RI(4)_SW(4)_SW(8)_SW(16)\n"
     "TOTAL_BW 800\n"
@@ -172,6 +184,38 @@ TEST(StudyRoundTrip, EqualityIsDiscriminating)
                 "WORKLOAD resnet50\nSOLVER cmaes\n"),
         variant("NETWORK RI(4)_SW(8)\nTOTAL_BW 300\n"
                 "WORKLOAD resnet50\nSOLVER de\n")));
+    EXPECT_FALSE(studyInputsEqual(
+        base, variant("NETWORK RI(4)_SW(8)\nTOTAL_BW 300\n"
+                      "WORKLOAD resnet50\nMAX_EVALS 64\n")));
+}
+
+TEST(StudyRoundTrip, MaxEvalsDirectiveValidatesAndDefaults)
+{
+    // 0 is the in-memory default (unlimited) and is not emitted.
+    LibraInputs zero = parseStudyConfigString(
+        "NETWORK RI(4)_SW(8)\nMAX_EVALS 0\nWORKLOAD resnet50\n");
+    EXPECT_EQ(zero.config.search.maxEvalsPerStart, 0);
+    EXPECT_EQ(studyConfigToString(zero).find("MAX_EVALS"),
+              std::string::npos);
+
+    LibraInputs set = parseStudyConfigString(
+        "NETWORK RI(4)_SW(8)\nMAX_EVALS 240\nWORKLOAD resnet50\n");
+    EXPECT_EQ(set.config.search.maxEvalsPerStart, 240);
+    EXPECT_NE(studyConfigToString(set).find("MAX_EVALS 240\n"),
+              std::string::npos);
+
+    EXPECT_THROW(parseStudyConfigString(
+                     "NETWORK RI(4)_SW(8)\nMAX_EVALS -1\n"
+                     "WORKLOAD resnet50\n"),
+                 FatalError);
+    EXPECT_THROW(parseStudyConfigString(
+                     "NETWORK RI(4)_SW(8)\nMAX_EVALS 2.5\n"
+                     "WORKLOAD resnet50\n"),
+                 FatalError);
+    EXPECT_THROW(parseStudyConfigString(
+                     "NETWORK RI(4)_SW(8)\nMAX_EVALS nan\n"
+                     "WORKLOAD resnet50\n"),
+                 FatalError);
 }
 
 TEST(StudyRoundTrip, ExploreDirectiveCanonicalizesAndDiscriminates)

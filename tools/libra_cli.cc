@@ -55,6 +55,10 @@
  *                      hash to FILE (fsynced), so a killed run resumes
  *                      without recomputing finished points; requires
  *                      --cache-dir
+ *   --checkpoint-chunk N  in-process sub-batch size for checkpointed
+ *                      runs (default 8): smaller chunks fsync progress
+ *                      more often, larger ones batch better; requires
+ *                      --checkpoint
  *   --update-golden    rewrite the golden-figure files for the golden
  *                      scenarios included in this run
  *   --golden-dir DIR   golden file directory (default: tests/golden)
@@ -74,6 +78,9 @@
  *                      evicts)
  *   --threads N        size the shared evaluation pool
  *   --fail-mode MODE   default failMode for requests that set none
+ *   --max-workers N    cap on the optional per-request "workers" field
+ *                      (default 1 = requests never shard; requests
+ *                      asking for more are clamped)
  *   --faults SPEC      arm the fault injector (tests, CI)
  *
  * serve-request sends one request line to a running server, writes the
@@ -379,6 +386,8 @@ struct MatrixCliOptions
     std::size_t workers = 0;    // 0/1 = classic in-process sweep.
     int workerThreads = 0;      // 0 = hardware concurrency / workers.
     std::string checkpointPath; // "" = no checkpoint manifest.
+    std::size_t checkpointChunk = 8;
+    bool checkpointChunkSet = false;
     std::string workerExe;      // Resolved self path (sharded runs).
 };
 
@@ -435,6 +444,14 @@ runMatrixCommand(const MatrixCliOptions& cli)
         return 1;
     }
 
+    // A chunk size without a checkpoint would silently do nothing —
+    // chunking only exists to pace manifest/cache appends.
+    if (cli.checkpointChunkSet && cli.checkpointPath.empty()) {
+        std::cerr << "libra_cli: --checkpoint-chunk requires "
+                     "--checkpoint\n";
+        return 1;
+    }
+
     if (cli.threads > 0)
         ThreadPool::setGlobalThreads(
             static_cast<std::size_t>(cli.threads));
@@ -450,6 +467,7 @@ runMatrixCommand(const MatrixCliOptions& cli)
     options.workerExe = cli.workerExe;
     options.workerThreads = cli.workerThreads;
     options.checkpointPath = cli.checkpointPath;
+    options.checkpointChunk = cli.checkpointChunk;
     MatrixResult result = runScenarioMatrix(names, options);
 
     std::ofstream outFile;
@@ -525,11 +543,13 @@ runMatrixCommand(const MatrixCliOptions& cli)
 }
 
 int
-runServeCommand(const std::vector<std::string>& args)
+runServeCommand(const std::vector<std::string>& args,
+                const std::string& workerExe)
 {
     using namespace libra;
 
     ServeOptions options;
+    options.workerExe = workerExe;
     int threads = 0;
     for (std::size_t i = 1; i < args.size(); ++i) {
         const std::string& arg = args[i];
@@ -587,6 +607,17 @@ runServeCommand(const std::vector<std::string>& args)
                              "isolate\n";
                 return 1;
             }
+        } else if (arg == "--max-workers") {
+            std::string text = value("a worker cap");
+            char* end = nullptr;
+            long v = std::strtol(text.c_str(), &end, 10);
+            if (end == text.c_str() || *end != '\0' || v < 1 ||
+                v > 256) {
+                std::cerr << "libra_cli: bad --max-workers cap '"
+                          << text << "' (expected 1..256)\n";
+                return 1;
+            }
+            options.maxWorkers = static_cast<std::size_t>(v);
         } else if (arg == "--faults") {
             installFaults(parseFaultSpec(value("a fault spec")));
         } else {
@@ -690,12 +721,13 @@ usage()
            "[--faults SPEC]\n"
         << "                 [--workers N] [--worker-threads N] "
            "[--checkpoint FILE]\n"
-        << "                 [--update-golden] [--golden-dir DIR]\n"
+        << "                 [--checkpoint-chunk N] "
+           "[--update-golden] [--golden-dir DIR]\n"
         << "       libra_cli serve --socket PATH [--cache-dir DIR] "
            "[--lru N]\n"
         << "                 [--lru-bytes N] [--threads N] "
            "[--fail-mode abort|isolate]\n"
-        << "                 [--faults SPEC]\n"
+        << "                 [--max-workers N] [--faults SPEC]\n"
         << "       libra_cli serve-request --socket PATH "
            "<request-json>\n";
 }
@@ -834,6 +866,20 @@ main(int argc, char** argv)
                         return 1;
                 } else if (arg == "--checkpoint") {
                     cli.checkpointPath = value("a manifest path");
+                } else if (arg == "--checkpoint-chunk") {
+                    std::string text = value("a chunk size");
+                    char* end = nullptr;
+                    long v = std::strtol(text.c_str(), &end, 10);
+                    if (end == text.c_str() || *end != '\0' ||
+                        v < 1 || v > 4096) {
+                        std::cerr << "libra_cli: bad "
+                                     "--checkpoint-chunk size '"
+                                  << text << "' (expected 1..4096)\n";
+                        return 1;
+                    }
+                    cli.checkpointChunk =
+                        static_cast<std::size_t>(v);
+                    cli.checkpointChunkSet = true;
                 } else if (!arg.empty() && arg[0] == '-') {
                     std::cerr << "libra_cli: unknown run-matrix flag '"
                               << arg << "'\n";
@@ -845,7 +891,7 @@ main(int argc, char** argv)
             return runMatrixCommand(cli);
         }
         if (!args.empty() && args[0] == "serve")
-            return runServeCommand(args);
+            return runServeCommand(args, selfExecutable(argv[0]));
         if (!args.empty() && args[0] == "serve-request")
             return runServeRequestCommand(args);
 

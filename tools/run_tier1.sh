@@ -68,9 +68,10 @@ case "${MODE}" in
     # timing-backend layer (per-thread chunk-sim memo + crossval fuzz),
     # the fault-tolerance layer (isolated sweeps, injector counters,
     # and line-atomic logging under concurrent cache warnings), the
-    # cache-concurrency hammer, and the serve subsystem (LRU +
-    # single-flight + socket server; docs/SERVE.md).
-    CTEST_EXTRA+=(-R 'test_thread_pool|test_parallel_determinism|test_study_engine|test_timing_backend|test_sim_crossval|test_explore|test_cache_faults|test_cache_concurrency|test_serve|test_objective_kernels')
+    # cache-concurrency hammer, the serve subsystem (LRU +
+    # single-flight + socket server; docs/SERVE.md), and the shard
+    # layer (worker pool, point wire codec; docs/SHARDING.md).
+    CTEST_EXTRA+=(-R 'test_thread_pool|test_parallel_determinism|test_study_engine|test_timing_backend|test_sim_crossval|test_explore|test_cache_faults|test_cache_concurrency|test_serve|test_objective_kernels|test_shard|test_point_wire')
     ;;
   asan)
     BUILD_DIR="build-asan"
@@ -237,6 +238,22 @@ if [[ -z "${MODE}" ]]; then
     "${SMOKE_DIR}/ckresumed.status")"
   [[ "${FROMCACHE}" -ge "${RECORDED}" ]]
   echo "checkpoint smoke: killed run (${RECORDED} slots recorded) resumed byte-identically without recompute"
+
+  # Sharded-prune smoke: adaptive exploration rounds cross the wire as
+  # eval frames on the warm worker pool; the matrix JSON must still be
+  # byte-identical to the single-process prune run, fresh and cached
+  # (docs/SHARDING.md, docs/EXPLORE.md).
+  "${BUILD_DIR}/libra_cli" run-matrix explore-frontier --explore prune \
+    --emit json --out "${SMOKE_DIR}/spsingle.json"
+  "${BUILD_DIR}/libra_cli" run-matrix explore-frontier --explore prune \
+    --workers 2 --emit json --cache-dir "${SMOKE_DIR}/spcache" \
+    --out "${SMOKE_DIR}/spfresh.json"
+  "${BUILD_DIR}/libra_cli" run-matrix explore-frontier --explore prune \
+    --workers 2 --emit json --cache-dir "${SMOKE_DIR}/spcache" \
+    --out "${SMOKE_DIR}/spcached.json"
+  cmp "${SMOKE_DIR}/spsingle.json" "${SMOKE_DIR}/spfresh.json"
+  cmp "${SMOKE_DIR}/spsingle.json" "${SMOKE_DIR}/spcached.json"
+  echo "sharded-prune smoke: byte-identical matrix JSON (single-process vs --workers 2 adaptive prune, fresh and cached)"
 
   # SIMD smoke: the batched candidate-major kernels promise results
   # bit-identical to the scalar fallback (docs/PERF.md), so a golden
